@@ -1,0 +1,24 @@
+//! Criterion microbenchmark: one full CP-ALS iteration per backend
+//! (MTTKRP + normal equations + normalization + fit).
+
+use adatm_core::{all_backends, CpAls, CpAlsOptions};
+use adatm_tensor::gen::zipf_tensor;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_cpals_iter(c: &mut Criterion) {
+    let rank = 16;
+    let t = zipf_tensor(&[20_000, 500, 8_000], 150_000, &[0.8, 0.5, 0.9], 3);
+    let mut group = c.benchmark_group("cpals_iteration");
+    group.sample_size(10);
+    for mut backend in all_backends(&t, rank) {
+        let name = backend.name();
+        let solver = CpAls::new(CpAlsOptions::new(rank).max_iters(1).tol(0.0).seed(1));
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(solver.run(&t, &mut backend)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpals_iter);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion microbenchmark: the dense kernels inside a CP-ALS
+//! subiteration (Gram, Hadamard, pseudoinverse solve, normalization).
+
+use adatm_linalg::{jacobi_eigh, pinv::solve_gram, Mat};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_linalg(c: &mut Criterion) {
+    let rank = 32;
+    let rows = 100_000;
+    let u = Mat::random(rows, rank, 1);
+    let g = u.gram();
+    let m = Mat::random(rows, rank, 2);
+    let mut group = c.benchmark_group("dense_kernels");
+    group.sample_size(20);
+    group.bench_function("gram_100k_x_32", |b| b.iter(|| std::hint::black_box(u.gram())));
+    group.bench_function("jacobi_eigh_32", |b| {
+        b.iter(|| std::hint::black_box(jacobi_eigh(&g)))
+    });
+    group.bench_function("solve_gram_100k_x_32", |b| {
+        b.iter(|| std::hint::black_box(solve_gram(&m, &g)))
+    });
+    group.bench_function("normalize_cols_100k_x_32", |b| {
+        b.iter(|| {
+            let mut x = m.clone();
+            std::hint::black_box(x.normalize_cols());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_linalg);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion microbenchmark: one MTTKRP sweep (all modes) per backend.
+//!
+//! Complements the E2/E3 harnesses with statistically supervised timings
+//! on a fixed mid-size skewed 4-mode tensor.
+
+use adatm_core::{all_backends, MttkrpBackend};
+use adatm_linalg::Mat;
+use adatm_tensor::gen::zipf_tensor;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_mttkrp(c: &mut Criterion) {
+    let rank = 16;
+    let t = zipf_tensor(&[2_000, 30_000, 60_000, 10_000], 200_000, &[0.4, 0.9, 0.7, 1.0], 7);
+    let factors: Vec<Mat> = t
+        .dims()
+        .iter()
+        .enumerate()
+        .map(|(d, &n)| Mat::random(n, rank, 10 + d as u64))
+        .collect();
+    let mut group = c.benchmark_group("mttkrp_sweep");
+    group.sample_size(10);
+    for mut backend in all_backends(&t, rank) {
+        let name = backend.name();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                for mode in 0..t.ndim() {
+                    backend.begin_mode(mode);
+                    let mut out = Mat::zeros(t.dims()[mode], rank);
+                    backend.mttkrp_into(&t, &factors, mode, &mut out);
+                    std::hint::black_box(&out);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mttkrp);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion microbenchmark: one-time structure builds — dimension-tree
+//! symbolic analysis per shape, CSF forest construction, and the
+//! planner's full strategy search.
+
+use adatm_dtree::{DimTree, SymbolicTree, TreeShape};
+use adatm_model::Planner;
+use adatm_tensor::csf::CsfSet;
+use adatm_tensor::gen::zipf_tensor;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_symbolic(c: &mut Criterion) {
+    let t = zipf_tensor(&[3_000, 20_000, 40_000, 8_000], 150_000, &[0.5, 0.8, 0.7, 1.0], 5);
+    let mut group = c.benchmark_group("preprocess");
+    group.sample_size(10);
+    for (name, shape) in [
+        ("symbolic_tree2", TreeShape::two_level(4)),
+        ("symbolic_tree3", TreeShape::three_level(4)),
+        ("symbolic_bdt", TreeShape::balanced_binary(4)),
+    ] {
+        let tree = DimTree::from_shape(&shape);
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(SymbolicTree::build(&t, &tree)))
+        });
+    }
+    group.bench_function("csf_all_modes", |b| {
+        b.iter(|| std::hint::black_box(CsfSet::all_modes(&t)))
+    });
+    group.bench_function("planner_default", |b| {
+        b.iter(|| std::hint::black_box(Planner::new(&t, 16).plan()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_symbolic);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E10 — per-iteration time dissection (paper analogue: the stacked-bar
+//! phase-breakdown figure: TTMV vs dense matrix work vs fit).
+//!
+//! Reports the fraction of iteration time spent in MTTKRP, dense linear
+//! algebra (Grams, Hadamards, pseudoinverse solves, normalization), and
+//! fit computation, per backend.
+
+use adatm_bench::{banner, iters, rank, run_cpals, scale, standard_suite, Table};
+use adatm_core::all_backends;
+
+fn main() {
+    banner("E10", "iteration time dissection (fractions)");
+    let suite = standard_suite(scale());
+    let (r, it) = (rank(), iters());
+    let mut table =
+        Table::new(&["tensor", "backend", "total-s/iter", "mttkrp%", "dense%", "fit%"]);
+    for d in suite.iter().take(3) {
+        for mut b in all_backends(&d.tensor, r) {
+            let res = run_cpals(&d.tensor, &mut b, r, it);
+            let total = res.timings.total().as_secs_f64().max(1e-12);
+            table.row(&[
+                d.name.clone(),
+                b.name().to_string(),
+                format!("{:.4}", total / it as f64),
+                format!("{:.1}", 100.0 * res.timings.mttkrp.as_secs_f64() / total),
+                format!("{:.1}", 100.0 * res.timings.dense.as_secs_f64() / total),
+                format!("{:.1}", 100.0 * res.timings.fit.as_secs_f64() / total),
+            ]);
+        }
+    }
+    table.print();
+    table.print_tsv();
+}

@@ -1,0 +1,40 @@
+//! E11 — index-overlap (skew) sweep (ablation; paper analogue: the
+//! discussion of the two sparsity extremes bounding memoization gains).
+//!
+//! Fixed dims/nnz 4-mode tensors with Zipf exponent swept from 0
+//! (uniform — worst case for memoization) upward; reports the projection
+//! collapse factor and the memoized/non-memoized speedup, which should
+//! rise together.
+
+use adatm_bench::{banner, iters, per_iter, rank, run_cpals, scale, Table};
+use adatm_core::DtreeBackend;
+use adatm_tensor::gen::zipf_tensor;
+use adatm_tensor::stats::collapse_factor;
+
+fn main() {
+    banner("E11", "memoization gain vs index overlap (Zipf skew sweep)");
+    let (r, it) = (rank(), iters());
+    let nnz = ((800_000.0 * scale()) as usize).max(20_000);
+    let dims = vec![50_000usize; 4];
+    let mut table = Table::new(&[
+        "skew", "nnz", "collapse(0,1)", "tree2-s/iter", "bdt-s/iter", "bdt-speedup",
+    ]);
+    for skew in [0.0f64, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5] {
+        let t = zipf_tensor(&dims, nnz, &[skew; 4], 101);
+        let cf = collapse_factor(&t, &[0, 1]);
+        let mut flat = DtreeBackend::two_level(&t, r);
+        let mut bdt = DtreeBackend::balanced_binary(&t, r);
+        let flat_t = per_iter(&run_cpals(&t, &mut flat, r, it)).as_secs_f64();
+        let bdt_t = per_iter(&run_cpals(&t, &mut bdt, r, it)).as_secs_f64();
+        table.row(&[
+            format!("{skew:.2}"),
+            t.nnz().to_string(),
+            format!("{cf:.2}"),
+            format!("{flat_t:.4}"),
+            format!("{bdt_t:.4}"),
+            format!("{:.2}x", flat_t / bdt_t),
+        ]);
+    }
+    table.print();
+    table.print_tsv();
+}

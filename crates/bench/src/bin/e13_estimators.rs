@@ -1,0 +1,79 @@
+//! E13 — intermediate-size estimator accuracy and cost (supplementary;
+//! part of the paper's model-accuracy story: the planner is only as good
+//! as its distinct-count estimates, and they must be much cheaper than
+//! the symbolic work they predict).
+//!
+//! For every contiguous half-split and every mode pair of each dataset,
+//! compares the sampled and analytic estimators against the exact count;
+//! reports max/mean relative error and the wall time per evaluation.
+
+use adatm_bench::{banner, scale, standard_suite, time_once, Table};
+use adatm_model::estimate::{estimate, NnzEstimator};
+use adatm_tensor::SparseTensor;
+
+fn subsets(ndim: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    // All mode pairs plus the two half-splits.
+    for a in 0..ndim {
+        for b in (a + 1)..ndim {
+            out.push(vec![a, b]);
+        }
+    }
+    out.push((0..ndim / 2).collect());
+    out.push((ndim / 2..ndim).collect());
+    out
+}
+
+fn eval(t: &SparseTensor, how: NnzEstimator) -> (f64, f64, f64) {
+    let mut max_err = 0.0f64;
+    let mut sum_err = 0.0f64;
+    let mut total_time = 0.0f64;
+    let sets = subsets(t.ndim());
+    for modes in &sets {
+        let exact = estimate(t, modes, NnzEstimator::Exact);
+        let mut est = 0.0;
+        total_time += time_once(|| {
+            est = estimate(t, modes, how);
+        })
+        .as_secs_f64();
+        let rel = (est - exact).abs() / exact.max(1.0);
+        max_err = max_err.max(rel);
+        sum_err += rel;
+    }
+    (max_err, sum_err / sets.len() as f64, total_time / sets.len() as f64)
+}
+
+fn main() {
+    banner("E13", "distinct-count estimator accuracy vs exact");
+    let suite = standard_suite(scale());
+    let mut table = Table::new(&[
+        "tensor",
+        "sampled max-err",
+        "sampled mean-err",
+        "sampled s/eval",
+        "analytic max-err",
+        "analytic mean-err",
+        "exact s/eval",
+    ]);
+    for d in suite.iter().filter(|d| d.tensor.ndim() <= 8) {
+        let t = &d.tensor;
+        let (smax, smean, stime) = eval(t, NnzEstimator::default());
+        let (amax, amean, _) = eval(t, NnzEstimator::Analytic);
+        // Exact cost for reference.
+        let etime = time_once(|| {
+            let _ = estimate(t, &[0, 1], NnzEstimator::Exact);
+        })
+        .as_secs_f64();
+        table.row(&[
+            d.name.clone(),
+            format!("{:.1}%", smax * 100.0),
+            format!("{:.1}%", smean * 100.0),
+            format!("{stime:.4}"),
+            format!("{:.1}%", amax * 100.0),
+            format!("{:.1}%", amean * 100.0),
+            format!("{etime:.4}"),
+        ]);
+    }
+    table.print();
+    table.print_tsv();
+}

@@ -1,0 +1,51 @@
+//! E14 — memory-budgeted planning (supplementary; the flops/memory
+//! trade-off curve of the strategy space).
+//!
+//! Sweeps the resident-memory budget and reports, for each budget, the
+//! planner's chosen strategy, its predicted flops, and its predicted
+//! resident bytes: tightening the budget should trade monotonically more
+//! flops for less memory until only the flat tree fits.
+
+use adatm_bench::{banner, mib_f, rank, scale, standard_suite, Table};
+use adatm_model::{NnzEstimator, Objective, Planner};
+
+fn main() {
+    banner("E14", "memory-budgeted strategy selection");
+    let suite = standard_suite(scale());
+    let r = rank();
+    let mut table = Table::new(&[
+        "tensor", "budget-MiB", "chosen", "pred-flops/iter", "pred-resident-MiB", "fits",
+    ]);
+    for d in suite.iter().filter(|d| d.tensor.ndim() >= 4 && d.tensor.ndim() <= 8) {
+        let t = &d.tensor;
+        // Use the pure flop objective so the unbudgeted plan is the most
+        // memoization-hungry strategy — the trade-off curve is then
+        // visible as the budget tightens. (The traffic-aware default
+        // already prefers near-minimal-memory trees on 4-mode proxies,
+        // which would make this sweep flat.)
+        let free = Planner::new(t, r)
+            .estimator(NnzEstimator::default())
+            .objective(Objective::Flops)
+            .plan();
+        let anchor = free.predicted.resident_bytes();
+        for frac in [2.0, 1.0, 0.75, 0.5, 0.25] {
+            let budget = (anchor * frac) as usize;
+            let plan = Planner::new(t, r)
+                .estimator(NnzEstimator::default())
+                .objective(Objective::Flops)
+                .memory_budget(budget)
+                .plan();
+            let fits = plan.predicted.resident_bytes() <= budget as f64;
+            table.row(&[
+                d.name.clone(),
+                mib_f(budget as f64),
+                plan.shape.to_string(),
+                format!("{:.3e}", plan.predicted.flops_per_iter),
+                mib_f(plan.predicted.resident_bytes()),
+                fits.to_string(),
+            ]);
+        }
+    }
+    table.print();
+    table.print_tsv();
+}

@@ -1,0 +1,36 @@
+//! E1 — dataset characteristics table (paper analogue: "Table 1",
+//! real-world tensors used in the experiments).
+//!
+//! Prints order, dims, nnz, density, and the half-split projection
+//! collapse factors that drive memoization payoff.
+
+use adatm_bench::{banner, scale, standard_suite, Table};
+use adatm_tensor::stats::TensorStats;
+
+fn main() {
+    banner("E1", "dataset characteristics (proxy suite)");
+    let suite = standard_suite(scale());
+    let mut table = Table::new(&[
+        "tensor", "order", "dims", "nnz", "density", "collapse(lo|hi)", "proxy for",
+    ]);
+    for d in &suite {
+        let s = TensorStats::compute(&d.tensor);
+        let dims = s
+            .dims
+            .iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join("x");
+        table.row(&[
+            d.name.clone(),
+            s.order.to_string(),
+            dims,
+            s.nnz.to_string(),
+            format!("{:.2e}", s.density),
+            format!("{:.2}|{:.2}", s.half_split_collapse.0, s.half_split_collapse.1),
+            d.proxy_for.clone(),
+        ]);
+    }
+    table.print();
+    table.print_tsv();
+}

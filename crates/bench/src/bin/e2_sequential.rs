@@ -1,0 +1,48 @@
+//! E2 — sequential CP-ALS time per iteration (paper analogue: the
+//! sequential comparison table — state-of-the-art baseline vs memoized
+//! variants, single thread).
+//!
+//! Columns report seconds per iteration for the non-memoized baselines
+//! (`coo`, `splatt-csf`, `tree2`) and the memoized strategies (`tree3`,
+//! `bdt`, `adaptive`), plus the speedup of the best memoized strategy
+//! over `splatt-csf`.
+
+use adatm_bench::{
+    banner, iters, per_iter, rank, run_cpals, scale, secs, standard_suite, with_threads, Table,
+};
+use adatm_core::all_backends;
+
+fn main() {
+    banner("E2", "sequential per-iteration CP-ALS time (1 thread)");
+    let suite = standard_suite(scale());
+    let (r, it) = (rank(), iters());
+    let mut table = Table::new(&[
+        "tensor", "coo", "splatt-csf", "tree2", "tree3", "bdt", "adaptive", "best/splatt",
+    ]);
+    with_threads(1, || {
+        for d in &suite {
+            let mut cells = vec![d.name.clone()];
+            let mut times = Vec::new();
+            for mut b in all_backends(&d.tensor, r) {
+                let res = run_cpals(&d.tensor, &mut b, r, it);
+                let t = per_iter(&res);
+                times.push((b.name(), t));
+                cells.push(secs(t));
+            }
+            let splatt = times
+                .iter()
+                .find(|(n, _)| *n == "splatt-csf")
+                .map(|(_, t)| t.as_secs_f64())
+                .unwrap_or(f64::NAN);
+            let best_memo = times
+                .iter()
+                .filter(|(n, _)| matches!(*n, "tree3" | "bdt" | "adaptive"))
+                .map(|(_, t)| t.as_secs_f64())
+                .fold(f64::INFINITY, f64::min);
+            cells.push(format!("{:.2}x", splatt / best_memo));
+            table.row(&cells);
+        }
+    });
+    table.print();
+    table.print_tsv();
+}

@@ -1,0 +1,42 @@
+//! E3 — shared-memory parallel CP-ALS time per iteration (paper analogue:
+//! the multicore comparison table, all cores).
+//!
+//! Same layout as E2 but using the full rayon pool.
+
+use adatm_bench::{
+    banner, iters, per_iter, rank, run_cpals, scale, secs, standard_suite, Table,
+};
+use adatm_core::all_backends;
+
+fn main() {
+    banner("E3", "parallel per-iteration CP-ALS time (all threads)");
+    let suite = standard_suite(scale());
+    let (r, it) = (rank(), iters());
+    let mut table = Table::new(&[
+        "tensor", "coo", "splatt-csf", "tree2", "tree3", "bdt", "adaptive", "best/splatt",
+    ]);
+    for d in &suite {
+        let mut cells = vec![d.name.clone()];
+        let mut times = Vec::new();
+        for mut b in all_backends(&d.tensor, r) {
+            let res = run_cpals(&d.tensor, &mut b, r, it);
+            let t = per_iter(&res);
+            times.push((b.name(), t));
+            cells.push(secs(t));
+        }
+        let splatt = times
+            .iter()
+            .find(|(n, _)| *n == "splatt-csf")
+            .map(|(_, t)| t.as_secs_f64())
+            .unwrap_or(f64::NAN);
+        let best_memo = times
+            .iter()
+            .filter(|(n, _)| matches!(*n, "tree3" | "bdt" | "adaptive"))
+            .map(|(_, t)| t.as_secs_f64())
+            .fold(f64::INFINITY, f64::min);
+        cells.push(format!("{:.2}x", splatt / best_memo));
+        table.row(&cells);
+    }
+    table.print();
+    table.print_tsv();
+}

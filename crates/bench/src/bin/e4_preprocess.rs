@@ -1,0 +1,50 @@
+//! E4 — preprocessing (symbolic / structure-construction) cost (paper
+//! analogue: the preprocessing-time table).
+//!
+//! Times the one-time structure builds: COO sorted views, CSF forests
+//! (all modes), and dimension-tree symbolic analysis for each shape. The
+//! evaluation point is that symbolic cost is amortized over many CP-ALS
+//! iterations and restarts.
+
+use adatm_bench::{banner, rank, scale, secs, standard_suite, time_once, Table};
+use adatm_core::{AdaptiveBackend, CooBackend, CsfBackend, DtreeBackend};
+
+fn main() {
+    banner("E4", "one-time preprocessing cost (seconds, single build)");
+    let suite = standard_suite(scale());
+    let r = rank();
+    let mut table =
+        Table::new(&["tensor", "coo-views", "splatt-csf", "tree2", "tree3", "bdt", "adaptive(+plan)"]);
+    for d in &suite {
+        let t = &d.tensor;
+        let coo = time_once(|| {
+            std::hint::black_box(CooBackend::new(t));
+        });
+        let csf = time_once(|| {
+            std::hint::black_box(CsfBackend::new(t));
+        });
+        let tree2 = time_once(|| {
+            std::hint::black_box(DtreeBackend::two_level(t, r));
+        });
+        let tree3 = time_once(|| {
+            std::hint::black_box(DtreeBackend::three_level(t, r));
+        });
+        let bdt = time_once(|| {
+            std::hint::black_box(DtreeBackend::balanced_binary(t, r));
+        });
+        let adaptive = time_once(|| {
+            std::hint::black_box(AdaptiveBackend::plan(t, r));
+        });
+        table.row(&[
+            d.name.clone(),
+            secs(coo),
+            secs(csf),
+            secs(tree2),
+            secs(tree3),
+            secs(bdt),
+            secs(adaptive),
+        ]);
+    }
+    table.print();
+    table.print_tsv();
+}

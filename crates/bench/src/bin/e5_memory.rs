@@ -1,0 +1,59 @@
+//! E5 — memory usage (paper analogue: the memory table — index storage
+//! per method and value-matrix storage for memoizing methods).
+//!
+//! Reports, in MiB: the COO tensor itself, factor matrices, each
+//! backend's index structures, and (for dimension trees) the measured
+//! peak of live intermediate value matrices over one CP-ALS iteration —
+//! the `O(log N)` path bound in action.
+
+use adatm_bench::{banner, iters, mib, rank, run_cpals, scale, standard_suite, Table};
+use adatm_core::{AdaptiveBackend, CooBackend, CsfBackend, DtreeBackend, MttkrpBackend};
+
+fn main() {
+    banner("E5", "memory usage (MiB)");
+    let suite = standard_suite(scale());
+    let (r, it) = (rank(), iters().max(1));
+    let mut table = Table::new(&[
+        "tensor",
+        "coo-data",
+        "factors",
+        "csf-index",
+        "tree2-idx",
+        "tree3-idx",
+        "bdt-idx",
+        "tree3-val(peak)",
+        "bdt-val(peak)",
+        "adaptive-val(peak)",
+        "bdt-live-nodes(peak)",
+    ]);
+    for d in &suite {
+        let t = &d.tensor;
+        let factor_bytes: usize = t.dims().iter().map(|&n| n * r * 8).sum();
+        let coo = CooBackend::new(t);
+        let _ = &coo;
+        let csf = CsfBackend::new(t);
+        let tree2 = DtreeBackend::two_level(t, r);
+        let mut tree3 = DtreeBackend::three_level(t, r);
+        let mut bdt = DtreeBackend::balanced_binary(t, r);
+        let mut adaptive = AdaptiveBackend::plan(t, r);
+        // One measured iteration populates the peak value-memory counters.
+        let _ = run_cpals(t, &mut tree3, r, it);
+        let _ = run_cpals(t, &mut bdt, r, it);
+        let _ = run_cpals(t, &mut adaptive, r, it);
+        table.row(&[
+            d.name.clone(),
+            mib(t.storage_bytes()),
+            mib(factor_bytes),
+            mib(csf.structure_bytes()),
+            mib(tree2.structure_bytes()),
+            mib(tree3.structure_bytes()),
+            mib(bdt.structure_bytes()),
+            mib(tree3.engine().mem().peak_value_bytes),
+            mib(bdt.engine().mem().peak_value_bytes),
+            mib(adaptive.engine().mem().peak_value_bytes),
+            bdt.engine().mem().peak_live_nodes.to_string(),
+        ]);
+    }
+    table.print();
+    table.print_tsv();
+}

@@ -1,0 +1,41 @@
+//! E6 — speedup vs tensor order (paper analogue: the higher-order scaling
+//! figure — the memoization advantage growing with `N`).
+//!
+//! Uniform random tensors with fixed nnz and increasing order; reports
+//! per-iteration time for each backend and the memoized/non-memoized
+//! speedup, whose theoretical envelope is `(N-1)/log2(N)` to `N/2`.
+
+use adatm_bench::{
+    banner, iters, order_sweep_suite, per_iter, rank, run_cpals, scale, secs, Table,
+};
+use adatm_core::all_backends;
+
+fn main() {
+    banner("E6", "per-iteration time vs tensor order (uniform random)");
+    let orders = [3usize, 4, 6, 8, 12, 16];
+    let suite = order_sweep_suite(scale(), &orders);
+    let (r, it) = (rank(), iters());
+    let mut table = Table::new(&[
+        "order", "nnz", "coo", "splatt-csf", "tree2", "tree3", "bdt", "adaptive",
+        "bdt/splatt", "theory-min",
+    ]);
+    for (d, &order) in suite.iter().zip(orders.iter()) {
+        let mut cells = vec![order.to_string(), d.tensor.nnz().to_string()];
+        let mut times = Vec::new();
+        for mut b in all_backends(&d.tensor, r) {
+            let res = run_cpals(&d.tensor, &mut b, r, it);
+            let t = per_iter(&res);
+            times.push((b.name(), t.as_secs_f64()));
+            cells.push(secs(t));
+        }
+        let get = |name: &str| times.iter().find(|(n, _)| *n == name).map(|(_, t)| *t).unwrap();
+        cells.push(format!("{:.2}x", get("splatt-csf") / get("bdt")));
+        cells.push(format!(
+            "{:.2}x",
+            (order as f64 - 1.0) / (order as f64).log2()
+        ));
+        table.row(&cells);
+    }
+    table.print();
+    table.print_tsv();
+}

@@ -1,0 +1,54 @@
+//! E7 — thread strong-scaling (paper analogue: the multicore scalability
+//! figure).
+//!
+//! Per-iteration time for 1, 2, 4, ... threads on two representative
+//! tensors (a skewed 4-mode proxy and a uniform 8-mode tensor), for the
+//! SPLATT-style baseline and the balanced-binary dimension tree; reports
+//! each method's self-relative speedup.
+
+use adatm_bench::{
+    banner, iters, materialize, per_iter, rank, run_cpals, scale, secs, with_threads, Table,
+};
+use adatm_core::{CsfBackend, DtreeBackend};
+use adatm_tensor::gen::{proxy_datasets, random_nd};
+
+fn main() {
+    banner("E7", "strong scaling over threads");
+    let max_threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut threads = vec![1usize];
+    while *threads.last().unwrap() * 2 <= max_threads {
+        threads.push(threads.last().unwrap() * 2);
+    }
+    let (r, it) = (rank(), iters());
+    let datasets = vec![
+        materialize(&proxy_datasets(scale())[0]), // deli4d
+        materialize(&random_nd(8, scale())),
+    ];
+    let mut table = Table::new(&[
+        "tensor", "threads", "splatt-csf", "bdt", "splatt-speedup", "bdt-speedup",
+    ]);
+    for d in &datasets {
+        let mut base: Option<(f64, f64)> = None;
+        for &p in &threads {
+            let (csf_t, bdt_t) = with_threads(p, || {
+                let mut csf = CsfBackend::new(&d.tensor);
+                let mut bdt = DtreeBackend::balanced_binary(&d.tensor, r);
+                let a = per_iter(&run_cpals(&d.tensor, &mut csf, r, it)).as_secs_f64();
+                let b = per_iter(&run_cpals(&d.tensor, &mut bdt, r, it)).as_secs_f64();
+                (a, b)
+            });
+            let (b0, b1) = *base.get_or_insert((csf_t, bdt_t));
+            table.row(&[
+                d.name.clone(),
+                p.to_string(),
+                format!("{csf_t:.4}"),
+                format!("{bdt_t:.4}"),
+                format!("{:.2}x", b0 / csf_t),
+                format!("{:.2}x", b1 / bdt_t),
+            ]);
+        }
+    }
+    table.print();
+    table.print_tsv();
+    let _ = secs(std::time::Duration::ZERO);
+}

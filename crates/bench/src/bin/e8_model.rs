@@ -1,0 +1,76 @@
+//! E8 — model accuracy and strategy-selection quality (the paper's
+//! headline figure: predicted cost vs measured time across the strategy
+//! space, and how close the model-chosen strategy lands to the oracle).
+//!
+//! For each dataset: every candidate the planner evaluates is *executed*
+//! (one timed CP-ALS run per candidate shape); we report
+//!
+//! * the Spearman rank correlation between predicted flops and measured
+//!   MTTKRP time,
+//! * the chosen strategy's slowdown relative to the measured-best
+//!   (oracle) candidate,
+//! * the exactness of the flop model itself against the engine's
+//!   counters (with the exact estimator the two must agree to rounding).
+
+use adatm_bench::{banner, iters, rank, run_cpals, scale, spearman, standard_suite, Table};
+use adatm_core::DtreeBackend;
+use adatm_dtree::EngineOptions;
+use adatm_model::{NnzEstimator, Planner};
+
+fn main() {
+    banner("E8", "model accuracy: predicted cost vs measured time");
+    let suite = standard_suite(scale());
+    let (r, it) = (rank(), iters());
+    let mut table = Table::new(&[
+        "tensor",
+        "candidates",
+        "spearman(pred,time)",
+        "chosen-vs-oracle",
+        "flop-model-err(exact est)",
+        "chosen",
+    ]);
+    for d in suite.iter().filter(|d| d.tensor.ndim() <= 8) {
+        let t = &d.tensor;
+        // Plan with the default (sampled) estimator: what production uses.
+        let plan = Planner::new(t, r).plan();
+        // A second plan with the exact estimator gives the reference
+        // predictions for the flop-model exactness check.
+        let exact_plan = Planner::new(t, r).estimator(NnzEstimator::Exact).plan();
+        let mut preds = Vec::new();
+        let mut times = Vec::new();
+        let mut flop_errs: Vec<f64> = Vec::new();
+        let mut chosen_time = f64::NAN;
+        for c in &plan.candidates {
+            let mut backend =
+                DtreeBackend::with_options(t, &c.shape, r, EngineOptions::default(), "cand");
+            let res = run_cpals(t, &mut backend, r, it);
+            let measured = res.timings.mttkrp.as_secs_f64() / it as f64;
+            // The predictor is the planner's actual objective: flops plus
+            // traffic-weighted bytes.
+            preds.push(c.cost.cost_units(1.0));
+            times.push(measured);
+            if c.shape == plan.shape {
+                chosen_time = measured;
+            }
+            if let Some(exact_c) = exact_plan.candidates.iter().find(|e| e.shape == c.shape) {
+                let counted = backend.engine().ops().flops as f64 / it as f64;
+                if counted > 0.0 {
+                    flop_errs.push((exact_c.cost.flops_per_iter - counted).abs() / counted);
+                }
+            }
+        }
+        let oracle = times.iter().copied().fold(f64::INFINITY, f64::min);
+        let rho = spearman(&preds, &times);
+        let max_err = flop_errs.iter().copied().fold(0.0, f64::max);
+        table.row(&[
+            d.name.clone(),
+            plan.candidates.len().to_string(),
+            format!("{rho:.3}"),
+            format!("{:.2}x", chosen_time / oracle),
+            format!("{:.1}%", max_err * 100.0),
+            plan.shape.to_string(),
+        ]);
+    }
+    table.print();
+    table.print_tsv();
+}

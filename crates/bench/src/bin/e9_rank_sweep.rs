@@ -1,0 +1,33 @@
+//! E9 — rank sweep (paper analogue: time-vs-rank figure).
+//!
+//! Per-iteration time as the decomposition rank grows, on one skewed
+//! 4-mode proxy. Memoized methods amortize index traffic across all `R`
+//! columns (thick TTMV), so their advantage persists across ranks.
+
+use adatm_bench::{banner, iters, materialize, per_iter, run_cpals, scale, secs, Table};
+use adatm_core::all_backends;
+use adatm_tensor::gen::proxy_datasets;
+
+fn main() {
+    banner("E9", "per-iteration time vs rank");
+    let d = materialize(&proxy_datasets(scale())[0]); // deli4d
+    let it = iters();
+    let mut table = Table::new(&[
+        "rank", "coo", "splatt-csf", "tree2", "tree3", "bdt", "adaptive", "bdt/splatt",
+    ]);
+    for r in [4usize, 8, 16, 32, 64] {
+        let mut cells = vec![r.to_string()];
+        let mut times = Vec::new();
+        for mut b in all_backends(&d.tensor, r) {
+            let res = run_cpals(&d.tensor, &mut b, r, it);
+            let t = per_iter(&res);
+            times.push((b.name(), t.as_secs_f64()));
+            cells.push(secs(t));
+        }
+        let get = |name: &str| times.iter().find(|(n, _)| *n == name).map(|(_, t)| *t).unwrap();
+        cells.push(format!("{:.2}x", get("splatt-csf") / get("bdt")));
+        table.row(&cells);
+    }
+    table.print();
+    table.print_tsv();
+}

@@ -1,0 +1,483 @@
+//! MTTKRP backends: the engines CP-ALS alternates over.
+//!
+//! Each backend owns whatever preprocessed representation it needs (sorted
+//! views, CSF forests, dimension-tree symbolic structure) and produces the
+//! mode-`n` MTTKRP on demand. The [`MttkrpBackend::begin_mode`] hook
+//! exists for memoizing backends: the dimension-tree protocol must
+//! invalidate stale intermediates before each subiteration.
+
+use adatm_dtree::{DtreeEngine, EngineOptions, TreeShape};
+use adatm_linalg::Mat;
+use adatm_model::{MemoPlan, NnzEstimator, Planner};
+use adatm_tensor::csf::CsfSet;
+use adatm_tensor::mttkrp::{mttkrp_par, mttkrp_seq_into};
+use adatm_tensor::{SortedModeView, SparseTensor};
+
+/// An engine that computes MTTKRPs for CP-ALS.
+pub trait MttkrpBackend {
+    /// Called at the start of the subiteration that will update
+    /// `U^(mode)`, *before* [`MttkrpBackend::mttkrp_into`]. Memoizing
+    /// backends invalidate intermediates that involve `U^(mode)` here.
+    fn begin_mode(&mut self, mode: usize) {
+        let _ = mode;
+    }
+
+    /// Computes the mode-`mode` MTTKRP of `tensor` with the current
+    /// `factors` into `out` (an `I_mode x R` matrix, overwritten).
+    fn mttkrp_into(
+        &mut self,
+        tensor: &SparseTensor,
+        factors: &[Mat],
+        mode: usize,
+        out: &mut Mat,
+    );
+
+    /// Invalidates all cached numeric state (call after re-initializing
+    /// factors outside the ALS protocol).
+    fn reset(&mut self) {}
+
+    /// The order in which CP-ALS subiterations should visit the modes.
+    ///
+    /// Non-memoizing backends are order-indifferent (natural order).
+    /// Dimension-tree backends return their tree's left-to-right leaf
+    /// sequence: visiting modes in that order is what guarantees every
+    /// memoized node is computed exactly once per iteration (a subtree's
+    /// leaves are contiguous in it, so a node stays valid precisely while
+    /// the iteration works inside its subtree).
+    fn mode_order(&self, ndim: usize) -> Vec<usize> {
+        (0..ndim).collect()
+    }
+
+    /// Short label for experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Bytes of preprocessed structure held by the backend (index
+    /// structures; excludes transient value matrices).
+    fn structure_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// Element-wise COO MTTKRP (Tensor-Toolbox class): `N-1` row Hadamard
+/// products per nonzero per mode, no memoization, no auxiliary structure
+/// beyond per-mode sorted views for parallelism.
+pub struct CooBackend {
+    views: Vec<SortedModeView>,
+    parallel: bool,
+}
+
+impl CooBackend {
+    /// Builds sorted views for every mode.
+    pub fn new(tensor: &SparseTensor) -> Self {
+        Self::with_parallel(tensor, true)
+    }
+
+    /// [`CooBackend::new`] with explicit parallelism.
+    pub fn with_parallel(tensor: &SparseTensor, parallel: bool) -> Self {
+        let views = (0..tensor.ndim()).map(|m| SortedModeView::build(tensor, m)).collect();
+        CooBackend { views, parallel }
+    }
+}
+
+impl MttkrpBackend for CooBackend {
+    fn mttkrp_into(
+        &mut self,
+        tensor: &SparseTensor,
+        factors: &[Mat],
+        mode: usize,
+        out: &mut Mat,
+    ) {
+        if self.parallel {
+            let m = mttkrp_par(tensor, factors, mode, &self.views[mode]);
+            out.as_mut_slice().copy_from_slice(m.as_slice());
+        } else {
+            mttkrp_seq_into(tensor, factors, mode, out);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "coo"
+    }
+
+    fn structure_bytes(&self) -> usize {
+        // One u32 permutation per mode plus group boundaries (~nnz each).
+        self.views.iter().map(|v| (v.num_groups() + 1) * 8).sum::<usize>()
+    }
+}
+
+/// SPLATT-style CSF backend: one fiber forest per mode, fiber-level reuse
+/// of partial Hadamard products, no cross-mode memoization. The
+/// state-of-the-art non-memoized baseline.
+pub struct CsfBackend {
+    set: CsfSet,
+    parallel: bool,
+}
+
+impl CsfBackend {
+    /// Builds all `N` CSF representations.
+    pub fn new(tensor: &SparseTensor) -> Self {
+        Self::with_parallel(tensor, true)
+    }
+
+    /// [`CsfBackend::new`] with explicit parallelism.
+    pub fn with_parallel(tensor: &SparseTensor, parallel: bool) -> Self {
+        CsfBackend { set: CsfSet::all_modes(tensor), parallel }
+    }
+}
+
+impl MttkrpBackend for CsfBackend {
+    fn mttkrp_into(
+        &mut self,
+        _tensor: &SparseTensor,
+        factors: &[Mat],
+        mode: usize,
+        out: &mut Mat,
+    ) {
+        let csf = self.set.for_mode(mode);
+        let m = if self.parallel {
+            csf.mttkrp_root_par(factors)
+        } else {
+            csf.mttkrp_root(factors)
+        };
+        out.as_mut_slice().copy_from_slice(m.as_slice());
+    }
+
+    fn name(&self) -> &'static str {
+        "splatt-csf"
+    }
+
+    fn structure_bytes(&self) -> usize {
+        self.set.storage_bytes()
+    }
+}
+
+/// Dimension-tree memoizing backend with a fixed shape.
+pub struct DtreeBackend {
+    engine: DtreeEngine,
+    label: &'static str,
+}
+
+impl DtreeBackend {
+    /// Builds the engine for an arbitrary shape.
+    pub fn new(tensor: &SparseTensor, shape: &TreeShape, rank: usize) -> Self {
+        Self::with_options(tensor, shape, rank, EngineOptions::default(), "dtree")
+    }
+
+    /// Flat 2-level tree (index-compressed, non-memoizing — the
+    /// `ht-tree2` reference point).
+    pub fn two_level(tensor: &SparseTensor, rank: usize) -> Self {
+        let shape = TreeShape::two_level(tensor.ndim());
+        Self::with_options(tensor, &shape, rank, EngineOptions::default(), "tree2")
+    }
+
+    /// 3-level tree (one memoized split — Phan et al.'s scheme).
+    pub fn three_level(tensor: &SparseTensor, rank: usize) -> Self {
+        let shape = TreeShape::three_level(tensor.ndim());
+        Self::with_options(tensor, &shape, rank, EngineOptions::default(), "tree3")
+    }
+
+    /// Balanced binary dimension tree.
+    pub fn balanced_binary(tensor: &SparseTensor, rank: usize) -> Self {
+        let shape = TreeShape::balanced_binary(tensor.ndim());
+        Self::with_options(tensor, &shape, rank, EngineOptions::default(), "bdt")
+    }
+
+    /// Fully explicit construction.
+    pub fn with_options(
+        tensor: &SparseTensor,
+        shape: &TreeShape,
+        rank: usize,
+        opts: EngineOptions,
+        label: &'static str,
+    ) -> Self {
+        DtreeBackend { engine: DtreeEngine::with_options(tensor, shape, rank, opts), label }
+    }
+
+    /// The underlying engine (counters, memory stats).
+    pub fn engine(&self) -> &DtreeEngine {
+        &self.engine
+    }
+}
+
+impl MttkrpBackend for DtreeBackend {
+    fn begin_mode(&mut self, mode: usize) {
+        self.engine.invalidate_mode(mode);
+    }
+
+    fn mode_order(&self, ndim: usize) -> Vec<usize> {
+        let order = self.engine.tree().shape().modes();
+        debug_assert_eq!(order.len(), ndim);
+        order
+    }
+
+    fn mttkrp_into(
+        &mut self,
+        tensor: &SparseTensor,
+        factors: &[Mat],
+        mode: usize,
+        out: &mut Mat,
+    ) {
+        self.engine.mttkrp_into(tensor, factors, mode, out);
+    }
+
+    fn reset(&mut self) {
+        self.engine.invalidate_all();
+    }
+
+    fn name(&self) -> &'static str {
+        self.label
+    }
+
+    fn structure_bytes(&self) -> usize {
+        self.engine.symbolic().index_bytes()
+    }
+}
+
+/// The model-driven backend: plans the memoization strategy with the cost
+/// model, then runs the dimension-tree engine on the chosen shape. This is
+/// the system the paper proposes.
+pub struct AdaptiveBackend {
+    inner: DtreeBackend,
+    plan: MemoPlan,
+}
+
+impl AdaptiveBackend {
+    /// Plans with default estimator/search and builds the engine.
+    pub fn plan(tensor: &SparseTensor, rank: usize) -> Self {
+        Self::from_planner(tensor, rank, Planner::new(tensor, rank))
+    }
+
+    /// Plans with an explicit estimator.
+    pub fn plan_with_estimator(
+        tensor: &SparseTensor,
+        rank: usize,
+        estimator: NnzEstimator,
+    ) -> Self {
+        Self::from_planner(tensor, rank, Planner::new(tensor, rank).estimator(estimator))
+    }
+
+    /// Plans with a memory budget on resident structures.
+    pub fn plan_with_budget(tensor: &SparseTensor, rank: usize, budget_bytes: usize) -> Self {
+        Self::from_planner(
+            tensor,
+            rank,
+            Planner::new(tensor, rank).memory_budget(budget_bytes),
+        )
+    }
+
+    /// Runs an explicitly configured planner and builds the engine.
+    pub fn from_planner(tensor: &SparseTensor, rank: usize, planner: Planner<'_>) -> Self {
+        let plan = planner.plan();
+        let inner = DtreeBackend::with_options(
+            tensor,
+            &plan.shape,
+            rank,
+            EngineOptions::default(),
+            "adaptive",
+        );
+        AdaptiveBackend { inner, plan }
+    }
+
+    /// The plan (chosen shape, predictions, alternatives).
+    pub fn memo_plan(&self) -> &MemoPlan {
+        &self.plan
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &DtreeEngine {
+        self.inner.engine()
+    }
+}
+
+impl MttkrpBackend for AdaptiveBackend {
+    fn begin_mode(&mut self, mode: usize) {
+        self.inner.begin_mode(mode);
+    }
+
+    fn mode_order(&self, ndim: usize) -> Vec<usize> {
+        self.inner.mode_order(ndim)
+    }
+
+    fn mttkrp_into(
+        &mut self,
+        tensor: &SparseTensor,
+        factors: &[Mat],
+        mode: usize,
+        out: &mut Mat,
+    ) {
+        self.inner.mttkrp_into(tensor, factors, mode, out);
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn structure_bytes(&self) -> usize {
+        self.inner.structure_bytes()
+    }
+}
+
+impl<B: MttkrpBackend + ?Sized> MttkrpBackend for Box<B> {
+    fn begin_mode(&mut self, mode: usize) {
+        (**self).begin_mode(mode);
+    }
+
+    fn mode_order(&self, ndim: usize) -> Vec<usize> {
+        (**self).mode_order(ndim)
+    }
+
+    fn mttkrp_into(
+        &mut self,
+        tensor: &SparseTensor,
+        factors: &[Mat],
+        mode: usize,
+        out: &mut Mat,
+    ) {
+        (**self).mttkrp_into(tensor, factors, mode, out);
+    }
+
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn structure_bytes(&self) -> usize {
+        (**self).structure_bytes()
+    }
+}
+
+/// Builds one of every backend under a common label, for harnesses that
+/// sweep backends.
+pub fn all_backends(tensor: &SparseTensor, rank: usize) -> Vec<Box<dyn MttkrpBackend>> {
+    vec![
+        Box::new(CooBackend::new(tensor)),
+        Box::new(CsfBackend::new(tensor)),
+        Box::new(DtreeBackend::two_level(tensor, rank)),
+        Box::new(DtreeBackend::three_level(tensor, rank)),
+        Box::new(DtreeBackend::balanced_binary(tensor, rank)),
+        Box::new(AdaptiveBackend::plan(tensor, rank)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adatm_tensor::gen::zipf_tensor;
+    use adatm_tensor::mttkrp::mttkrp_seq;
+
+    fn factors_for(t: &SparseTensor, rank: usize, seed: u64) -> Vec<Mat> {
+        t.dims()
+            .iter()
+            .enumerate()
+            .map(|(d, &n)| Mat::random(n, rank, seed + d as u64))
+            .collect()
+    }
+
+    #[test]
+    fn every_backend_matches_reference_mttkrp() {
+        let t = zipf_tensor(&[18, 22, 15, 20], 700, &[0.6; 4], 42);
+        let factors = factors_for(&t, 4, 9);
+        for mut b in all_backends(&t, 4) {
+            for mode in 0..4 {
+                b.begin_mode(mode);
+                let mut out = Mat::zeros(t.dims()[mode], 4);
+                b.mttkrp_into(&t, &factors, mode, &mut out);
+                let want = mttkrp_seq(&t, &factors, mode);
+                assert!(
+                    out.max_abs_diff(&want) < 1e-10,
+                    "backend {} mode {mode}",
+                    b.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_plan_is_exposed() {
+        let t = zipf_tensor(&[20, 20, 20, 20], 500, &[0.8; 4], 1);
+        let b = AdaptiveBackend::plan(&t, 8);
+        let plan = b.memo_plan();
+        assert!(!plan.candidates.is_empty());
+        plan.shape.validate();
+        assert!(plan.predicted.flops_per_iter > 0.0);
+    }
+
+    #[test]
+    fn backends_report_structure_bytes() {
+        let t = zipf_tensor(&[30, 30, 30], 1_000, &[0.4; 3], 2);
+        for b in all_backends(&t, 4) {
+            // COO's auxiliary views are small; CSF and trees are not.
+            if b.name() != "coo" {
+                assert!(b.structure_bytes() > 0, "{}", b.name());
+            }
+        }
+    }
+
+    #[test]
+    fn tree_backends_report_leaf_mode_order() {
+        let t = zipf_tensor(&[10, 12, 14, 16], 200, &[0.4; 4], 7);
+        // Natural-leaf trees report the natural order.
+        for b in [
+            DtreeBackend::two_level(&t, 2),
+            DtreeBackend::three_level(&t, 2),
+            DtreeBackend::balanced_binary(&t, 2),
+        ] {
+            assert_eq!(b.mode_order(4), vec![0, 1, 2, 3], "{}", b.name());
+        }
+        // A custom shape reports its own leaf sequence.
+        let shape: adatm_dtree::TreeShape = "((2 0) (3 1))".parse().unwrap();
+        let b = DtreeBackend::new(&t, &shape, 2);
+        assert_eq!(b.mode_order(4), vec![2, 0, 3, 1]);
+        // Non-memoizing backends are order-indifferent.
+        assert_eq!(CooBackend::new(&t).mode_order(4), vec![0, 1, 2, 3]);
+        assert_eq!(CsfBackend::new(&t).mode_order(4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn custom_shape_backend_stays_correct_under_its_own_order() {
+        let t = zipf_tensor(&[9, 11, 13, 7], 250, &[0.5; 4], 9);
+        let shape: adatm_dtree::TreeShape = "((3 1) (0 2))".parse().unwrap();
+        let mut b = DtreeBackend::new(&t, &shape, 3);
+        let factors = factors_for(&t, 3, 5);
+        for &mode in &b.mode_order(4) {
+            b.begin_mode(mode);
+            let mut out = Mat::zeros(t.dims()[mode], 3);
+            b.mttkrp_into(&t, &factors, mode, &mut out);
+            let want = mttkrp_seq(&t, &factors, mode);
+            assert!(out.max_abs_diff(&want) < 1e-10, "mode {mode}");
+        }
+        // Under the leaf order, every non-root node computed exactly once
+        // per sweep (steady state): warm sweep then count.
+        let calls0 = b.engine().ops().ttmv_calls;
+        for &mode in &b.mode_order(4) {
+            b.begin_mode(mode);
+            let mut out = Mat::zeros(t.dims()[mode], 3);
+            b.mttkrp_into(&t, &factors, mode, &mut out);
+        }
+        assert_eq!(b.engine().ops().ttmv_calls - calls0, 6);
+    }
+
+    #[test]
+    fn reset_clears_memoized_state_and_stays_correct() {
+        let t = zipf_tensor(&[12, 14, 16, 10], 300, &[0.5; 4], 3);
+        let mut b = DtreeBackend::balanced_binary(&t, 3);
+        let f1 = factors_for(&t, 3, 10);
+        let mut out = Mat::zeros(t.dims()[0], 3);
+        b.begin_mode(0);
+        b.mttkrp_into(&t, &f1, 0, &mut out);
+        // Entirely new factors outside the protocol: reset, then verify.
+        let f2 = factors_for(&t, 3, 999);
+        b.reset();
+        b.begin_mode(0);
+        b.mttkrp_into(&t, &f2, 0, &mut out);
+        let want = mttkrp_seq(&t, &f2, 0);
+        assert!(out.max_abs_diff(&want) < 1e-10);
+    }
+}

@@ -1,0 +1,386 @@
+//! The CP-ALS driver.
+//!
+//! One iteration performs, for each mode `n`:
+//!
+//! 1. `backend.begin_mode(n)` (memoization invalidation),
+//! 2. `M^(n) <- MTTKRP(X, factors, n)` via the backend,
+//! 3. `H^(n) <- hadamard_{i != n} W^(i)` with `W^(i) = U^(i)^T U^(i)`
+//!    cached and updated incrementally,
+//! 4. `U^(n) <- M^(n) pinv(H^(n))`,
+//! 5. column-normalize `U^(n)` into `lambda` (2-norm on the first
+//!    iteration, max-norm afterwards — the standard practice that keeps
+//!    factors well-scaled without re-shrinking converged columns),
+//! 6. `W^(n) <- U^(n)^T U^(n)`.
+//!
+//! The fit `1 - ||X - M|| / ||X||` is computed per iteration at `O(I_N R
+//! + R²)` extra cost using the last subiteration's MTTKRP result — no
+//! extra pass over the tensor.
+
+use crate::backend::MttkrpBackend;
+use crate::init::{init_factors, InitStrategy};
+use crate::model::CpModel;
+use adatm_linalg::{pinv::solve_gram, Mat};
+use adatm_tensor::SparseTensor;
+use std::time::{Duration, Instant};
+
+/// Options for a CP-ALS run.
+#[derive(Clone, Debug)]
+pub struct CpAlsOptions {
+    /// Decomposition rank `R`.
+    pub rank: usize,
+    /// Maximum number of outer iterations.
+    pub max_iters: usize,
+    /// Convergence tolerance on the change in fit between iterations.
+    pub tol: f64,
+    /// Seed for the random factor initialization.
+    pub seed: u64,
+    /// Factor initialization strategy.
+    pub init: InitStrategy,
+}
+
+impl CpAlsOptions {
+    /// Defaults: 50 iterations, tolerance `1e-5`, seed 0, random init.
+    pub fn new(rank: usize) -> Self {
+        assert!(rank > 0, "rank must be positive");
+        CpAlsOptions { rank, max_iters: 50, tol: 1e-5, seed: 0, init: InitStrategy::Random }
+    }
+
+    /// Sets the iteration cap.
+    pub fn max_iters(mut self, iters: usize) -> Self {
+        self.max_iters = iters;
+        self
+    }
+
+    /// Sets the fit-change convergence tolerance (0 disables early stop).
+    pub fn tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Sets the initialization seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the initialization strategy.
+    pub fn init(mut self, init: InitStrategy) -> Self {
+        self.init = init;
+        self
+    }
+}
+
+/// Wall-clock dissection of a run (experiment E10).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimings {
+    /// Time in backend MTTKRP calls.
+    pub mttkrp: Duration,
+    /// Time in dense work: Grams, Hadamards, pseudoinverse solves,
+    /// normalization.
+    pub dense: Duration,
+    /// Time computing the fit.
+    pub fit: Duration,
+}
+
+impl PhaseTimings {
+    /// Total measured time.
+    pub fn total(&self) -> Duration {
+        self.mttkrp + self.dense + self.fit
+    }
+}
+
+/// Result of a CP-ALS run.
+#[derive(Clone, Debug)]
+pub struct CpResult {
+    /// The decomposition.
+    pub model: CpModel,
+    /// Number of completed iterations.
+    pub iters: usize,
+    /// Fit after each iteration.
+    pub fit_history: Vec<f64>,
+    /// Whether the tolerance stop fired (vs. hitting `max_iters`).
+    pub converged: bool,
+    /// Phase timings over the whole run.
+    pub timings: PhaseTimings,
+}
+
+impl CpResult {
+    /// Fit after the final iteration (0 if no iterations ran).
+    pub fn final_fit(&self) -> f64 {
+        self.fit_history.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// The CP-ALS solver.
+#[derive(Clone, Debug)]
+pub struct CpAls {
+    opts: CpAlsOptions,
+}
+
+impl CpAls {
+    /// Creates a solver with the given options.
+    pub fn new(opts: CpAlsOptions) -> Self {
+        CpAls { opts }
+    }
+
+    /// Runs CP-ALS on `tensor` with `backend`, starting from a seeded
+    /// random initialization.
+    pub fn run<B: MttkrpBackend + ?Sized>(
+        &self,
+        tensor: &SparseTensor,
+        backend: &mut B,
+    ) -> CpResult {
+        let factors = init_factors(tensor, self.opts.rank, self.opts.seed, self.opts.init);
+        self.run_from(tensor, backend, factors)
+    }
+
+    /// Runs CP-ALS from explicit initial factors (each `I_n x R`).
+    ///
+    /// # Panics
+    /// Panics on factor-shape mismatches.
+    pub fn run_from<B: MttkrpBackend + ?Sized>(
+        &self,
+        tensor: &SparseTensor,
+        backend: &mut B,
+        mut factors: Vec<Mat>,
+    ) -> CpResult {
+        let n = tensor.ndim();
+        let rank = self.opts.rank;
+        assert!(n >= 2, "CP-ALS needs at least 2 modes");
+        assert_eq!(factors.len(), n, "one initial factor per mode");
+        for (d, f) in factors.iter().enumerate() {
+            assert_eq!(f.nrows(), tensor.dims()[d], "factor {d} rows mismatch");
+            assert_eq!(f.ncols(), rank, "factor {d} rank mismatch");
+        }
+        backend.reset();
+        let mut timings = PhaseTimings::default();
+        let xnorm2 = tensor.fro_norm_sq();
+        let mut lambda = vec![1.0; rank];
+        // Cached Gram matrices W^(d) = U^(d)^T U^(d).
+        let mut grams: Vec<Mat> = factors.iter().map(Mat::gram).collect();
+        let mut m_buf = Mat::zeros(0, 0);
+        let mut fit_history = Vec::new();
+        let mut converged = false;
+        let mut iters = 0;
+        // Visit modes in the backend's preferred order (for memoizing
+        // backends: the tree's leaf order, so every intermediate is
+        // computed exactly once per iteration). Any per-iteration
+        // permutation is a valid ALS sweep.
+        let order = backend.mode_order(n);
+        debug_assert!({
+            let mut o = order.clone();
+            o.sort_unstable();
+            o == (0..n).collect::<Vec<_>>()
+        });
+        let last = *order.last().expect("at least one mode");
+
+        for iter in 0..self.opts.max_iters {
+            for &mode in &order {
+                let t0 = Instant::now();
+                backend.begin_mode(mode);
+                if m_buf.nrows() != tensor.dims()[mode] || m_buf.ncols() != rank {
+                    m_buf = Mat::zeros(tensor.dims()[mode], rank);
+                }
+                backend.mttkrp_into(tensor, &factors, mode, &mut m_buf);
+                timings.mttkrp += t0.elapsed();
+
+                let t1 = Instant::now();
+                let mut h = Mat::from_vec(rank, rank, vec![1.0; rank * rank]);
+                for (d, w) in grams.iter().enumerate() {
+                    if d != mode {
+                        h.hadamard_assign(w);
+                    }
+                }
+                let mut u = solve_gram(&m_buf, &h);
+                lambda = if iter == 0 { u.normalize_cols() } else { u.normalize_cols_max() };
+                // Guard: a zero column (rank deficiency) would poison the
+                // model; re-seed it with noise so ALS can recover.
+                for (r, &l) in lambda.iter().enumerate() {
+                    if l == 0.0 {
+                        let noise =
+                            Mat::random(u.nrows(), 1, self.opts.seed ^ 0xdead ^ r as u64);
+                        for i in 0..u.nrows() {
+                            u.set(i, r, noise.get(i, 0));
+                        }
+                    }
+                }
+                grams[mode] = u.gram();
+                factors[mode] = u;
+                timings.dense += t1.elapsed();
+            }
+
+            // Efficient fit from the last subiteration: with every factor
+            // now normalized and lambda holding the last-updated mode's
+            // scales, <X, model> = sum_r lambda_r <M(:, r), U(:, r)> for
+            // that mode.
+            let t2 = Instant::now();
+            let mut inner = 0.0;
+            for (r, &l) in lambda.iter().enumerate() {
+                inner += l * m_buf.col_dot(&factors[last], r);
+            }
+            let mut g = Mat::from_vec(rank, rank, vec![1.0; rank * rank]);
+            for w in &grams {
+                g.hadamard_assign(w);
+            }
+            let mnorm2 = g.weighted_quad(&lambda, &lambda).max(0.0);
+            let resid2 = (xnorm2 - 2.0 * inner + mnorm2).max(0.0);
+            let fit = if xnorm2 > 0.0 { 1.0 - (resid2 / xnorm2).sqrt() } else { 0.0 };
+            timings.fit += t2.elapsed();
+
+            iters = iter + 1;
+            let prev = fit_history.last().copied();
+            fit_history.push(fit);
+            if let Some(p) = prev {
+                if self.opts.tol > 0.0 && (fit - p).abs() < self.opts.tol {
+                    converged = true;
+                    break;
+                }
+            }
+        }
+
+        CpResult {
+            model: CpModel { lambda, factors },
+            iters,
+            fit_history,
+            converged,
+            timings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{
+        all_backends, AdaptiveBackend, CooBackend, CsfBackend, DtreeBackend,
+    };
+    use adatm_tensor::gen::{dense_low_rank, low_rank_tensor, zipf_tensor};
+
+    #[test]
+    fn recovers_noiseless_low_rank_tensor() {
+        let truth = dense_low_rank(&[12, 14, 10], 3, 0.0, 11);
+        let mut backend = CooBackend::new(&truth.tensor);
+        let res = CpAls::new(CpAlsOptions::new(3).max_iters(60).seed(5))
+            .run(&truth.tensor, &mut backend);
+        assert!(
+            res.final_fit() > 0.99,
+            "fit {} after {} iters",
+            res.final_fit(),
+            res.iters
+        );
+    }
+
+    #[test]
+    fn fit_history_is_essentially_monotone() {
+        let truth = low_rank_tensor(&[20, 25, 15, 18], 4, 2_000, 0.05, 3);
+        let mut backend = DtreeBackend::balanced_binary(&truth.tensor, 4);
+        let res = CpAls::new(CpAlsOptions::new(4).max_iters(25).tol(0.0).seed(1))
+            .run(&truth.tensor, &mut backend);
+        assert_eq!(res.iters, 25);
+        for w in res.fit_history.windows(2) {
+            assert!(w[1] >= w[0] - 1e-6, "fit regressed: {} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn all_backends_converge_to_same_fit() {
+        let truth = low_rank_tensor(&[18, 22, 16, 14], 3, 1_500, 0.01, 8);
+        let t = &truth.tensor;
+        let opts = CpAlsOptions::new(3).max_iters(15).tol(0.0).seed(42);
+        let mut fits = Vec::new();
+        for mut b in all_backends(t, 3) {
+            let res = CpAls::new(opts.clone()).run(t, &mut b);
+            fits.push((b.name(), b.mode_order(4), res.final_fit()));
+        }
+        // Backends sharing the natural mode order must match to rounding;
+        // a backend with a permuted sweep order (the adaptive planner may
+        // reorder) takes a different but equally valid ALS trajectory.
+        let natural: Vec<usize> = (0..4).collect();
+        let baseline = fits[0].2;
+        for (name, order, fit) in &fits {
+            if *order == natural {
+                assert!(
+                    (fit - baseline).abs() < 1e-8,
+                    "{name} fit {fit} differs from {baseline}"
+                );
+            } else {
+                assert!(
+                    (fit - baseline).abs() < 0.05,
+                    "{name} (permuted order) fit {fit} far from {baseline}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reported_fit_matches_model_fit_to() {
+        let truth = low_rank_tensor(&[15, 20, 12], 2, 800, 0.1, 9);
+        let mut backend = CsfBackend::new(&truth.tensor);
+        let res = CpAls::new(CpAlsOptions::new(2).max_iters(10).tol(0.0).seed(7))
+            .run(&truth.tensor, &mut backend);
+        let direct = res.model.fit_to(&truth.tensor);
+        assert!(
+            (res.final_fit() - direct).abs() < 1e-8,
+            "loop fit {} vs direct {}",
+            res.final_fit(),
+            direct
+        );
+    }
+
+    #[test]
+    fn convergence_stop_fires() {
+        let truth = dense_low_rank(&[10, 10, 10], 2, 0.0, 2);
+        let mut backend = CooBackend::new(&truth.tensor);
+        let res = CpAls::new(CpAlsOptions::new(2).max_iters(200).tol(1e-7).seed(3))
+            .run(&truth.tensor, &mut backend);
+        assert!(res.converged, "should converge well before 200 iterations");
+        assert!(res.iters < 200);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = zipf_tensor(&[15, 18, 12], 500, &[0.5; 3], 6);
+        let opts = CpAlsOptions::new(3).max_iters(5).tol(0.0).seed(77);
+        let mut b1 = CooBackend::new(&t);
+        let mut b2 = CooBackend::with_parallel(&t, false);
+        let r1 = CpAls::new(opts.clone()).run(&t, &mut b1);
+        let r2 = CpAls::new(opts).run(&t, &mut b2);
+        // Parallel and sequential COO sum in different orders, so allow
+        // floating-point slack but require the same trajectory.
+        for (a, b) in r1.fit_history.iter().zip(r2.fit_history.iter()) {
+            assert!((a - b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn timings_cover_phases() {
+        let truth = low_rank_tensor(&[25, 25, 25], 3, 2_000, 0.0, 5);
+        let mut backend = AdaptiveBackend::plan(&truth.tensor, 3);
+        let res = CpAls::new(CpAlsOptions::new(3).max_iters(5).tol(0.0))
+            .run(&truth.tensor, &mut backend);
+        assert!(res.timings.mttkrp > Duration::ZERO);
+        assert!(res.timings.dense > Duration::ZERO);
+        assert!(res.timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn run_from_accepts_custom_init() {
+        let truth = dense_low_rank(&[12, 14, 10], 2, 0.0, 4);
+        let t = &truth.tensor;
+        let mut backend = CooBackend::new(t);
+        // Initialize at the ground truth: fit should be ~1 after one sweep.
+        let init = truth.factors.clone();
+        let res = CpAls::new(CpAlsOptions::new(2).max_iters(2).tol(0.0))
+            .run_from(t, &mut backend, init);
+        assert!(res.final_fit() > 0.999, "fit {}", res.final_fit());
+    }
+
+    #[test]
+    #[should_panic(expected = "rank mismatch")]
+    fn run_from_rejects_bad_rank() {
+        let t = zipf_tensor(&[10, 10], 50, &[0.0; 2], 1);
+        let mut backend = CooBackend::new(&t);
+        let bad = vec![Mat::zeros(10, 3), Mat::zeros(10, 3)];
+        let _ = CpAls::new(CpAlsOptions::new(2)).run_from(&t, &mut backend, bad);
+    }
+}

@@ -1,0 +1,116 @@
+//! Factor initialization strategies for CP-ALS.
+//!
+//! CP-ALS is sensitive to its starting point; two standard options are
+//! provided:
+//!
+//! * [`InitStrategy::Random`] — i.i.d. uniform entries (the default, and
+//!   what the evaluation harness uses so every backend starts
+//!   identically);
+//! * [`InitStrategy::RandomizedRange`] — the randomized range-finder: the
+//!   mode-`n` factor is initialized with an orthonormal basis of
+//!   `X_(n) * Omega` where the sketch is computed as an MTTKRP with
+//!   random factor matrices. This is the sparse-friendly analogue of the
+//!   truncated-SVD ("HOSVD") initialization the literature recommends —
+//!   it needs only one MTTKRP per mode, no dense matricization.
+
+use adatm_linalg::{thin_qr, Mat};
+use adatm_tensor::mttkrp::mttkrp_seq;
+use adatm_tensor::SparseTensor;
+
+/// How to produce the initial factor matrices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InitStrategy {
+    /// I.i.d. uniform entries in `(0, 1)`.
+    Random,
+    /// Orthonormal range of a random MTTKRP sketch per mode.
+    RandomizedRange,
+}
+
+impl Default for InitStrategy {
+    fn default() -> Self {
+        InitStrategy::Random
+    }
+}
+
+/// Materializes initial factors for `tensor` at the given rank.
+pub fn init_factors(
+    tensor: &SparseTensor,
+    rank: usize,
+    seed: u64,
+    strategy: InitStrategy,
+) -> Vec<Mat> {
+    let random: Vec<Mat> = tensor
+        .dims()
+        .iter()
+        .enumerate()
+        .map(|(d, &n)| Mat::random(n, rank, seed ^ ((d as u64) << 32 | d as u64)))
+        .collect();
+    match strategy {
+        InitStrategy::Random => random,
+        InitStrategy::RandomizedRange => (0..tensor.ndim())
+            .map(|mode| {
+                let sketch = mttkrp_seq(tensor, &random, mode);
+                let mut q = thin_qr(&sketch).q;
+                // A mode whose sketch is rank-deficient would hand ALS
+                // zero columns; backfill them with random entries.
+                let norms = q.col_norms();
+                for (r, &nrm) in norms.iter().enumerate() {
+                    if nrm == 0.0 {
+                        let fill = Mat::random(q.nrows(), 1, seed ^ 0xfeed ^ r as u64);
+                        for i in 0..q.nrows() {
+                            q.set(i, r, fill.get(i, 0));
+                        }
+                    }
+                }
+                q
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adatm_tensor::gen::{dense_low_rank, zipf_tensor};
+
+    #[test]
+    fn random_init_shapes_and_determinism() {
+        let t = zipf_tensor(&[10, 15, 12], 200, &[0.4; 3], 5);
+        let a = init_factors(&t, 4, 9, InitStrategy::Random);
+        let b = init_factors(&t, 4, 9, InitStrategy::Random);
+        assert_eq!(a.len(), 3);
+        for (d, f) in a.iter().enumerate() {
+            assert_eq!(f.nrows(), t.dims()[d]);
+            assert_eq!(f.ncols(), 4);
+            assert_eq!(f, &b[d]);
+        }
+    }
+
+    #[test]
+    fn range_init_produces_orthonormal_columns() {
+        let t = zipf_tensor(&[30, 25, 20], 2_000, &[0.5; 3], 7);
+        let f = init_factors(&t, 5, 3, InitStrategy::RandomizedRange);
+        for (d, u) in f.iter().enumerate() {
+            let g = u.gram();
+            // Diagonal entries ~1 (orthonormal or random-backfilled).
+            for r in 0..5 {
+                assert!(g.get(r, r) > 0.0, "mode {d} col {r} empty");
+            }
+        }
+    }
+
+    #[test]
+    fn range_init_converges_on_low_rank_data() {
+        // Starting from the sketched range must reach an essentially
+        // exact fit on noiseless low-rank data (the per-iteration winner
+        // between the two inits varies instance to instance; what must
+        // hold is that the range init is a sound starting point).
+        let truth = dense_low_rank(&[12, 10, 11], 3, 0.0, 13);
+        let t = &truth.tensor;
+        let factors = init_factors(t, 3, 21, InitStrategy::RandomizedRange);
+        let mut backend = crate::CooBackend::new(t);
+        let solver = crate::CpAls::new(crate::CpAlsOptions::new(3).max_iters(60).tol(0.0));
+        let fit = solver.run_from(t, &mut backend, factors).final_fit();
+        assert!(fit > 0.99, "fit {fit}");
+    }
+}

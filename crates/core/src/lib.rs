@@ -1,0 +1,67 @@
+//! CP-ALS drivers over pluggable MTTKRP backends.
+//!
+//! This crate is the public face of the workspace: it runs the
+//! alternating-least-squares CP decomposition over any of the MTTKRP
+//! engines built below it, and wires the model-driven planner in as the
+//! default strategy selector.
+//!
+//! * [`backend`] — the [`backend::MttkrpBackend`] trait and
+//!   its implementations: element-wise COO (Tensor-Toolbox class),
+//!   SPLATT-style CSF, dimension-tree memoization (any shape), and the
+//!   model-driven adaptive backend;
+//! * [`cpals`] — the CP-ALS loop: MTTKRP, Hadamard-of-Grams normal
+//!   equations, pseudoinverse solve, column normalization, efficient fit;
+//! * [`model`] — the decomposition result type [`model::CpModel`];
+//! * [`decompose`] / [`decompose_with`] — one-call conveniences.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use adatm_core::{decompose, CpAlsOptions};
+//! use adatm_tensor::gen::dense_low_rank;
+//!
+//! let truth = dense_low_rank(&[8, 9, 7, 6], 4, 0.0, 7);
+//! let result = decompose(&truth.tensor, &CpAlsOptions::new(4).max_iters(60));
+//! assert!(result.final_fit() > 0.98); // noiseless low-rank data fits
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod completion;
+pub mod cpals;
+pub mod cpopt;
+pub mod init;
+pub mod model;
+pub mod ncp;
+pub mod tucker;
+
+pub use backend::{
+    all_backends, AdaptiveBackend, CooBackend, CsfBackend, DtreeBackend, MttkrpBackend,
+};
+pub use completion::{complete, CompletionOptions, CompletionResult};
+pub use cpals::{CpAls, CpAlsOptions, CpResult, PhaseTimings};
+pub use cpopt::{cp_opt, CpOptOptions, CpOptResult};
+pub use init::InitStrategy;
+pub use model::{factor_match_score, CpModel};
+pub use ncp::{ncp, NcpOptions, NcpResult};
+pub use tucker::{hooi, TuckerModel, TuckerOptions, TuckerResult};
+
+use adatm_tensor::SparseTensor;
+
+/// Decomposes `tensor` with the model-driven adaptive backend (plan the
+/// memoization strategy, then run CP-ALS).
+pub fn decompose(tensor: &SparseTensor, opts: &CpAlsOptions) -> CpResult {
+    let mut backend = AdaptiveBackend::plan(tensor, opts.rank);
+    CpAls::new(opts.clone()).run(tensor, &mut backend)
+}
+
+/// Decomposes `tensor` with an explicit backend.
+pub fn decompose_with<B: MttkrpBackend>(
+    tensor: &SparseTensor,
+    opts: &CpAlsOptions,
+    backend: &mut B,
+) -> CpResult {
+    CpAls::new(opts.clone()).run(tensor, backend)
+}

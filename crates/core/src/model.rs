@@ -1,0 +1,291 @@
+//! The CP decomposition result.
+
+use adatm_linalg::Mat;
+use adatm_tensor::SparseTensor;
+
+/// A rank-`R` CP model `[lambda; U^(1), ..., U^(N)]`: the tensor is
+/// approximated by `sum_r lambda_r u_r^(1) o ... o u_r^(N)` with every
+/// factor column normalized.
+#[derive(Clone, Debug)]
+pub struct CpModel {
+    /// Component weights, one per rank column.
+    pub lambda: Vec<f64>,
+    /// Factor matrices, `I_n x R` each, unit-normalized columns.
+    pub factors: Vec<Mat>,
+}
+
+impl CpModel {
+    /// Decomposition rank.
+    pub fn rank(&self) -> usize {
+        self.lambda.len()
+    }
+
+    /// Tensor order.
+    pub fn ndim(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Model value at one coordinate:
+    /// `sum_r lambda_r prod_d U^(d)(i_d, r)`.
+    pub fn predict(&self, coords: &[usize]) -> f64 {
+        assert_eq!(coords.len(), self.ndim(), "coordinate arity mismatch");
+        let mut v = 0.0;
+        for (r, &l) in self.lambda.iter().enumerate() {
+            let mut p = l;
+            for (f, &c) in self.factors.iter().zip(coords.iter()) {
+                p *= f.get(c, r);
+            }
+            v += p;
+        }
+        v
+    }
+
+    /// Frobenius norm of the model tensor, computed in `O(N R² + R²)`
+    /// from the factor Gram matrices:
+    /// `||M||² = sum_{r,s} lambda_r lambda_s prod_d W^(d)_{rs}`.
+    pub fn norm(&self) -> f64 {
+        let mut g = self.factors[0].gram();
+        for f in &self.factors[1..] {
+            g.hadamard_assign(&f.gram());
+        }
+        g.weighted_quad(&self.lambda, &self.lambda).max(0.0).sqrt()
+    }
+
+    /// Inner product `<X, M>` with a sparse tensor, by direct evaluation
+    /// at the nonzeros (`O(nnz N R)`); small-scale helper — the ALS loop
+    /// uses the cheaper MTTKRP-based formula.
+    pub fn inner_with(&self, tensor: &SparseTensor) -> f64 {
+        assert_eq!(tensor.ndim(), self.ndim());
+        let mut total = 0.0;
+        for k in 0..tensor.nnz() {
+            let coords: Vec<usize> =
+                (0..tensor.ndim()).map(|d| tensor.mode_idx(d)[k] as usize).collect();
+            total += tensor.vals()[k] * self.predict(&coords);
+        }
+        total
+    }
+
+    /// Fit against a sparse tensor: `1 - ||X - M|| / ||X||`, where the
+    /// residual norm uses the expansion
+    /// `||X - M||² = ||X||² - 2 <X, M> + ||M||²`.
+    ///
+    /// Note `X - M` is dense wherever the model is nonzero; this is the
+    /// standard CP fit, not a masked/completion fit.
+    pub fn fit_to(&self, tensor: &SparseTensor) -> f64 {
+        let xnorm2 = tensor.fro_norm_sq();
+        if xnorm2 == 0.0 {
+            return 0.0;
+        }
+        let mnorm = self.norm();
+        let resid2 = (xnorm2 - 2.0 * self.inner_with(tensor) + mnorm * mnorm).max(0.0);
+        1.0 - (resid2.sqrt() / xnorm2.sqrt())
+    }
+}
+
+/// Factor match score (congruence) between two CP models of equal rank
+/// and shape, in `[0, 1]`; `1` means identical up to component
+/// permutation and sign.
+///
+/// For each component pair `(r, s)` the congruence is the product over
+/// modes of `|cos(u_r^(d), v_s^(d))|`, weighted by the agreement of the
+/// component magnitudes `min(|a_r|,|b_s|)/max(|a_r|,|b_s|)` with
+/// `a, b` the lambda-absorbed column norms. Components are matched
+/// greedily (best pair first), the standard FMS of the tensor
+/// literature's recovery experiments.
+///
+/// # Panics
+/// Panics on rank/shape mismatch.
+pub fn factor_match_score(a: &CpModel, b: &CpModel) -> f64 {
+    assert_eq!(a.rank(), b.rank(), "models must share the rank");
+    assert_eq!(a.ndim(), b.ndim(), "models must share the order");
+    for (x, y) in a.factors.iter().zip(b.factors.iter()) {
+        assert_eq!(x.nrows(), y.nrows(), "models must share mode sizes");
+    }
+    let rank = a.rank();
+    if rank == 0 {
+        return 1.0;
+    }
+    // Per-model, per-component: overall magnitude (lambda times column
+    // norms) and unit column directions.
+    let prep = |m: &CpModel| -> (Vec<f64>, Vec<Mat>) {
+        let mut mags = m.lambda.iter().map(|l| l.abs()).collect::<Vec<_>>();
+        let mut units = Vec::with_capacity(m.ndim());
+        for f in &m.factors {
+            let mut u = f.clone();
+            let norms = u.normalize_cols();
+            for (mag, n) in mags.iter_mut().zip(norms.iter()) {
+                *mag *= n;
+            }
+            units.push(u);
+        }
+        (mags, units)
+    };
+    let (amag, aunit) = prep(a);
+    let (bmag, bunit) = prep(b);
+    // Congruence matrix.
+    let mut cong = vec![vec![0.0f64; rank]; rank];
+    #[allow(clippy::needless_range_loop)]
+    for r in 0..rank {
+        for s in 0..rank {
+            let mut prod = 1.0;
+            for (ua, ub) in aunit.iter().zip(bunit.iter()) {
+                let dot: f64 = (0..ua.nrows()).map(|i| ua.get(i, r) * ub.get(i, s)).sum();
+                prod *= dot.abs();
+            }
+            let (x, y) = (amag[r], bmag[s]);
+            let weight = if x.max(y) > 0.0 { x.min(y) / x.max(y) } else { 1.0 };
+            cong[r][s] = weight * prod;
+        }
+    }
+    // Greedy matching, best pair first.
+    let mut used_a = vec![false; rank];
+    let mut used_b = vec![false; rank];
+    let mut total = 0.0;
+    for _ in 0..rank {
+        let mut best = (0usize, 0usize, -1.0f64);
+        for r in 0..rank {
+            if used_a[r] {
+                continue;
+            }
+            for (s, &v) in cong[r].iter().enumerate() {
+                if !used_b[s] && v > best.2 {
+                    best = (r, s, v);
+                }
+            }
+        }
+        used_a[best.0] = true;
+        used_b[best.1] = true;
+        total += best.2;
+    }
+    total / rank as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adatm_tensor::DenseTensor;
+
+    fn toy_model() -> CpModel {
+        let mut u0 = Mat::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let mut u1 = Mat::from_vec(3, 2, vec![1.0, 1.0, 2.0, 0.0, 2.0, 1.0]);
+        let l0 = u0.normalize_cols();
+        let l1 = u1.normalize_cols();
+        CpModel {
+            lambda: l0.iter().zip(l1.iter()).map(|(a, b)| a * b * 3.0).collect(),
+            factors: vec![u0, u1],
+        }
+    }
+
+    #[test]
+    fn predict_matches_dense_reconstruction() {
+        let m = toy_model();
+        let dense = DenseTensor::from_cp(&m.lambda, &m.factors);
+        for i in 0..2 {
+            for j in 0..3 {
+                assert!((m.predict(&[i, j]) - dense.get(&[i, j])).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn norm_matches_dense_norm() {
+        let m = toy_model();
+        let dense = DenseTensor::from_cp(&m.lambda, &m.factors);
+        assert!((m.norm() - dense.fro_norm()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn fit_is_one_for_exact_model() {
+        let m = toy_model();
+        // Sample the model's own values into a sparse tensor.
+        let mut entries = Vec::new();
+        for i in 0..2 {
+            for j in 0..3 {
+                entries.push((vec![i, j], m.predict(&[i, j])));
+            }
+        }
+        let t = SparseTensor::from_entries(vec![2, 3], &entries);
+        assert!((m.fit_to(&t) - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn fit_decreases_with_perturbation() {
+        let m = toy_model();
+        let mut entries = Vec::new();
+        for i in 0..2 {
+            for j in 0..3 {
+                entries.push((vec![i, j], m.predict(&[i, j]) + 0.5));
+            }
+        }
+        let t = SparseTensor::from_entries(vec![2, 3], &entries);
+        assert!(m.fit_to(&t) < 1.0 - 1e-4);
+    }
+
+    #[test]
+    fn fms_is_one_for_identical_models() {
+        let m = toy_model();
+        assert!((factor_match_score(&m, &m) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fms_invariant_to_permutation_and_sign() {
+        let m = toy_model();
+        // Swap the two components and flip one column's sign in a
+        // sign-consistent way (flip in two modes keeps the model equal;
+        // FMS uses |cos| so even a single-mode flip scores 1).
+        let mut p = m.clone();
+        p.lambda.swap(0, 1);
+        for f in &mut p.factors {
+            let rows = f.nrows();
+            for i in 0..rows {
+                let (a, b) = (f.get(i, 0), f.get(i, 1));
+                f.set(i, 0, b);
+                f.set(i, 1, a);
+            }
+        }
+        for i in 0..p.factors[0].nrows() {
+            let v = -p.factors[0].get(i, 0);
+            p.factors[0].set(i, 0, v);
+        }
+        assert!((factor_match_score(&m, &p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fms_below_one_for_unrelated_models() {
+        let mk = |seed: u64| CpModel {
+            lambda: vec![1.0, 1.0, 1.0],
+            factors: vec![
+                Mat::random(30, 3, seed),
+                Mat::random(25, 3, seed + 1),
+                Mat::random(20, 3, seed + 2),
+            ],
+        };
+        let score = factor_match_score(&mk(1), &mk(100));
+        assert!(score < 0.9, "unrelated models scored {score}");
+    }
+
+    #[test]
+    fn als_recovers_ground_truth_factors() {
+        // Fit quality alone can hide factor-space errors; FMS checks the
+        // recovered components themselves.
+        use adatm_tensor::gen::dense_low_rank;
+        let truth = dense_low_rank(&[14, 12, 10], 3, 0.0, 21);
+        let mut backend = crate::CooBackend::new(&truth.tensor);
+        let res = crate::CpAls::new(crate::CpAlsOptions::new(3).max_iters(200).tol(1e-12).seed(2))
+            .run(&truth.tensor, &mut backend);
+        let truth_model = CpModel { lambda: vec![1.0; 3], factors: truth.factors.clone() };
+        let score = factor_match_score(&res.model, &truth_model);
+        assert!(score > 0.95, "FMS {score} (fit was {})", res.final_fit());
+    }
+
+    #[test]
+    fn inner_with_matches_bruteforce() {
+        let m = toy_model();
+        let t = SparseTensor::from_entries(
+            vec![2, 3],
+            &[(vec![0, 1], 2.0), (vec![1, 2], -1.0)],
+        );
+        let want = 2.0 * m.predict(&[0, 1]) - m.predict(&[1, 2]);
+        assert!((m.inner_with(&t) - want).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,279 @@
+//! Nonnegative CP decomposition by multiplicative updates.
+//!
+//! The memoized MTTKRP engines are not ALS-specific: any algorithm whose
+//! inner loop is "compute `M^(n)` for each mode in turn, then update
+//! `U^(n)`" plugs into the same backends and the same invalidation
+//! protocol. Nonnegative CP (NCP) with Lee–Seung-style multiplicative
+//! updates is the canonical second client:
+//!
+//! `U^(n) <- U^(n) .* M^(n) ./ (U^(n) H^(n) + eps)`
+//!
+//! with `M^(n)` the MTTKRP and `H^(n)` the Hadamard product of the other
+//! Gram matrices — exactly the quantities CP-ALS computes. Nonnegativity
+//! of the input tensor and the initialization is preserved by the update.
+
+use crate::backend::MttkrpBackend;
+use crate::cpals::PhaseTimings;
+use crate::model::CpModel;
+use adatm_linalg::Mat;
+use adatm_tensor::SparseTensor;
+use std::time::Instant;
+
+/// Division guard keeping the multiplicative update finite.
+const MU_EPS: f64 = 1e-12;
+
+/// Options for a nonnegative CP run.
+#[derive(Clone, Debug)]
+pub struct NcpOptions {
+    /// Decomposition rank.
+    pub rank: usize,
+    /// Maximum outer iterations.
+    pub max_iters: usize,
+    /// Convergence tolerance on the change in fit.
+    pub tol: f64,
+    /// Seed for the (nonnegative) random initialization.
+    pub seed: u64,
+}
+
+impl NcpOptions {
+    /// Defaults: 100 iterations, tolerance `1e-5`, seed 0.
+    pub fn new(rank: usize) -> Self {
+        assert!(rank > 0, "rank must be positive");
+        NcpOptions { rank, max_iters: 100, tol: 1e-5, seed: 0 }
+    }
+
+    /// Sets the iteration cap.
+    pub fn max_iters(mut self, iters: usize) -> Self {
+        self.max_iters = iters;
+        self
+    }
+
+    /// Sets the fit-change tolerance (0 disables early stop).
+    pub fn tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Sets the initialization seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Result of a nonnegative CP run.
+#[derive(Clone, Debug)]
+pub struct NcpResult {
+    /// The decomposition. `lambda` is all ones: NCP keeps scale inside
+    /// the (nonnegative, unnormalized) factors.
+    pub model: CpModel,
+    /// Completed iterations.
+    pub iters: usize,
+    /// Fit after each iteration.
+    pub fit_history: Vec<f64>,
+    /// Whether the tolerance stop fired.
+    pub converged: bool,
+    /// Phase timings.
+    pub timings: PhaseTimings,
+}
+
+impl NcpResult {
+    /// Fit after the final iteration.
+    pub fn final_fit(&self) -> f64 {
+        self.fit_history.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// Runs nonnegative CP with multiplicative updates over any MTTKRP
+/// backend.
+///
+/// # Panics
+/// Panics if the tensor contains negative values (the update rule
+/// requires `X >= 0`).
+pub fn ncp<B: MttkrpBackend + ?Sized>(
+    tensor: &SparseTensor,
+    backend: &mut B,
+    opts: &NcpOptions,
+) -> NcpResult {
+    assert!(
+        tensor.vals().iter().all(|&v| v >= 0.0),
+        "nonnegative CP requires a nonnegative tensor"
+    );
+    let n = tensor.ndim();
+    let rank = opts.rank;
+    backend.reset();
+    let mut factors: Vec<Mat> = tensor
+        .dims()
+        .iter()
+        .enumerate()
+        .map(|(d, &rows)| Mat::random(rows, rank, opts.seed ^ (0xabc + d as u64)))
+        .collect();
+    let mut grams: Vec<Mat> = factors.iter().map(Mat::gram).collect();
+    let xnorm2 = tensor.fro_norm_sq();
+    let mut timings = PhaseTimings::default();
+    let mut m_buf = Mat::zeros(0, 0);
+    let mut fit_history = Vec::new();
+    let mut converged = false;
+    let mut iters = 0;
+    let order = backend.mode_order(n);
+    let last = *order.last().expect("at least one mode");
+
+    for _iter in 0..opts.max_iters {
+        for &mode in &order {
+            let t0 = Instant::now();
+            backend.begin_mode(mode);
+            if m_buf.nrows() != tensor.dims()[mode] || m_buf.ncols() != rank {
+                m_buf = Mat::zeros(tensor.dims()[mode], rank);
+            }
+            backend.mttkrp_into(tensor, &factors, mode, &mut m_buf);
+            timings.mttkrp += t0.elapsed();
+
+            let t1 = Instant::now();
+            let mut h = Mat::from_vec(rank, rank, vec![1.0; rank * rank]);
+            for (d, w) in grams.iter().enumerate() {
+                if d != mode {
+                    h.hadamard_assign(w);
+                }
+            }
+            // U <- U .* M ./ (U H + eps), row by row.
+            let denom = factors[mode].matmul(&h);
+            let u = &mut factors[mode];
+            for i in 0..u.nrows() {
+                let mrow = m_buf.row(i);
+                let drow = denom.row(i);
+                let urow = u.row_mut(i);
+                for ((x, &m), &d) in urow.iter_mut().zip(mrow.iter()).zip(drow.iter()) {
+                    *x *= m.max(0.0) / (d + MU_EPS);
+                }
+            }
+            grams[mode] = u.gram();
+            timings.dense += t1.elapsed();
+        }
+
+        // Fit via the last-updated mode's MTTKRP (same identity as
+        // CP-ALS, with lambda = 1 and unnormalized factors).
+        let t2 = Instant::now();
+        let inner: f64 = (0..rank).map(|r| m_buf.col_dot(&factors[last], r)).sum();
+        let mut g = Mat::from_vec(rank, rank, vec![1.0; rank * rank]);
+        for w in &grams {
+            g.hadamard_assign(w);
+        }
+        let ones = vec![1.0; rank];
+        let mnorm2 = g.weighted_quad(&ones, &ones).max(0.0);
+        let resid2 = (xnorm2 - 2.0 * inner + mnorm2).max(0.0);
+        let fit = if xnorm2 > 0.0 { 1.0 - (resid2 / xnorm2).sqrt() } else { 0.0 };
+        timings.fit += t2.elapsed();
+
+        iters += 1;
+        let prev = fit_history.last().copied();
+        fit_history.push(fit);
+        if let Some(p) = prev {
+            if opts.tol > 0.0 && (fit - p).abs() < opts.tol {
+                converged = true;
+                break;
+            }
+        }
+    }
+
+    NcpResult {
+        model: CpModel { lambda: vec![1.0; rank], factors },
+        iters,
+        fit_history,
+        converged,
+        timings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{CooBackend, DtreeBackend};
+    use adatm_linalg::Mat as M;
+    use adatm_tensor::gen::zipf_tensor;
+    use adatm_tensor::SparseTensor;
+
+    /// A dense nonnegative low-rank tensor (all cells) for recovery tests.
+    fn nonneg_low_rank(dims: &[usize], rank: usize, seed: u64) -> SparseTensor {
+        let factors: Vec<M> = dims
+            .iter()
+            .enumerate()
+            .map(|(d, &n)| M::random(n, rank, seed + d as u64))
+            .collect();
+        let mut entries = Vec::new();
+        let mut coords = vec![0usize; dims.len()];
+        let cells: usize = dims.iter().product();
+        for _ in 0..cells {
+            let mut v = 0.0;
+            for r in 0..rank {
+                let mut p = 1.0;
+                for (d, f) in factors.iter().enumerate() {
+                    p *= f.get(coords[d], r);
+                }
+                v += p;
+            }
+            entries.push((coords.clone(), v));
+            for d in (0..dims.len()).rev() {
+                coords[d] += 1;
+                if coords[d] < dims[d] {
+                    break;
+                }
+                coords[d] = 0;
+            }
+        }
+        SparseTensor::from_entries(dims.to_vec(), &entries)
+    }
+
+    #[test]
+    fn ncp_fits_nonnegative_low_rank_data() {
+        let t = nonneg_low_rank(&[10, 12, 8], 3, 5);
+        let mut backend = CooBackend::new(&t);
+        let res = ncp(&t, &mut backend, &NcpOptions::new(3).max_iters(300).tol(0.0).seed(2));
+        assert!(res.final_fit() > 0.95, "fit {}", res.final_fit());
+    }
+
+    #[test]
+    fn factors_stay_nonnegative() {
+        let t = zipf_tensor(&[15, 18, 12, 10], 400, &[0.5; 4], 7);
+        let mut backend = DtreeBackend::balanced_binary(&t, 4);
+        let res = ncp(&t, &mut backend, &NcpOptions::new(4).max_iters(10).tol(0.0).seed(1));
+        for (d, f) in res.model.factors.iter().enumerate() {
+            assert!(
+                f.as_slice().iter().all(|&x| x >= 0.0 && x.is_finite()),
+                "mode {d} has negative/non-finite entries"
+            );
+        }
+    }
+
+    #[test]
+    fn fit_is_monotone_nondecreasing() {
+        // Multiplicative updates are monotone in the objective for
+        // nonnegative data.
+        let t = nonneg_low_rank(&[8, 9, 7], 2, 3);
+        let mut backend = CooBackend::new(&t);
+        let res = ncp(&t, &mut backend, &NcpOptions::new(2).max_iters(40).tol(0.0).seed(4));
+        for w in res.fit_history.windows(2) {
+            assert!(w[1] >= w[0] - 1e-8, "fit regressed: {} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_ncp_trajectory() {
+        let t = zipf_tensor(&[12, 14, 10, 8], 300, &[0.6; 4], 9);
+        let opts = NcpOptions::new(3).max_iters(8).tol(0.0).seed(11);
+        let mut coo = CooBackend::new(&t);
+        let mut bdt = DtreeBackend::balanced_binary(&t, 3);
+        let a = ncp(&t, &mut coo, &opts);
+        let b = ncp(&t, &mut bdt, &opts);
+        for (x, y) in a.fit_history.iter().zip(b.fit_history.iter()) {
+            assert!((x - y).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn ncp_rejects_negative_values() {
+        let t = SparseTensor::from_entries(vec![3, 3], &[(vec![0, 0], -1.0)]);
+        let mut backend = CooBackend::new(&t);
+        let _ = ncp(&t, &mut backend, &NcpOptions::new(2));
+    }
+}

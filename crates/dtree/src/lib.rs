@@ -1,0 +1,40 @@
+//! Dimension trees: memoized MTTKRP for sparse CP decomposition.
+//!
+//! A *dimension tree* over an `N`-mode tensor is a rooted tree whose
+//! leaves are the single modes `{1}, ..., {N}` and whose internal nodes
+//! carry mode sets partitioned by their children. Associating with each
+//! node `t` the partial tensor-times-vector products
+//! `X ×_{d ∉ µ(t)} u_r^(d)` turns the `N` MTTKRPs of one CP-ALS iteration
+//! into a traversal that computes every node **once** per iteration —
+//! `O(N log N)` tensor-times-multiple-vector products for a balanced
+//! binary tree instead of the `O(N²)` of the non-memoized schedule.
+//!
+//! The crate splits the work the way high-performance implementations do:
+//!
+//! * [`shape`] — declarative tree shapes (flat, 3-level, balanced binary,
+//!   left-deep, arbitrary) — the *strategy space* the model-driven planner
+//!   searches;
+//! * [`tree`] — the flattened, validated tree with per-node mode sets and
+//!   `delta` (modes multiplied away between parent and child);
+//! * [`symbolic`] — the one-time structural analysis: each node's distinct
+//!   index tuples and the reduction sets mapping them to parent elements;
+//! * [`numeric`] — the per-iteration vectorized TTMV kernels (all `R`
+//!   columns at once, rayon-parallel over node elements) plus the
+//!   invalidation protocol of dimension-tree CP-ALS;
+//! * [`stats`] — operation counts and live-memory accounting used by the
+//!   memory/ops experiments and to validate the planner's cost model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod numeric;
+pub mod shape;
+pub mod stats;
+pub mod symbolic;
+pub mod tree;
+
+pub use numeric::{DtreeEngine, EngineOptions};
+pub use shape::TreeShape;
+pub use stats::{MemoryStats, OpStats};
+pub use symbolic::SymbolicTree;
+pub use tree::DimTree;

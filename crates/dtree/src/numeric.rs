@@ -1,0 +1,774 @@
+//! Numeric TTMV: the per-iteration kernels of dimension-tree CP-ALS.
+//!
+//! A [`DtreeEngine`] binds a tree's symbolic structure to a rank `R` and
+//! caches, per node, the node's *value matrix* — the `|elements| x R`
+//! matrix holding all `R` partial-TTV tensors at once (they share one
+//! nonzero pattern, so the index structure is stored once and the values
+//! are updated "thick", all `R` columns per element). The engine
+//! implements the dimension-tree CP-ALS protocol:
+//!
+//! 1. at the start of subiteration `n`, [`DtreeEngine::invalidate_mode`]
+//!    destroys every node whose tensors were multiplied by `U^(n)`
+//!    (all nodes with `n ∉ µ(t)`);
+//! 2. [`DtreeEngine::mttkrp`] computes the leaf of mode `n`, reusing any
+//!    still-valid ancestors and computing missing ones from the closest
+//!    valid ancestor downward;
+//! 3. the caller updates `U^(n)` and moves on.
+//!
+//! Every node is therefore computed exactly once per iteration, and at
+//! most one root-to-leaf path of value matrices is live at any instant —
+//! the `O(log N)` memory bound of the balanced binary tree.
+
+use crate::shape::TreeShape;
+use crate::stats::{MemoryStats, OpStats};
+use crate::symbolic::SymbolicTree;
+use crate::tree::DimTree;
+use adatm_linalg::Mat;
+use adatm_tensor::coo::Idx;
+use adatm_tensor::SparseTensor;
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Elements per parallel task in the numeric kernels.
+const PAR_CHUNK: usize = 512;
+/// Minimum node size before the kernels go parallel.
+const PAR_THRESHOLD: usize = 4096;
+
+/// Tuning knobs for the numeric engine.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineOptions {
+    /// Use rayon over node elements (subiteration-level parallelism).
+    pub parallel: bool,
+    /// Vectorized "thick" updates (all `R` columns per element). `false`
+    /// selects the column-at-a-time schedule — one pass over the
+    /// reduction sets per rank column, as a non-vectorized implementation
+    /// of `R` separate TTVs would do. Exists for the E12 ablation.
+    pub thick: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions { parallel: true, thick: true }
+    }
+}
+
+/// The numeric dimension-tree engine (symbolic structure + cached value
+/// matrices + counters).
+///
+/// ```
+/// use adatm_dtree::{DtreeEngine, TreeShape};
+/// use adatm_linalg::Mat;
+/// use adatm_tensor::gen::zipf_tensor;
+///
+/// let t = zipf_tensor(&[20, 30, 25, 15], 1_000, &[0.6; 4], 7);
+/// let rank = 4;
+/// let factors: Vec<Mat> = t.dims().iter().enumerate()
+///     .map(|(d, &n)| Mat::random(n, rank, d as u64)).collect();
+/// let mut engine = DtreeEngine::new(&t, &TreeShape::balanced_binary(4), rank);
+/// // One CP-ALS-style sweep: invalidate, compute, (update factor).
+/// for mode in 0..4 {
+///     engine.invalidate_mode(mode);
+///     let m = engine.mttkrp(&t, &factors, mode);
+///     assert_eq!(m.nrows(), t.dims()[mode]);
+/// }
+/// // Every non-root node was computed exactly once: 2N - 2 TTMVs.
+/// assert_eq!(engine.ops().ttmv_calls, 6);
+/// ```
+#[derive(Debug)]
+pub struct DtreeEngine {
+    tree: DimTree,
+    /// Shared: the symbolic analysis is rank-independent, so engines for
+    /// different ranks / restarts over the same tensor and shape reuse
+    /// one structure (the amortization the papers rely on when sweeping
+    /// ranks or initializations).
+    sym: Arc<SymbolicTree>,
+    rank: usize,
+    vals: Vec<Option<Mat>>,
+    opts: EngineOptions,
+    ops: OpStats,
+    mem: MemoryStats,
+}
+
+/// Where a node's parent values come from: the tensor itself (children of
+/// the root — every one of the `R` root tensors is the input tensor, so
+/// the "row" is the scalar value broadcast) or the parent's value matrix.
+enum ParentVals<'a> {
+    Scalars(&'a [f64]),
+    Rows(&'a Mat),
+}
+
+impl DtreeEngine {
+    /// Builds the engine: lowers the shape, runs the symbolic pass, and
+    /// prepares (empty) value-matrix slots.
+    pub fn new(tensor: &SparseTensor, shape: &TreeShape, rank: usize) -> Self {
+        Self::with_options(tensor, shape, rank, EngineOptions::default())
+    }
+
+    /// [`DtreeEngine::new`] with explicit options.
+    pub fn with_options(
+        tensor: &SparseTensor,
+        shape: &TreeShape,
+        rank: usize,
+        opts: EngineOptions,
+    ) -> Self {
+        let tree = DimTree::from_shape(shape);
+        assert_eq!(tree.ndim(), tensor.ndim(), "shape covers a different order");
+        let sym = Arc::new(SymbolicTree::build(tensor, &tree));
+        Self::from_parts(tree, sym, rank, opts)
+    }
+
+    /// Builds an engine from an existing symbolic structure.
+    ///
+    /// The one-time symbolic pass is rank-independent; use this to share
+    /// it across rank sweeps and multi-start runs (clone the `Arc`).
+    ///
+    /// # Panics
+    /// Panics if `sym` was built for a different tree size or `rank == 0`.
+    pub fn from_parts(
+        tree: DimTree,
+        sym: Arc<SymbolicTree>,
+        rank: usize,
+        opts: EngineOptions,
+    ) -> Self {
+        assert!(rank > 0, "rank must be positive");
+        assert_eq!(sym.len(), tree.len(), "symbolic structure is for a different tree");
+        let n_nodes = tree.len();
+        DtreeEngine {
+            tree,
+            sym,
+            rank,
+            vals: (0..n_nodes).map(|_| None).collect(),
+            opts,
+            ops: OpStats::default(),
+            mem: MemoryStats::default(),
+        }
+    }
+
+    /// Clones the shared symbolic structure handle (cheap).
+    pub fn shared_symbolic(&self) -> Arc<SymbolicTree> {
+        Arc::clone(&self.sym)
+    }
+
+    /// The decomposition rank the engine was built for.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The lowered tree.
+    pub fn tree(&self) -> &DimTree {
+        &self.tree
+    }
+
+    /// The symbolic structure.
+    pub fn symbolic(&self) -> &SymbolicTree {
+        &self.sym
+    }
+
+    /// Operation counters (cumulative since the last reset).
+    pub fn ops(&self) -> OpStats {
+        self.ops
+    }
+
+    /// Memory counters.
+    pub fn mem(&self) -> MemoryStats {
+        self.mem
+    }
+
+    /// Resets operation counters and memory high-water marks (current
+    /// memory is preserved — it reflects live allocations).
+    pub fn reset_stats(&mut self) {
+        self.ops.reset();
+        let cur = (self.mem.current_value_bytes, self.mem.live_nodes);
+        self.mem.reset();
+        self.mem.current_value_bytes = cur.0;
+        self.mem.peak_value_bytes = cur.0;
+        self.mem.live_nodes = cur.1;
+        self.mem.peak_live_nodes = cur.1;
+    }
+
+    /// Number of nodes with live value matrices.
+    pub fn live_nodes(&self) -> usize {
+        self.vals.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// Destroys every node whose tensors involve a multiplication by
+    /// `U^(mode)` — step 1 of the dimension-tree CP-ALS protocol. Call
+    /// at the start of the subiteration that will update `U^(mode)`.
+    pub fn invalidate_mode(&mut self, mode: usize) {
+        for id in 1..self.tree.len() {
+            if self.tree.multiplied_by(id, mode) {
+                self.drop_node(id);
+            }
+        }
+    }
+
+    /// Destroys all cached value matrices. Required whenever factors
+    /// change outside the CP-ALS protocol (e.g. a fresh initialization).
+    pub fn invalidate_all(&mut self) {
+        for id in 1..self.tree.len() {
+            self.drop_node(id);
+        }
+    }
+
+    fn drop_node(&mut self, id: usize) {
+        if let Some(m) = self.vals[id].take() {
+            self.mem.free(value_bytes(&m));
+        }
+    }
+
+    /// Computes the mode-`mode` MTTKRP into a fresh `I_mode x R` matrix.
+    ///
+    /// Reuses every still-valid ancestor on the leaf's root path; the
+    /// caller is responsible for having called
+    /// [`DtreeEngine::invalidate_mode`] per the protocol (or
+    /// [`DtreeEngine::invalidate_all`] after arbitrary factor changes).
+    pub fn mttkrp(&mut self, tensor: &SparseTensor, factors: &[Mat], mode: usize) -> Mat {
+        let mut out = Mat::zeros(tensor.dims()[mode], self.rank);
+        self.mttkrp_into(tensor, factors, mode, &mut out);
+        out
+    }
+
+    /// [`DtreeEngine::mttkrp`] into a caller-provided buffer (zeroed
+    /// first).
+    pub fn mttkrp_into(
+        &mut self,
+        tensor: &SparseTensor,
+        factors: &[Mat],
+        mode: usize,
+        out: &mut Mat,
+    ) {
+        self.sym.check_tensor(tensor);
+        self.check_factors(tensor, factors);
+        assert_eq!(out.nrows(), tensor.dims()[mode], "output rows mismatch");
+        assert_eq!(out.ncols(), self.rank, "output rank mismatch");
+        let leaf = self.tree.leaf_of(mode);
+        self.ensure(leaf, tensor, factors);
+        out.fill_zero();
+        let node = self.sym.node(leaf);
+        let vals = self.vals[leaf].as_ref().expect("leaf just computed");
+        let idx = &node.idx[0];
+        for e in 0..node.len {
+            out.row_mut(idx[e] as usize).copy_from_slice(vals.row(e));
+        }
+    }
+
+    /// Borrows the computed leaf values for `mode` as `(indices, values)`
+    /// without scattering into a dense row space. `None` if the leaf is
+    /// not currently valid.
+    pub fn leaf_values(&self, mode: usize) -> Option<(&[Idx], &Mat)> {
+        let leaf = self.tree.leaf_of(mode);
+        let vals = self.vals[leaf].as_ref()?;
+        Some((&self.sym.node(leaf).idx[0], vals))
+    }
+
+    /// Makes node `id` and all its ancestors valid.
+    fn ensure(&mut self, id: usize, tensor: &SparseTensor, factors: &[Mat]) {
+        // Walk up to the closest valid ancestor, then compute downward.
+        let path = self.tree.path_to_root(id);
+        for &node in path.iter().rev() {
+            if node == 0 || self.vals[node].is_some() {
+                continue;
+            }
+            self.compute_node(node, tensor, factors);
+        }
+    }
+
+    /// Computes one node's value matrix from its (already valid) parent.
+    fn compute_node(&mut self, id: usize, tensor: &SparseTensor, factors: &[Mat]) {
+        let parent = self.tree.node(id).parent.expect("root is never computed");
+        debug_assert!(parent == 0 || self.vals[parent].is_some(), "parent must be valid");
+        let node = self.sym.node(id);
+        let delta = &self.tree.node(id).delta;
+        // Resolve each delta mode's index column on the parent's elements.
+        let delta_cols: Vec<&[Idx]> = delta
+            .iter()
+            .map(|&d| {
+                if parent == 0 {
+                    tensor.mode_idx(d)
+                } else {
+                    let pos = self
+                        .tree
+                        .node(parent)
+                        .modes
+                        .iter()
+                        .position(|&m| m == d)
+                        .expect("delta mode belongs to parent");
+                    self.sym.node(parent).idx[pos].as_slice()
+                }
+            })
+            .collect();
+        let delta_facs: Vec<&Mat> = delta.iter().map(|&d| &factors[d]).collect();
+        let parent_vals = if parent == 0 {
+            ParentVals::Scalars(tensor.vals())
+        } else {
+            ParentVals::Rows(self.vals[parent].as_ref().expect("parent valid"))
+        };
+        let mut out = Mat::zeros(node.len, self.rank);
+        if self.opts.thick && node.pmap.is_some() {
+            // Push schedule: stream the (much larger) parent sequentially
+            // and accumulate into the cache-resident child.
+            kernel_scatter(
+                &mut out,
+                self.rank,
+                node.pmap.as_deref().expect("checked"),
+                &delta_cols,
+                &delta_facs,
+                &parent_vals,
+                self.opts.parallel && self.sym.node(parent).len >= PAR_THRESHOLD,
+            );
+        } else if self.opts.thick {
+            kernel_thick(
+                &mut out,
+                self.rank,
+                &node.rptr,
+                if node.sequential { None } else { Some(&node.rperm) },
+                &delta_cols,
+                &delta_facs,
+                &parent_vals,
+                self.opts.parallel && node.len >= PAR_THRESHOLD,
+            );
+        } else {
+            kernel_colwise(
+                &mut out,
+                self.rank,
+                &node.rptr,
+                &node.rperm,
+                &delta_cols,
+                &delta_facs,
+                &parent_vals,
+                self.opts.parallel && node.len >= PAR_THRESHOLD,
+            );
+        }
+        // Exact operation accounting: every parent element is visited
+        // once, multiplied by |delta| factor rows, and added once.
+        let parent_len = self.sym.node(parent).len as u64;
+        self.ops.ttmv_calls += 1;
+        self.ops.hadamard_row_mults += parent_len * delta.len() as u64;
+        self.ops.row_adds += parent_len;
+        self.ops.flops += parent_len * (delta.len() as u64 + 1) * self.rank as u64;
+        self.mem.alloc(value_bytes(&out));
+        self.vals[id] = Some(out);
+    }
+
+    fn check_factors(&self, tensor: &SparseTensor, factors: &[Mat]) {
+        assert_eq!(factors.len(), tensor.ndim(), "one factor per mode required");
+        for (d, f) in factors.iter().enumerate() {
+            assert_eq!(f.nrows(), tensor.dims()[d], "factor {d} rows mismatch");
+            assert_eq!(f.ncols(), self.rank, "factor {d} rank mismatch");
+        }
+    }
+}
+
+fn value_bytes(m: &Mat) -> usize {
+    m.nrows() * m.ncols() * std::mem::size_of::<f64>()
+}
+
+/// The vectorized ("thick") TTMV kernel: per node element, accumulate all
+/// `R` columns at once from each parent element in the reduction set.
+///
+/// `rperm: None` selects the sequential fast path (the reduction sets are
+/// the identity partition of the parent — the first-child layout), which
+/// streams the parent's value matrix without indirection.
+#[allow(clippy::too_many_arguments)]
+fn kernel_thick(
+    out: &mut Mat,
+    rank: usize,
+    rptr: &[usize],
+    rperm: Option<&[u32]>,
+    delta_cols: &[&[Idx]],
+    delta_facs: &[&Mat],
+    parent: &ParentVals<'_>,
+    parallel: bool,
+) {
+    let accumulate = |j: usize, row: &mut [f64], scratch: &mut [f64]| {
+        match parent {
+            ParentVals::Scalars(v) => scratch.iter_mut().for_each(|s| *s = v[j]),
+            ParentVals::Rows(m) => scratch.copy_from_slice(m.row(j)),
+        }
+        for (col, fac) in delta_cols.iter().zip(delta_facs.iter()) {
+            let frow = fac.row(col[j] as usize);
+            for (s, &u) in scratch.iter_mut().zip(frow.iter()) {
+                *s *= u;
+            }
+        }
+        for (o, &s) in row.iter_mut().zip(scratch.iter()) {
+            *o += s;
+        }
+    };
+    let body = |base: usize, block: &mut [f64]| {
+        let mut scratch = vec![0.0f64; rank];
+        for (e, row) in block.chunks_mut(rank).enumerate() {
+            let i = base + e;
+            match rperm {
+                Some(perm) => {
+                    for &j in &perm[rptr[i]..rptr[i + 1]] {
+                        accumulate(j as usize, row, &mut scratch);
+                    }
+                }
+                None => {
+                    for j in rptr[i]..rptr[i + 1] {
+                        accumulate(j, row, &mut scratch);
+                    }
+                }
+            }
+        }
+    };
+    if parallel {
+        out.as_mut_slice()
+            .par_chunks_mut(rank * PAR_CHUNK)
+            .enumerate()
+            .for_each(|(ci, block)| body(ci * PAR_CHUNK, block));
+    } else {
+        body(0, out.as_mut_slice());
+    }
+}
+
+/// The push ("scatter") TTMV kernel: one sequential pass over the parent,
+/// accumulating each contribution into the child row given by the inverse
+/// reduction map. Used when the child is far smaller than the parent, so
+/// the child accumulator stays cache-resident while the parent streams.
+/// Parallelized by reducing per-chunk private accumulators.
+#[allow(clippy::too_many_arguments)]
+fn kernel_scatter(
+    out: &mut Mat,
+    rank: usize,
+    pmap: &[u32],
+    delta_cols: &[&[Idx]],
+    delta_facs: &[&Mat],
+    parent: &ParentVals<'_>,
+    parallel: bool,
+) {
+    let accumulate = |j: usize, acc: &mut [f64], scratch: &mut [f64]| {
+        match parent {
+            ParentVals::Scalars(v) => scratch.iter_mut().for_each(|s| *s = v[j]),
+            ParentVals::Rows(m) => scratch.copy_from_slice(m.row(j)),
+        }
+        for (col, fac) in delta_cols.iter().zip(delta_facs.iter()) {
+            let frow = fac.row(col[j] as usize);
+            for (s, &u) in scratch.iter_mut().zip(frow.iter()) {
+                *s *= u;
+            }
+        }
+        let e = pmap[j] as usize;
+        let row = &mut acc[e * rank..(e + 1) * rank];
+        for (o, &s) in row.iter_mut().zip(scratch.iter()) {
+            *o += s;
+        }
+    };
+    let parent_len = pmap.len();
+    if parallel {
+        const SCATTER_CHUNK: usize = 1 << 16;
+        let partial = (0..parent_len)
+            .into_par_iter()
+            .step_by(SCATTER_CHUNK)
+            .fold(
+                || vec![0.0f64; out.nrows() * rank],
+                |mut acc, start| {
+                    let mut scratch = vec![0.0f64; rank];
+                    for j in start..(start + SCATTER_CHUNK).min(parent_len) {
+                        accumulate(j, &mut acc, &mut scratch);
+                    }
+                    acc
+                },
+            )
+            .reduce(
+                || vec![0.0f64; out.nrows() * rank],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+        out.as_mut_slice().copy_from_slice(&partial);
+    } else {
+        let mut scratch = vec![0.0f64; rank];
+        // `out` is already zeroed by the caller.
+        let acc = out.as_mut_slice();
+        for j in 0..parent_len {
+            accumulate(j, acc, &mut scratch);
+        }
+    }
+}
+
+/// The column-at-a-time kernel: one full pass over the reduction sets per
+/// rank column (E12 ablation baseline; same arithmetic, `R`x the index
+/// traffic).
+#[allow(clippy::too_many_arguments)]
+fn kernel_colwise(
+    out: &mut Mat,
+    rank: usize,
+    rptr: &[usize],
+    rperm: &[u32],
+    delta_cols: &[&[Idx]],
+    delta_facs: &[&Mat],
+    parent: &ParentVals<'_>,
+    parallel: bool,
+) {
+    let body = |base: usize, block: &mut [f64]| {
+        for r in 0..rank {
+            for (e, row) in block.chunks_mut(rank).enumerate() {
+                let i = base + e;
+                let mut acc = 0.0f64;
+                for &j in &rperm[rptr[i]..rptr[i + 1]] {
+                    let j = j as usize;
+                    let mut p = match parent {
+                        ParentVals::Scalars(v) => v[j],
+                        ParentVals::Rows(m) => m.get(j, r),
+                    };
+                    for (col, fac) in delta_cols.iter().zip(delta_facs.iter()) {
+                        p *= fac.get(col[j] as usize, r);
+                    }
+                    acc += p;
+                }
+                row[r] = acc;
+            }
+        }
+    };
+    if parallel {
+        out.as_mut_slice()
+            .par_chunks_mut(rank * PAR_CHUNK)
+            .enumerate()
+            .for_each(|(ci, block)| body(ci * PAR_CHUNK, block));
+    } else {
+        body(0, out.as_mut_slice());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adatm_tensor::gen::zipf_tensor;
+    use adatm_tensor::mttkrp::mttkrp_seq;
+
+    fn factors_for(t: &SparseTensor, rank: usize, seed: u64) -> Vec<Mat> {
+        t.dims()
+            .iter()
+            .enumerate()
+            .map(|(d, &n)| Mat::random(n, rank, seed + d as u64))
+            .collect()
+    }
+
+    fn all_shapes(n: usize) -> Vec<TreeShape> {
+        vec![
+            TreeShape::two_level(n),
+            TreeShape::three_level(n),
+            TreeShape::balanced_binary(n),
+            TreeShape::left_deep(n),
+        ]
+    }
+
+    #[test]
+    fn mttkrp_matches_coo_for_every_shape_and_mode() {
+        let t = zipf_tensor(&[15, 20, 12, 18], 600, &[0.6; 4], 21);
+        let factors = factors_for(&t, 5, 100);
+        for shape in all_shapes(4) {
+            let mut eng = DtreeEngine::new(&t, &shape, 5);
+            for mode in 0..4 {
+                eng.invalidate_mode(mode);
+                let m = eng.mttkrp(&t, &factors, mode);
+                let m_ref = mttkrp_seq(&t, &factors, mode);
+                assert!(
+                    m.max_abs_diff(&m_ref) < 1e-10,
+                    "shape {shape} mode {mode} diff {}",
+                    m.max_abs_diff(&m_ref)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mttkrp_5_and_6_modes_bdt() {
+        for n in [5usize, 6] {
+            let dims: Vec<usize> = (0..n).map(|d| 8 + 3 * d).collect();
+            let t = zipf_tensor(&dims, 400, &vec![0.5; n], 31 + n as u64);
+            let factors = factors_for(&t, 3, 7);
+            let mut eng = DtreeEngine::new(&t, &TreeShape::balanced_binary(n), 3);
+            for mode in 0..n {
+                eng.invalidate_mode(mode);
+                let m = eng.mttkrp(&t, &factors, mode);
+                let m_ref = mttkrp_seq(&t, &factors, mode);
+                assert!(m.max_abs_diff(&m_ref) < 1e-10, "n {n} mode {mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn protocol_reuses_and_stays_correct_across_updates() {
+        // Full CP-ALS-like loop: invalidate mode, compute, update factor.
+        let t = zipf_tensor(&[10, 12, 14, 16], 300, &[0.4; 4], 5);
+        let mut factors = factors_for(&t, 4, 50);
+        let mut eng = DtreeEngine::new(&t, &TreeShape::balanced_binary(4), 4);
+        for iter in 0..3 {
+            for mode in 0..4 {
+                eng.invalidate_mode(mode);
+                let m = eng.mttkrp(&t, &factors, mode);
+                let m_ref = mttkrp_seq(&t, &factors, mode);
+                assert!(m.max_abs_diff(&m_ref) < 1e-10, "iter {iter} mode {mode}");
+                // Simulated factor update.
+                factors[mode] = Mat::random(t.dims()[mode], 4, 1000 + iter * 10 + mode as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn node_computed_once_per_iteration_bdt() {
+        // Theorem 2 consequence: 2N - 2 TTMV calls per iteration for a BDT
+        // (every non-root node exactly once).
+        let t = zipf_tensor(&[10, 10, 10, 10], 200, &[0.3; 4], 9);
+        let factors = factors_for(&t, 3, 60);
+        let mut eng = DtreeEngine::new(&t, &TreeShape::balanced_binary(4), 3);
+        // Warm-up iteration (first iteration computes the same count).
+        for mode in 0..4 {
+            eng.invalidate_mode(mode);
+            let _ = eng.mttkrp(&t, &factors, mode);
+        }
+        let calls_before = eng.ops().ttmv_calls;
+        for mode in 0..4 {
+            eng.invalidate_mode(mode);
+            let _ = eng.mttkrp(&t, &factors, mode);
+        }
+        assert_eq!(eng.ops().ttmv_calls - calls_before, 6, "2N-2 = 6 for N = 4");
+    }
+
+    #[test]
+    fn two_level_does_n_minus_1_ttvs_per_mode_worth() {
+        // Flat tree: each leaf is computed straight from the root with
+        // |delta| = N-1, and nothing is shared.
+        let t = zipf_tensor(&[10, 10, 10], 150, &[0.3; 3], 2);
+        let factors = factors_for(&t, 2, 3);
+        let mut eng = DtreeEngine::new(&t, &TreeShape::two_level(3), 2);
+        for mode in 0..3 {
+            eng.invalidate_mode(mode);
+            let _ = eng.mttkrp(&t, &factors, mode);
+        }
+        let ops = eng.ops();
+        assert_eq!(ops.ttmv_calls, 3);
+        assert_eq!(ops.hadamard_row_mults, 3 * t.nnz() as u64 * 2);
+    }
+
+    #[test]
+    fn live_nodes_bounded_by_tree_height() {
+        let n = 8;
+        let dims = vec![12usize; n];
+        let t = zipf_tensor(&dims, 500, &vec![0.4; n], 77);
+        let shape = TreeShape::balanced_binary(n);
+        let height = shape.height();
+        let factors = factors_for(&t, 3, 8);
+        let mut eng = DtreeEngine::new(&t, &shape, 3);
+        for _iter in 0..2 {
+            for mode in 0..n {
+                eng.invalidate_mode(mode);
+                let _ = eng.mttkrp(&t, &factors, mode);
+                assert!(
+                    eng.live_nodes() <= height,
+                    "live {} exceeds height {height} after mode {mode}",
+                    eng.live_nodes()
+                );
+            }
+        }
+        assert!(eng.mem().peak_live_nodes <= height);
+    }
+
+    #[test]
+    fn colwise_matches_thick() {
+        let t = zipf_tensor(&[14, 11, 13, 9], 350, &[0.5; 4], 13);
+        let factors = factors_for(&t, 6, 70);
+        let opts = EngineOptions { parallel: false, thick: false };
+        let mut thin = DtreeEngine::with_options(&t, &TreeShape::balanced_binary(4), 6, opts);
+        let mut thick = DtreeEngine::new(&t, &TreeShape::balanced_binary(4), 6);
+        for mode in 0..4 {
+            thin.invalidate_mode(mode);
+            thick.invalidate_mode(mode);
+            let a = thin.mttkrp(&t, &factors, mode);
+            let b = thick.mttkrp(&t, &factors, mode);
+            assert!(a.max_abs_diff(&b) < 1e-10, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_large_node() {
+        // Enough elements to cross PAR_THRESHOLD.
+        let t = zipf_tensor(&[300, 300, 300], 20_000, &[0.2; 3], 14);
+        let factors = factors_for(&t, 4, 90);
+        let seq_opts = EngineOptions { parallel: false, thick: true };
+        let mut seq = DtreeEngine::with_options(&t, &TreeShape::balanced_binary(3), 4, seq_opts);
+        let mut par = DtreeEngine::new(&t, &TreeShape::balanced_binary(3), 4);
+        for mode in 0..3 {
+            seq.invalidate_mode(mode);
+            par.invalidate_mode(mode);
+            let a = seq.mttkrp(&t, &factors, mode);
+            let b = par.mttkrp(&t, &factors, mode);
+            assert!(a.max_abs_diff(&b) < 1e-9, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn leaf_values_expose_compact_result() {
+        let t = SparseTensor::from_entries(
+            vec![6, 3],
+            &[(vec![1, 0], 2.0), (vec![4, 2], 3.0)],
+        );
+        let factors = factors_for(&t, 2, 6);
+        let mut eng = DtreeEngine::new(&t, &TreeShape::two_level(2), 2);
+        assert!(eng.leaf_values(0).is_none());
+        let m = eng.mttkrp(&t, &factors, 0);
+        let (idx, vals) = eng.leaf_values(0).expect("leaf valid after mttkrp");
+        assert_eq!(idx, &[1, 4]);
+        for (e, &i) in idx.iter().enumerate() {
+            assert_eq!(vals.row(e), m.row(i as usize));
+        }
+    }
+
+    #[test]
+    fn symbolic_structure_shared_across_ranks() {
+        // The rank-independent symbolic pass is built once and shared by
+        // engines at different ranks; both must stay correct.
+        let t = zipf_tensor(&[14, 12, 16, 10], 400, &[0.5; 4], 19);
+        let shape = TreeShape::balanced_binary(4);
+        let base = DtreeEngine::new(&t, &shape, 2);
+        let sym = base.shared_symbolic();
+        let tree = crate::tree::DimTree::from_shape(&shape);
+        let mut eng8 =
+            DtreeEngine::from_parts(tree, sym.clone(), 8, EngineOptions::default());
+        assert!(std::sync::Arc::strong_count(&sym) >= 3);
+        let factors = factors_for(&t, 8, 44);
+        for mode in 0..4 {
+            eng8.invalidate_mode(mode);
+            let m = eng8.mttkrp(&t, &factors, mode);
+            let want = mttkrp_seq(&t, &factors, mode);
+            assert!(m.max_abs_diff(&want) < 1e-10, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn invalidate_all_clears_everything() {
+        let t = zipf_tensor(&[8, 8, 8, 8], 100, &[0.3; 4], 4);
+        let factors = factors_for(&t, 2, 2);
+        let mut eng = DtreeEngine::new(&t, &TreeShape::balanced_binary(4), 2);
+        let _ = eng.mttkrp(&t, &factors, 0);
+        assert!(eng.live_nodes() > 0);
+        eng.invalidate_all();
+        assert_eq!(eng.live_nodes(), 0);
+        assert_eq!(eng.mem().current_value_bytes, 0);
+    }
+
+    #[test]
+    fn empty_tensor_mttkrp_is_zero() {
+        let t = SparseTensor::empty(vec![5, 6, 7]);
+        let factors = factors_for(&t, 3, 1);
+        let mut eng = DtreeEngine::new(&t, &TreeShape::balanced_binary(3), 3);
+        let m = eng.mttkrp(&t, &factors, 1);
+        assert_eq!(m.fro_norm(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different tensor")]
+    fn engine_rejects_foreign_tensor() {
+        let a = zipf_tensor(&[8, 8, 8], 50, &[0.0; 3], 1);
+        let b = zipf_tensor(&[8, 8, 8], 60, &[0.0; 3], 2);
+        let factors = factors_for(&b, 2, 1);
+        let mut eng = DtreeEngine::new(&a, &TreeShape::balanced_binary(3), 2);
+        let _ = eng.mttkrp(&b, &factors, 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Operation counts and live-memory accounting for the numeric engine.
+//!
+//! These counters serve two purposes: they are the measured side of the
+//! model-accuracy experiment (the planner *predicts* Hadamard work and
+//! value-matrix bytes; the engine *counts* them), and they back the
+//! memory-usage table of the evaluation.
+
+/// Cumulative operation counts of a [`DtreeEngine`](crate::DtreeEngine).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Number of node tensors computed (vectorized TTMV calls).
+    pub ttmv_calls: u64,
+    /// Row Hadamard multiplications performed, in units of length-`R` row
+    /// products (each is `R` scalar multiplies).
+    pub hadamard_row_mults: u64,
+    /// Row additions into accumulators, in units of length-`R` rows.
+    pub row_adds: u64,
+    /// Scalar fused multiply-adds, the `flops` unit of the cost model:
+    /// `R * (hadamard_row_mults + row_adds)` accumulated exactly.
+    pub flops: u64,
+}
+
+impl OpStats {
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        *self = OpStats::default();
+    }
+}
+
+/// Live value-matrix memory accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Bytes of currently allocated value matrices.
+    pub current_value_bytes: usize,
+    /// High-water mark of `current_value_bytes`.
+    pub peak_value_bytes: usize,
+    /// Number of currently allocated (valid) node value matrices.
+    pub live_nodes: usize,
+    /// High-water mark of `live_nodes`.
+    pub peak_live_nodes: usize,
+}
+
+impl MemoryStats {
+    /// Records an allocation of `bytes` for one node.
+    pub fn alloc(&mut self, bytes: usize) {
+        self.current_value_bytes += bytes;
+        self.live_nodes += 1;
+        self.peak_value_bytes = self.peak_value_bytes.max(self.current_value_bytes);
+        self.peak_live_nodes = self.peak_live_nodes.max(self.live_nodes);
+    }
+
+    /// Records the release of `bytes` for one node.
+    pub fn free(&mut self, bytes: usize) {
+        debug_assert!(self.current_value_bytes >= bytes);
+        debug_assert!(self.live_nodes > 0);
+        self.current_value_bytes = self.current_value_bytes.saturating_sub(bytes);
+        self.live_nodes -= 1;
+    }
+
+    /// Resets current values and high-water marks.
+    pub fn reset(&mut self) {
+        *self = MemoryStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_peak_tracks_high_water() {
+        let mut m = MemoryStats::default();
+        m.alloc(100);
+        m.alloc(50);
+        assert_eq!(m.current_value_bytes, 150);
+        assert_eq!(m.peak_value_bytes, 150);
+        assert_eq!(m.peak_live_nodes, 2);
+        m.free(100);
+        assert_eq!(m.current_value_bytes, 50);
+        assert_eq!(m.peak_value_bytes, 150);
+        m.alloc(30);
+        assert_eq!(m.peak_value_bytes, 150);
+        assert_eq!(m.live_nodes, 2);
+    }
+
+    #[test]
+    fn op_stats_reset() {
+        let mut s = OpStats { ttmv_calls: 3, hadamard_row_mults: 10, row_adds: 4, flops: 99 };
+        s.reset();
+        assert_eq!(s, OpStats::default());
+    }
+}

@@ -1,0 +1,226 @@
+//! Flattened, validated dimension trees.
+//!
+//! [`DimTree`] lowers a recursive [`shape::TreeShape`](crate::shape::TreeShape)
+//! into index-addressed arrays: node `0` is the root and parents precede
+//! children, which lets the symbolic and numeric passes run simple loops
+//! in topological order. Each node carries its mode set `µ(t)` and its
+//! `delta` — the modes multiplied away when computing the node from its
+//! parent (`δ(t) = µ(parent) \ µ(t)`), exactly the per-node TTV work of
+//! the dimension-tree formulation.
+
+use crate::shape::TreeShape;
+
+/// One node of a flattened dimension tree.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// The mode set `µ(t)`, ascending.
+    pub modes: Vec<usize>,
+    /// Parent node id (`None` for the root).
+    pub parent: Option<usize>,
+    /// Child node ids (empty for leaves).
+    pub children: Vec<usize>,
+    /// `µ(parent) \ µ(t)`: the modes whose factor rows are multiplied in
+    /// when this node's tensors are computed from the parent's. Empty for
+    /// the root.
+    pub delta: Vec<usize>,
+}
+
+impl Node {
+    /// Whether this node is a leaf (single mode, no children).
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// A flattened dimension tree over modes `0..ndim`.
+#[derive(Clone, Debug)]
+pub struct DimTree {
+    nodes: Vec<Node>,
+    /// `leaf_of[m]` is the node id of the leaf carrying mode `m`.
+    leaf_of: Vec<usize>,
+    shape: TreeShape,
+}
+
+impl DimTree {
+    /// Lowers and validates a shape.
+    ///
+    /// # Panics
+    /// Panics if the shape does not cover modes `0..n` exactly once.
+    pub fn from_shape(shape: &TreeShape) -> Self {
+        let ndim = shape.validate();
+        let mut nodes: Vec<Node> = Vec::with_capacity(shape.node_count());
+        Self::lower(shape, None, &mut nodes);
+        let mut leaf_of = vec![usize::MAX; ndim];
+        for (id, node) in nodes.iter().enumerate() {
+            if node.is_leaf() {
+                leaf_of[node.modes[0]] = id;
+            }
+        }
+        debug_assert!(leaf_of.iter().all(|&l| l != usize::MAX));
+        DimTree { nodes, leaf_of, shape: shape.clone() }
+    }
+
+    fn lower(shape: &TreeShape, parent: Option<usize>, nodes: &mut Vec<Node>) -> usize {
+        let id = nodes.len();
+        let mut modes = shape.modes();
+        modes.sort_unstable();
+        nodes.push(Node { modes, parent, children: Vec::new(), delta: Vec::new() });
+        if let TreeShape::Internal(children) = shape {
+            for child in children {
+                let cid = Self::lower(child, Some(id), nodes);
+                nodes[id].children.push(cid);
+            }
+        }
+        // delta = parent's modes minus ours (parent already fully lowered
+        // *before* us in terms of its mode set, which is set at push time).
+        if let Some(p) = parent {
+            let pmodes = nodes[p].modes.clone();
+            let own = &nodes[id].modes;
+            nodes[id].delta = pmodes.into_iter().filter(|m| !own.contains(m)).collect();
+        }
+        id
+    }
+
+    /// Number of tensor modes covered.
+    pub fn ndim(&self) -> usize {
+        self.leaf_of.len()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty (never true for a validated tree).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Borrows node `id`.
+    pub fn node(&self, id: usize) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// All nodes, root first, parents before children.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The leaf node id carrying `mode`.
+    pub fn leaf_of(&self, mode: usize) -> usize {
+        self.leaf_of[mode]
+    }
+
+    /// Node ids on the path from `id` up to (and including) the root.
+    pub fn path_to_root(&self, id: usize) -> Vec<usize> {
+        let mut path = vec![id];
+        let mut cur = id;
+        while let Some(p) = self.nodes[cur].parent {
+            path.push(p);
+            cur = p;
+        }
+        path
+    }
+
+    /// The shape this tree was lowered from.
+    pub fn shape(&self) -> &TreeShape {
+        &self.shape
+    }
+
+    /// Whether mode `n` is in `µ'(t)` for node `id` — i.e. whether the
+    /// node's tensors involve a multiplication by `U^(n)` and must be
+    /// destroyed when `U^(n)` changes.
+    pub fn multiplied_by(&self, id: usize, n: usize) -> bool {
+        !self.nodes[id].modes.contains(&n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bdt4_structure() {
+        let t = DimTree::from_shape(&TreeShape::balanced_binary(4));
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.node(0).modes, vec![0, 1, 2, 3]);
+        assert!(t.node(0).parent.is_none());
+        assert!(t.node(0).delta.is_empty());
+        // Children of root: {0,1} and {2,3} with deltas the sibling sets.
+        let (c1, c2) = (t.node(0).children[0], t.node(0).children[1]);
+        assert_eq!(t.node(c1).modes, vec![0, 1]);
+        assert_eq!(t.node(c1).delta, vec![2, 3]);
+        assert_eq!(t.node(c2).modes, vec![2, 3]);
+        assert_eq!(t.node(c2).delta, vec![0, 1]);
+    }
+
+    #[test]
+    fn parents_precede_children() {
+        let t = DimTree::from_shape(&TreeShape::balanced_binary(8));
+        for (id, node) in t.nodes().iter().enumerate() {
+            if let Some(p) = node.parent {
+                assert!(p < id);
+            }
+            for &c in &node.children {
+                assert!(c > id);
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_of_maps_every_mode() {
+        for shape in [
+            TreeShape::two_level(5),
+            TreeShape::three_level(5),
+            TreeShape::balanced_binary(5),
+            TreeShape::left_deep(5),
+        ] {
+            let t = DimTree::from_shape(&shape);
+            for m in 0..5 {
+                let leaf = t.node(t.leaf_of(m));
+                assert!(leaf.is_leaf());
+                assert_eq!(leaf.modes, vec![m]);
+            }
+        }
+    }
+
+    #[test]
+    fn delta_partitions_parent_modes() {
+        let t = DimTree::from_shape(&TreeShape::balanced_binary(6));
+        for node in t.nodes().iter().skip(1) {
+            let p = node.parent.unwrap();
+            let mut merged: Vec<usize> =
+                node.modes.iter().chain(node.delta.iter()).copied().collect();
+            merged.sort_unstable();
+            assert_eq!(merged, t.node(p).modes);
+        }
+    }
+
+    #[test]
+    fn path_to_root_for_two_level() {
+        let t = DimTree::from_shape(&TreeShape::two_level(3));
+        let p = t.path_to_root(t.leaf_of(2));
+        assert_eq!(p.len(), 2);
+        assert_eq!(*p.last().unwrap(), 0);
+    }
+
+    #[test]
+    fn path_length_bounded_by_height_plus_one() {
+        let shape = TreeShape::balanced_binary(16);
+        let t = DimTree::from_shape(&shape);
+        for m in 0..16 {
+            assert!(t.path_to_root(t.leaf_of(m)).len() <= shape.height() + 1);
+        }
+    }
+
+    #[test]
+    fn multiplied_by_is_mode_complement() {
+        let t = DimTree::from_shape(&TreeShape::balanced_binary(4));
+        // Node {0,1} is multiplied by modes 2 and 3 but not 0, 1.
+        let c1 = t.node(0).children[0];
+        assert!(!t.multiplied_by(c1, 0));
+        assert!(!t.multiplied_by(c1, 1));
+        assert!(t.multiplied_by(c1, 2));
+        assert!(t.multiplied_by(c1, 3));
+    }
+}

@@ -1,0 +1,191 @@
+//! Cyclic Jacobi eigensolver for small symmetric matrices.
+//!
+//! The only eigendecomposition CP-ALS needs is of the `R x R` Hadamard
+//! product of Gram matrices, with `R` typically below 64. At that scale the
+//! classic cyclic Jacobi method is simple, numerically robust (it computes
+//! small eigenvalues with high relative accuracy, which matters because the
+//! pseudoinverse truncates them), and fast enough to be invisible next to
+//! the MTTKRP.
+
+use crate::mat::Mat;
+
+/// Result of a symmetric eigendecomposition `A = V diag(w) V^T`.
+#[derive(Clone, Debug)]
+pub struct EigH {
+    /// Eigenvalues, in the order produced by the sweep (not sorted).
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors, one per **column** of `vectors`.
+    pub vectors: Mat,
+}
+
+/// Maximum number of full Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 64;
+
+/// Computes the eigendecomposition of a symmetric matrix by cyclic Jacobi
+/// rotations.
+///
+/// Convergence is declared when the off-diagonal Frobenius norm falls below
+/// `1e-14` times the matrix Frobenius norm. Symmetry is taken on trust: only
+/// the upper triangle is read when choosing rotations.
+///
+/// # Panics
+/// Panics if `a` is not square.
+pub fn jacobi_eigh(a: &Mat) -> EigH {
+    assert_eq!(a.nrows(), a.ncols(), "jacobi_eigh requires a square matrix");
+    let n = a.nrows();
+    let mut m = a.clone();
+    let mut v = Mat::eye(n);
+    if n <= 1 {
+        return EigH { values: (0..n).map(|i| m.get(i, i)).collect(), vectors: v };
+    }
+    let total_norm = m.fro_norm().max(f64::MIN_POSITIVE);
+    let tol = 1e-14 * total_norm;
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += m.get(p, q).powi(2);
+            }
+        }
+        if (2.0 * off).sqrt() <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() <= tol / (n as f64) {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                // Stable computation of the rotation angle (Golub & Van Loan).
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the rotation J(p, q, theta): M <- J^T M J, V <- V J.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+
+    EigH { values: (0..n).map(|i| m.get(i, i)).collect(), vectors: v }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(e: &EigH) -> Mat {
+        let n = e.values.len();
+        let mut d = Mat::zeros(n, n);
+        for (i, &w) in e.values.iter().enumerate() {
+            d.set(i, i, w);
+        }
+        e.vectors.matmul(&d).matmul(&e.vectors.transpose())
+    }
+
+    fn random_sym(n: usize, seed: u64) -> Mat {
+        let a = Mat::random(n, n, seed);
+        let mut s = a.clone();
+        let at = a.transpose();
+        for i in 0..n {
+            for j in 0..n {
+                s.set(i, j, 0.5 * (a.get(i, j) + at.get(i, j)));
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let mut a = Mat::zeros(3, 3);
+        a.set(0, 0, 2.0);
+        a.set(1, 1, -1.0);
+        a.set(2, 2, 5.0);
+        let e = jacobi_eigh(&a);
+        let mut w = e.values.clone();
+        w.sort_by(f64::total_cmp);
+        assert!((w[0] + 1.0).abs() < 1e-12);
+        assert!((w[1] - 2.0).abs() < 1e-12);
+        assert!((w[2] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+        let a = Mat::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let e = jacobi_eigh(&a);
+        let mut w = e.values.clone();
+        w.sort_by(f64::total_cmp);
+        assert!((w[0] - 1.0).abs() < 1e-12);
+        assert!((w[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_and_orthonormality_random() {
+        for seed in 0..5u64 {
+            let a = random_sym(8, seed);
+            let e = jacobi_eigh(&a);
+            assert!(reconstruct(&e).max_abs_diff(&a) < 1e-10, "seed {seed}");
+            let vtv = e.vectors.transpose().matmul(&e.vectors);
+            assert!(vtv.max_abs_diff(&Mat::eye(8)) < 1e-10, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn gram_matrices_have_nonnegative_eigenvalues() {
+        let u = Mat::random(50, 6, 9);
+        let g = u.gram();
+        let e = jacobi_eigh(&g);
+        for &w in &e.values {
+            assert!(w > -1e-10, "eigenvalue {w} should be >= 0 for a Gram matrix");
+        }
+    }
+
+    #[test]
+    fn handles_1x1_and_empty() {
+        let a = Mat::from_vec(1, 1, vec![4.0]);
+        let e = jacobi_eigh(&a);
+        assert_eq!(e.values, vec![4.0]);
+        let z = Mat::zeros(0, 0);
+        let e = jacobi_eigh(&z);
+        assert!(e.values.is_empty());
+    }
+
+    #[test]
+    fn rank_deficient_matrix_has_zero_eigenvalue() {
+        // Outer product u u^T has rank 1.
+        let u = [1.0, 2.0, 3.0];
+        let mut a = Mat::zeros(3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                a.set(i, j, u[i] * u[j]);
+            }
+        }
+        let e = jacobi_eigh(&a);
+        let mut w = e.values.clone();
+        w.sort_by(f64::total_cmp);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[1].abs() < 1e-12);
+        assert!((w[2] - 14.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,34 @@
+//! Small dense linear-algebra kernels for sparse CP decomposition.
+//!
+//! CP-ALS on a rank-`R` decomposition only ever needs dense operations at
+//! two scales:
+//!
+//! * **tall-skinny**: the factor matrices `U^(n)` and MTTKRP results
+//!   `M^(n)` are `I_n x R` with `R` small (typically 8–64), and
+//! * **tiny square**: the Gram matrices `W^(n) = U^(n)^T U^(n)` and their
+//!   Hadamard products `H^(n)` are `R x R`.
+//!
+//! Rather than pulling in an external BLAS/LAPACK binding, this crate
+//! implements exactly the kernels the solver needs on a row-major [`Mat`]
+//! type: Gram products, general matrix multiply, Hadamard products, column
+//! normalization, a cyclic Jacobi symmetric eigensolver, and the
+//! Moore–Penrose pseudoinverse built on top of it. Tall-skinny kernels are
+//! parallelized with rayon; `R x R` kernels run sequentially because they
+//! are far below parallelization thresholds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eig;
+pub mod mat;
+pub mod pinv;
+pub mod qr;
+
+pub use eig::{jacobi_eigh, EigH};
+pub use mat::Mat;
+pub use pinv::{pinv_sym, solve_gram};
+pub use qr::{thin_qr, ThinQr};
+
+/// Machine-epsilon-scale tolerance used when truncating near-zero
+/// eigenvalues in pseudoinverse computations.
+pub const PINV_RCOND: f64 = 1e-12;

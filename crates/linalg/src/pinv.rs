@@ -1,0 +1,114 @@
+//! Moore–Penrose pseudoinverse of small symmetric matrices.
+//!
+//! CP-ALS solves `U^(n) H^(n) = M^(n)` where `H^(n)` is the Hadamard
+//! product of Gram matrices — symmetric positive semidefinite, and often
+//! numerically rank-deficient when factor columns become collinear during
+//! the early iterations. The standard treatment (Tensor Toolbox, SPLATT) is
+//! `U^(n) = M^(n) * pinv(H^(n))`, which this module provides via the Jacobi
+//! eigendecomposition.
+
+use crate::eig::jacobi_eigh;
+use crate::mat::Mat;
+use crate::PINV_RCOND;
+
+/// Computes the pseudoinverse of a symmetric matrix.
+///
+/// Eigenvalues with magnitude below `rcond * max|eigenvalue|` are treated
+/// as zero and excluded from the inverse, matching LAPACK `pinv` semantics.
+///
+/// # Panics
+/// Panics if `h` is not square.
+pub fn pinv_sym(h: &Mat, rcond: f64) -> Mat {
+    let e = jacobi_eigh(h);
+    let n = h.nrows();
+    let wmax = e.values.iter().fold(0.0_f64, |m, &w| m.max(w.abs()));
+    let cutoff = rcond * wmax;
+    // pinv = V diag(1/w_i or 0) V^T
+    let mut scaled = e.vectors.clone(); // columns scaled by inverse eigenvalues
+    for (j, &w) in e.values.iter().enumerate() {
+        let inv = if w.abs() > cutoff { 1.0 / w } else { 0.0 };
+        for i in 0..n {
+            let v = scaled.get(i, j) * inv;
+            scaled.set(i, j, v);
+        }
+    }
+    scaled.matmul(&e.vectors.transpose())
+}
+
+/// Solves the CP-ALS normal equations `U = M * pinv(H)` with the default
+/// truncation threshold.
+///
+/// `m` is the tall-skinny MTTKRP result (`I_n x R`), `h` the `R x R`
+/// Hadamard-of-Grams matrix. The returned matrix has the shape of `m`.
+pub fn solve_gram(m: &Mat, h: &Mat) -> Mat {
+    m.matmul(&pinv_sym(h, PINV_RCOND))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_spd(n: usize, seed: u64) -> Mat {
+        // A^T A + small diagonal shift is comfortably SPD.
+        let a = Mat::random(2 * n, n, seed);
+        let mut g = a.gram();
+        for i in 0..n {
+            let v = g.get(i, i) + 0.1;
+            g.set(i, i, v);
+        }
+        g
+    }
+
+    #[test]
+    fn pinv_of_invertible_is_inverse() {
+        for seed in 0..4u64 {
+            let h = random_spd(6, seed);
+            let p = pinv_sym(&h, PINV_RCOND);
+            let id = h.matmul(&p);
+            assert!(id.max_abs_diff(&Mat::eye(6)) < 1e-8, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn pinv_satisfies_penrose_conditions_on_singular_matrix() {
+        // Rank-1 symmetric matrix.
+        let u = [1.0, -2.0, 0.5];
+        let mut h = Mat::zeros(3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                h.set(i, j, u[i] * u[j]);
+            }
+        }
+        let p = pinv_sym(&h, PINV_RCOND);
+        // H P H = H
+        assert!(h.matmul(&p).matmul(&h).max_abs_diff(&h) < 1e-10);
+        // P H P = P
+        assert!(p.matmul(&h).matmul(&p).max_abs_diff(&p) < 1e-10);
+        // (HP)^T = HP (symmetry)
+        let hp = h.matmul(&p);
+        assert!(hp.transpose().max_abs_diff(&hp) < 1e-10);
+    }
+
+    #[test]
+    fn pinv_of_identity_is_identity() {
+        let p = pinv_sym(&Mat::eye(4), PINV_RCOND);
+        assert!(p.max_abs_diff(&Mat::eye(4)) < 1e-12);
+    }
+
+    #[test]
+    fn solve_gram_recovers_exact_solution() {
+        // If M = U_true * H, solving should return U_true (H invertible).
+        let h = random_spd(5, 11);
+        let u_true = Mat::random(40, 5, 12);
+        let m = u_true.matmul(&h);
+        let u = solve_gram(&m, &h);
+        assert!(u.max_abs_diff(&u_true) < 1e-7);
+    }
+
+    #[test]
+    fn pinv_zero_matrix_is_zero() {
+        let z = Mat::zeros(3, 3);
+        let p = pinv_sym(&z, PINV_RCOND);
+        assert!(p.max_abs_diff(&z) < 1e-15);
+    }
+}

@@ -1,0 +1,130 @@
+//! Thin QR factorization by modified Gram–Schmidt.
+//!
+//! Used by the randomized range-finder initialization of CP-ALS: the
+//! sketch `X_(n) * Omega` is a tall-skinny matrix whose orthonormal range
+//! makes a better starting factor than raw random entries. At `R <= 64`
+//! columns, modified Gram–Schmidt with one reorthogonalization pass is
+//! numerically adequate and avoids a Householder implementation.
+
+use crate::mat::Mat;
+
+/// Result of a thin QR factorization `A = Q R` with `Q` orthonormal
+/// columns (`m x k`) and `R` upper triangular (`k x k`).
+#[derive(Clone, Debug)]
+pub struct ThinQr {
+    /// Orthonormal basis of the column space (rank-deficient columns are
+    /// replaced by zeros).
+    pub q: Mat,
+    /// The triangular factor.
+    pub r: Mat,
+}
+
+/// Columns with norm below this (relative to the largest column) are
+/// treated as linearly dependent and zeroed.
+const RANK_TOL: f64 = 1e-12;
+
+/// Computes the thin QR of `a` by modified Gram–Schmidt with a second
+/// orthogonalization pass (the "twice is enough" rule).
+pub fn thin_qr(a: &Mat) -> ThinQr {
+    let (m, k) = (a.nrows(), a.ncols());
+    let mut q = a.clone();
+    let mut r = Mat::zeros(k, k);
+    let scale = a.fro_norm().max(f64::MIN_POSITIVE);
+    for j in 0..k {
+        // Two MGS passes against all previous columns.
+        for _pass in 0..2 {
+            for i in 0..j {
+                let mut dot = 0.0;
+                for row in 0..m {
+                    dot += q.get(row, i) * q.get(row, j);
+                }
+                if dot != 0.0 {
+                    let rij = r.get(i, j);
+                    r.set(i, j, rij + dot);
+                    for row in 0..m {
+                        let v = q.get(row, j) - dot * q.get(row, i);
+                        q.set(row, j, v);
+                    }
+                }
+            }
+        }
+        let mut norm = 0.0;
+        for row in 0..m {
+            norm += q.get(row, j) * q.get(row, j);
+        }
+        let norm = norm.sqrt();
+        r.set(j, j, norm);
+        if norm > RANK_TOL * scale {
+            for row in 0..m {
+                let v = q.get(row, j) / norm;
+                q.set(row, j, v);
+            }
+        } else {
+            // Dependent column: zero it so downstream code sees an honest
+            // rank deficiency instead of noise.
+            for row in 0..m {
+                q.set(row, j, 0.0);
+            }
+        }
+    }
+    ThinQr { q, r }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qr_reconstructs_input() {
+        for seed in 0..3u64 {
+            let a = Mat::random(40, 6, seed);
+            let qr = thin_qr(&a);
+            let back = qr.q.matmul(&qr.r);
+            assert!(back.max_abs_diff(&a) < 1e-10, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn q_columns_are_orthonormal() {
+        let a = Mat::random(50, 8, 9);
+        let qr = thin_qr(&a);
+        let qtq = qr.q.gram();
+        assert!(qtq.max_abs_diff(&Mat::eye(8)) < 1e-10);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Mat::random(30, 5, 4);
+        let qr = thin_qr(&a);
+        for i in 1..5 {
+            for j in 0..i {
+                assert_eq!(qr.r.get(i, j), 0.0, "({i},{j}) below diagonal");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_deficient_column_is_zeroed() {
+        // Third column = first + second.
+        let mut a = Mat::random(20, 3, 7);
+        for row in 0..20 {
+            let v = a.get(row, 0) + a.get(row, 1);
+            a.set(row, 2, v);
+        }
+        let qr = thin_qr(&a);
+        let col2_norm: f64 = (0..20).map(|r| qr.q.get(r, 2).powi(2)).sum();
+        assert!(col2_norm < 1e-20, "dependent column should be zeroed");
+        // First two columns still orthonormal.
+        for j in 0..2 {
+            let n: f64 = (0..20).map(|r| qr.q.get(r, j).powi(2)).sum();
+            assert!((n - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn identity_is_its_own_qr() {
+        let qr = thin_qr(&Mat::eye(4));
+        assert!(qr.q.max_abs_diff(&Mat::eye(4)) < 1e-12);
+        assert!(qr.r.max_abs_diff(&Mat::eye(4)) < 1e-12);
+    }
+}

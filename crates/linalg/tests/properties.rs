@@ -1,0 +1,124 @@
+//! Property-based tests of the dense kernels on random matrices.
+
+use adatm_linalg::{jacobi_eigh, pinv_sym, thin_qr, Mat, PINV_RCOND};
+use proptest::prelude::*;
+
+/// Strategy: a random matrix with bounded shape and entries.
+fn arb_mat(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Mat> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(-10.0f64..10.0, m * n)
+            .prop_map(move |data| Mat::from_vec(m, n, data))
+    })
+}
+
+/// Strategy: a random symmetric PSD matrix (`A^T A` form).
+fn arb_psd(max_n: usize) -> impl Strategy<Value = Mat> {
+    arb_mat(2 * max_n, max_n).prop_map(|a| a.gram())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gram_is_symmetric_psd(a in arb_mat(12, 6)) {
+        let g = a.gram();
+        prop_assert!(g.max_abs_diff(&g.transpose()) < 1e-10);
+        let e = jacobi_eigh(&g);
+        let scale = g.fro_norm().max(1.0);
+        for &w in &e.values {
+            prop_assert!(w > -1e-10 * scale, "negative eigenvalue {w}");
+        }
+    }
+
+    #[test]
+    fn matmul_is_associative(
+        adata in proptest::collection::vec(-3.0f64..3.0, 5 * 4),
+        bdata in proptest::collection::vec(-3.0f64..3.0, 4 * 3),
+        cdata in proptest::collection::vec(-3.0f64..3.0, 3 * 6),
+    ) {
+        let a = Mat::from_vec(5, 4, adata);
+        let b = Mat::from_vec(4, 3, bdata);
+        let c = Mat::from_vec(3, 6, cdata);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-9);
+    }
+
+    #[test]
+    fn transpose_reverses_matmul(
+        adata in proptest::collection::vec(-3.0f64..3.0, 5 * 4),
+        bdata in proptest::collection::vec(-3.0f64..3.0, 4 * 3),
+    ) {
+        let a = Mat::from_vec(5, 4, adata);
+        let b = Mat::from_vec(4, 3, bdata);
+        let ab_t = a.matmul(&b).transpose();
+        let bt_at = b.transpose().matmul(&a.transpose());
+        prop_assert!(ab_t.max_abs_diff(&bt_at) < 1e-10);
+    }
+
+    #[test]
+    fn eigh_reconstructs(a in arb_psd(6)) {
+        let e = jacobi_eigh(&a);
+        let n = a.nrows();
+        let mut d = Mat::zeros(n, n);
+        for (i, &w) in e.values.iter().enumerate() {
+            d.set(i, i, w);
+        }
+        let back = e.vectors.matmul(&d).matmul(&e.vectors.transpose());
+        let tol = 1e-8 * a.fro_norm().max(1.0);
+        prop_assert!(back.max_abs_diff(&a) < tol);
+    }
+
+    #[test]
+    fn pinv_penrose_conditions(h in arb_psd(5)) {
+        let p = pinv_sym(&h, PINV_RCOND);
+        let tol = 1e-6 * h.fro_norm().max(1.0);
+        prop_assert!(h.matmul(&p).matmul(&h).max_abs_diff(&h) < tol);
+        let ptol = 1e-6 * p.fro_norm().max(1.0);
+        prop_assert!(p.matmul(&h).matmul(&p).max_abs_diff(&p) < ptol);
+    }
+
+    #[test]
+    fn qr_reconstruction_and_orthogonality(a in arb_mat(15, 5)) {
+        let qr = thin_qr(&a);
+        let back = qr.q.matmul(&qr.r);
+        let tol = 1e-8 * a.fro_norm().max(1.0);
+        prop_assert!(back.max_abs_diff(&a) < tol);
+        // Q^T Q is the identity restricted to non-deficient columns.
+        let qtq = qr.q.gram();
+        for i in 0..qtq.nrows() {
+            for j in 0..qtq.ncols() {
+                let want = if i == j {
+                    let d = qtq.get(i, i);
+                    prop_assert!(d.abs() < 1e-8 || (d - 1.0).abs() < 1e-8);
+                    continue;
+                } else {
+                    0.0
+                };
+                prop_assert!((qtq.get(i, j) - want).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_then_rescale_round_trips(a in arb_mat(10, 4)) {
+        let mut b = a.clone();
+        let scales = b.normalize_cols();
+        // Rescale back.
+        for i in 0..b.nrows() {
+            for j in 0..b.ncols() {
+                let v = b.get(i, j) * scales[j];
+                b.set(i, j, v);
+            }
+        }
+        prop_assert!(b.max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn col_norms_match_gram_diagonal(a in arb_mat(10, 5)) {
+        let g = a.gram();
+        for (j, n) in a.col_norms().into_iter().enumerate() {
+            prop_assert!((n * n - g.get(j, j)).abs() < 1e-8);
+        }
+    }
+}

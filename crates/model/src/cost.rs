@@ -1,0 +1,236 @@
+//! The analytic cost model for memoization strategies.
+//!
+//! Given estimated element counts for every node of a candidate dimension
+//! tree, the model predicts, per CP-ALS iteration:
+//!
+//! * **flops** — each non-root node is computed exactly once per
+//!   iteration (the dimension-tree invariant); computing node `t` from its
+//!   parent costs `elems(parent) * (|δ(t)| + 1) * R` fused multiply-adds
+//!   (one row Hadamard per delta mode plus the accumulate);
+//! * **peak value memory** — under the invalidation protocol at most one
+//!   root-to-leaf path of value matrices is live, so the peak is the
+//!   maximum over modes of the path sum of `elems(t) * R * 8` bytes;
+//! * **index memory** — the one-time symbolic storage (`idx`, `rptr`,
+//!   `rperm` arrays exactly as the engine lays them out);
+//! * **symbolic cost** — comparison count of the one-time sorts,
+//!   `sum elems(parent) * log2(elems(parent))`.
+//!
+//! These formulas mirror the engine's counters one-to-one, which is what
+//! the model-accuracy experiment (E8) verifies.
+
+use crate::estimate::EstimatorCache;
+use adatm_dtree::{DimTree, TreeShape};
+
+/// Predicted costs of one memoization strategy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostBreakdown {
+    /// Fused multiply-adds per CP-ALS iteration across all node TTMVs.
+    pub flops_per_iter: f64,
+    /// Bytes of value-matrix stream traffic per iteration: every node's
+    /// write plus one read of the source node per child computed from it.
+    /// MTTKRP is memory-bound, so this term — not flops — often decides
+    /// between strategies with similar operation counts (a balanced tree
+    /// materializes ~2N intermediates; a 3-level tree only 2).
+    pub traffic_bytes_per_iter: f64,
+    /// Peak bytes of live value matrices under the protocol.
+    pub peak_value_bytes: f64,
+    /// Bytes of symbolic index structures (one-time, resident).
+    pub index_bytes: f64,
+    /// One-time symbolic sort cost (comparison count).
+    pub symbolic_cost: f64,
+    /// Number of memoized intermediate tensors (internal non-root nodes).
+    pub memo_count: usize,
+    /// TTMV (node computations) per iteration.
+    pub ttmv_calls: usize,
+}
+
+impl CostBreakdown {
+    /// Total resident memory prediction: index structures plus peak
+    /// values. This is what a memory budget constrains.
+    pub fn resident_bytes(&self) -> f64 {
+        self.index_bytes + self.peak_value_bytes
+    }
+
+    /// The scalar objective the planner ranks strategies by:
+    /// `flops + beta * traffic_bytes`, with `beta` the machine's
+    /// flops-per-byte trade (see [`crate::plan::Objective`]).
+    pub fn cost_units(&self, beta: f64) -> f64 {
+        self.flops_per_iter + beta * self.traffic_bytes_per_iter
+    }
+}
+
+/// Bytes per stored value (f64).
+const VAL_BYTES: f64 = 8.0;
+/// Bytes per stored index (u32).
+const IDX_BYTES: f64 = 4.0;
+/// Bytes per reduction-pointer entry (usize on 64-bit).
+const PTR_BYTES: f64 = 8.0;
+
+/// Predicts the cost of executing CP-ALS with the given tree shape.
+///
+/// `cache` supplies (estimated) distinct-projection counts; `rank` is the
+/// decomposition rank.
+pub fn predict(shape: &TreeShape, rank: usize, cache: &mut EstimatorCache<'_>) -> CostBreakdown {
+    let tree = DimTree::from_shape(shape);
+    let r = rank as f64;
+    let n = tree.ndim() as f64;
+    let mut flops = 0.0;
+    let mut traffic = 0.0;
+    let mut index_bytes = 0.0;
+    let mut symbolic = 0.0;
+    let mut value_bytes: Vec<f64> = vec![0.0; tree.len()];
+    let mut memo_count = 0usize;
+    for id in 1..tree.len() {
+        let node = tree.node(id);
+        let parent = node.parent.expect("non-root");
+        let parent_elems = cache.elems(&tree.node(parent).modes);
+        let own_elems = cache.elems(&node.modes);
+        flops += parent_elems * (node.delta.len() as f64 + 1.0) * r;
+        value_bytes[id] = own_elems * r * VAL_BYTES;
+        // Stream traffic of computing this node: read the source (the
+        // tensor itself for children of the root — value plus the delta
+        // modes' index columns — or the parent's R-wide value matrix),
+        // then write our own value matrix. Factor-row reads are mostly
+        // cache-resident and are deliberately not charged.
+        let read = if parent == 0 {
+            parent_elems * (VAL_BYTES + n * IDX_BYTES)
+        } else {
+            parent_elems * r * VAL_BYTES
+        };
+        traffic += read + own_elems * r * VAL_BYTES;
+        index_bytes += own_elems * (node.modes.len() as f64 * IDX_BYTES + PTR_BYTES)
+            + parent_elems * IDX_BYTES;
+        symbolic += parent_elems * parent_elems.max(2.0).log2();
+        if !node.is_leaf() {
+            memo_count += 1;
+        }
+    }
+    // Peak live value memory: max over leaf paths (protocol invariant).
+    let mut peak = 0.0f64;
+    for m in 0..tree.ndim() {
+        let path_sum: f64 =
+            tree.path_to_root(tree.leaf_of(m)).iter().map(|&id| value_bytes[id]).sum();
+        peak = peak.max(path_sum);
+    }
+    CostBreakdown {
+        flops_per_iter: flops,
+        traffic_bytes_per_iter: traffic,
+        peak_value_bytes: peak,
+        index_bytes,
+        symbolic_cost: symbolic,
+        memo_count,
+        ttmv_calls: tree.len() - 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::NnzEstimator;
+    use adatm_tensor::gen::{uniform_tensor, zipf_tensor};
+    use adatm_tensor::SparseTensor;
+
+    fn cache(t: &SparseTensor) -> EstimatorCache<'_> {
+        EstimatorCache::new(t, NnzEstimator::Exact)
+    }
+
+    #[test]
+    fn two_level_flops_is_n_times_nnz_model() {
+        // Flat tree: every leaf computed from the root with delta N-1.
+        let t = uniform_tensor(&[40, 40, 40, 40], 2_000, 1);
+        let mut c = cache(&t);
+        let cb = predict(&TreeShape::two_level(4), 8, &mut c);
+        let expect = 4.0 * 2_000.0 * 4.0 * 8.0; // N * nnz * (N-1+1) * R
+        assert!((cb.flops_per_iter - expect).abs() < 1e-9);
+        assert_eq!(cb.memo_count, 0);
+        assert_eq!(cb.ttmv_calls, 4);
+    }
+
+    #[test]
+    fn bdt_predicts_fewer_flops_than_flat_for_higher_order() {
+        let t = uniform_tensor(&[30; 8], 5_000, 2);
+        let mut c = cache(&t);
+        let flat = predict(&TreeShape::two_level(8), 8, &mut c);
+        let bdt = predict(&TreeShape::balanced_binary(8), 8, &mut c);
+        assert!(
+            bdt.flops_per_iter < flat.flops_per_iter,
+            "bdt {} vs flat {}",
+            bdt.flops_per_iter,
+            flat.flops_per_iter
+        );
+    }
+
+    #[test]
+    fn bdt_uses_more_value_memory_than_flat() {
+        let t = uniform_tensor(&[30; 8], 5_000, 3);
+        let mut c = cache(&t);
+        let flat = predict(&TreeShape::two_level(8), 8, &mut c);
+        let bdt = predict(&TreeShape::balanced_binary(8), 8, &mut c);
+        assert!(bdt.peak_value_bytes > flat.peak_value_bytes);
+        assert!(bdt.memo_count == 6);
+    }
+
+    #[test]
+    fn skew_lowers_predicted_cost_of_memoizing_trees() {
+        let dims = [150usize; 4];
+        let flat_t = uniform_tensor(&dims, 8_000, 4);
+        let skew_t = zipf_tensor(&dims, 8_000, &[1.1; 4], 4);
+        let mut cf = cache(&flat_t);
+        let mut cs = cache(&skew_t);
+        let shape = TreeShape::balanced_binary(4);
+        let p_flat = predict(&shape, 8, &mut cf);
+        let p_skew = predict(&shape, 8, &mut cs);
+        // Same nnz, but skewed projections collapse, so the predicted
+        // leaf-level work is lower.
+        assert!(p_skew.flops_per_iter < p_flat.flops_per_iter);
+        assert!(p_skew.peak_value_bytes < p_flat.peak_value_bytes);
+    }
+
+    #[test]
+    fn breakdown_scales_linearly_in_rank() {
+        let t = uniform_tensor(&[25; 4], 1_500, 5);
+        let mut c = cache(&t);
+        let shape = TreeShape::three_level(4);
+        let r8 = predict(&shape, 8, &mut c);
+        let r16 = predict(&shape, 16, &mut c);
+        assert!((r16.flops_per_iter / r8.flops_per_iter - 2.0).abs() < 1e-12);
+        assert!((r16.peak_value_bytes / r8.peak_value_bytes - 2.0).abs() < 1e-12);
+        // Index structures do not depend on rank.
+        assert_eq!(r16.index_bytes, r8.index_bytes);
+    }
+
+    #[test]
+    fn traffic_counts_deeper_trees_higher_on_uniform_data() {
+        // No collapse: every intermediate is ~nnz elements, so each extra
+        // level of memoization adds a full write+read stream.
+        let t = uniform_tensor(&[40; 8], 4_000, 12);
+        let mut c = cache(&t);
+        let flat = predict(&TreeShape::two_level(8), 16, &mut c);
+        let tree3 = predict(&TreeShape::three_level(8), 16, &mut c);
+        let bdt = predict(&TreeShape::balanced_binary(8), 16, &mut c);
+        assert!(tree3.traffic_bytes_per_iter < bdt.traffic_bytes_per_iter);
+        // The flat tree reads the (cheap, scalar-valued) root N times but
+        // materializes only leaves; it must not exceed the BDT's traffic.
+        assert!(flat.traffic_bytes_per_iter < bdt.traffic_bytes_per_iter);
+    }
+
+    #[test]
+    fn cost_units_interpolates_objectives() {
+        let t = uniform_tensor(&[20; 4], 1_000, 13);
+        let mut c = cache(&t);
+        let cb = predict(&TreeShape::balanced_binary(4), 8, &mut c);
+        assert_eq!(cb.cost_units(0.0), cb.flops_per_iter);
+        assert!(
+            (cb.cost_units(2.0) - cb.flops_per_iter - 2.0 * cb.traffic_bytes_per_iter).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn resident_bytes_sums_components() {
+        let t = uniform_tensor(&[25; 3], 800, 6);
+        let mut c = cache(&t);
+        let cb = predict(&TreeShape::balanced_binary(3), 4, &mut c);
+        assert_eq!(cb.resident_bytes(), cb.index_bytes + cb.peak_value_bytes);
+    }
+}

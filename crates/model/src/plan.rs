@@ -1,0 +1,399 @@
+//! The planner facade: model-driven strategy selection.
+//!
+//! [`Planner`] evaluates the candidate strategy space for one tensor and
+//! rank, applies an optional memory budget, and returns a [`MemoPlan`]
+//! carrying the chosen tree plus the predicted costs of every alternative
+//! considered — the provenance the model-accuracy experiment inspects.
+
+use crate::cost::{predict, CostBreakdown};
+use crate::estimate::{EstimatorCache, NnzEstimator};
+use crate::search::{
+    interval_dp_weighted, named_shapes, subset_dp_weighted, OrderHeuristic,
+};
+use adatm_dtree::TreeShape;
+use adatm_tensor::SparseTensor;
+
+/// What the planner minimizes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Objective {
+    /// Fused multiply-adds only — the classic operation-count model.
+    Flops,
+    /// `flops + beta * value_stream_bytes`: MTTKRP is memory-bound, so
+    /// weighting the reads/writes of intermediate value matrices models
+    /// wall time much better than flops alone (it is what correctly
+    /// prefers a shallow tree over a balanced one when projections barely
+    /// collapse). `beta` is the machine's effective flops-per-byte trade;
+    /// 1.0 is a good default for commodity cores.
+    FlopsAndTraffic {
+        /// Flops charged per byte of value-stream traffic.
+        beta: f64,
+    },
+}
+
+impl Objective {
+    /// The traffic weight of this objective.
+    pub fn beta(&self) -> f64 {
+        match self {
+            Objective::Flops => 0.0,
+            Objective::FlopsAndTraffic { beta } => *beta,
+        }
+    }
+}
+
+impl Default for Objective {
+    fn default() -> Self {
+        Objective::FlopsAndTraffic { beta: 1.0 }
+    }
+}
+
+/// How much of the strategy space to search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SearchStrategy {
+    /// Only the named baseline shapes.
+    NamedOnly,
+    /// Named shapes plus the interval DP over each order heuristic.
+    IntervalDp,
+    /// Everything above plus the exact subset DP (orders <= the given cap).
+    SubsetDp {
+        /// Maximum order for which the `O(3^N)` subset DP runs.
+        max_order: usize,
+    },
+    /// Pick automatically: subset DP for `N <= 6`, interval DP otherwise.
+    Auto,
+}
+
+/// One evaluated strategy.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// Label for tables (`"bdt"`, `"dp:natural"`, `"dp:subset"`, ...).
+    pub label: String,
+    /// The tree.
+    pub shape: TreeShape,
+    /// Predicted costs.
+    pub cost: CostBreakdown,
+    /// Whether the candidate fits the memory budget (true when no budget).
+    pub fits_budget: bool,
+}
+
+/// The planner's output: chosen strategy plus full provenance.
+#[derive(Clone, Debug)]
+pub struct MemoPlan {
+    /// The selected tree.
+    pub shape: TreeShape,
+    /// Predicted costs of the selection.
+    pub predicted: CostBreakdown,
+    /// Every candidate evaluated, sorted by predicted flops ascending.
+    pub candidates: Vec<Candidate>,
+    /// Number of distinct-count estimator evaluations spent planning.
+    pub estimator_evals: usize,
+}
+
+/// Model-driven memoization planner for one tensor.
+///
+/// ```
+/// use adatm_model::{Planner, NnzEstimator};
+/// use adatm_tensor::gen::zipf_tensor;
+///
+/// let t = zipf_tensor(&[50, 40, 60, 30], 5_000, &[0.8; 4], 1);
+/// let plan = Planner::new(&t, 16)
+///     .estimator(NnzEstimator::Exact)
+///     .plan();
+/// plan.shape.validate();
+/// assert!(!plan.candidates.is_empty());
+/// // The chosen strategy minimizes the traffic-aware objective.
+/// let beta = adatm_model::Objective::default().beta();
+/// assert!(plan.candidates.iter()
+///     .all(|c| plan.predicted.cost_units(beta) <= c.cost.cost_units(beta) + 1e-9));
+/// ```
+pub struct Planner<'a> {
+    tensor: &'a SparseTensor,
+    rank: usize,
+    estimator: NnzEstimator,
+    memory_budget: Option<usize>,
+    strategy: SearchStrategy,
+    orders: Vec<OrderHeuristic>,
+    objective: Objective,
+}
+
+impl<'a> Planner<'a> {
+    /// Creates a planner with defaults: sampled estimation, automatic
+    /// search depth, no memory budget, all order heuristics.
+    pub fn new(tensor: &'a SparseTensor, rank: usize) -> Self {
+        assert!(tensor.ndim() >= 2, "CP decomposition needs at least 2 modes");
+        assert!(rank > 0, "rank must be positive");
+        Planner {
+            tensor,
+            rank,
+            estimator: NnzEstimator::default(),
+            memory_budget: None,
+            strategy: SearchStrategy::Auto,
+            orders: vec![
+                OrderHeuristic::Natural,
+                OrderHeuristic::DimsDescending,
+                OrderHeuristic::DimsAscending,
+            ],
+            objective: Objective::default(),
+        }
+    }
+
+    /// Sets the selection objective (default: traffic-aware).
+    pub fn objective(mut self, o: Objective) -> Self {
+        self.objective = o;
+        self
+    }
+
+    /// Sets the distinct-count estimator.
+    pub fn estimator(mut self, e: NnzEstimator) -> Self {
+        self.estimator = e;
+        self
+    }
+
+    /// Caps predicted resident memory (index structures + peak live value
+    /// matrices). Candidates over the cap are rejected; if nothing fits,
+    /// the minimum-memory candidate is chosen (and flagged).
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Sets the search depth.
+    pub fn search(mut self, s: SearchStrategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Runs the search and returns the plan.
+    pub fn plan(&self) -> MemoPlan {
+        let n = self.tensor.ndim();
+        let mut cache = EstimatorCache::new(self.tensor, self.estimator);
+        let mut candidates: Vec<Candidate> = Vec::new();
+        let rank = self.rank;
+        fn push(
+            candidates: &mut Vec<Candidate>,
+            label: String,
+            shape: TreeShape,
+            rank: usize,
+            cache: &mut EstimatorCache<'_>,
+        ) {
+            let cost = predict(&shape, rank, cache);
+            candidates.push(Candidate { label, shape, cost, fits_budget: true });
+        }
+        /// As `push`, but drops the candidate when the tree is already in
+        /// the set (used by the penalty sweep, which often rediscovers
+        /// shapes).
+        fn push_new(
+            candidates: &mut Vec<Candidate>,
+            label: String,
+            shape: TreeShape,
+            rank: usize,
+            cache: &mut EstimatorCache<'_>,
+        ) {
+            if candidates.iter().all(|c| c.shape != shape) {
+                push(candidates, label, shape, rank, cache);
+            }
+        }
+        for (name, shape) in named_shapes(n) {
+            push(&mut candidates, name.to_string(), shape, rank, &mut cache);
+        }
+        let run_interval = !matches!(self.strategy, SearchStrategy::NamedOnly);
+        let run_subset = match self.strategy {
+            SearchStrategy::SubsetDp { max_order } => n <= max_order,
+            SearchStrategy::Auto => n <= 6,
+            _ => false,
+        };
+        let beta = self.objective.beta();
+        if run_interval {
+            for &h in &self.orders {
+                let perm = h.order(self.tensor.dims());
+                let res = interval_dp_weighted(&perm, self.rank, &mut cache, beta, 0.0);
+                push(&mut candidates, format!("dp:{h:?}"), res.shape, rank, &mut cache);
+                // Under a memory budget, sweep the flops/bytes trade-off:
+                // increasingly memory-averse trees join the candidate set,
+                // and the budget filter below picks the cheapest that fits.
+                if self.memory_budget.is_some() {
+                    for lambda in [1.0, 8.0, 64.0, 512.0] {
+                        let res = interval_dp_weighted(
+                            &perm, self.rank, &mut cache, beta, lambda,
+                        );
+                        push_new(
+                            &mut candidates,
+                            format!("dp:{h:?}:mem{lambda}"),
+                            res.shape,
+                            rank,
+                            &mut cache,
+                        );
+                    }
+                }
+            }
+        }
+        if run_subset {
+            let res = subset_dp_weighted(n, self.rank, &mut cache, beta);
+            push(&mut candidates, "dp:subset".to_string(), res.shape, rank, &mut cache);
+        }
+        // Budget filter + selection.
+        if let Some(budget) = self.memory_budget {
+            for c in &mut candidates {
+                c.fits_budget = c.cost.resident_bytes() <= budget as f64;
+            }
+        }
+        candidates
+            .sort_by(|a, b| a.cost.cost_units(beta).total_cmp(&b.cost.cost_units(beta)));
+        let chosen = candidates
+            .iter()
+            .find(|c| c.fits_budget)
+            .or_else(|| {
+                // Nothing fits: fall back to the least-memory candidate.
+                candidates
+                    .iter()
+                    .min_by(|a, b| a.cost.resident_bytes().total_cmp(&b.cost.resident_bytes()))
+            })
+            .expect("at least one candidate always exists")
+            .clone();
+        MemoPlan {
+            shape: chosen.shape,
+            predicted: chosen.cost,
+            candidates,
+            estimator_evals: cache.misses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adatm_tensor::gen::{uniform_tensor, zipf_tensor};
+
+    #[test]
+    fn plan_selects_minimum_predicted_flops_without_budget() {
+        let t = zipf_tensor(&[40, 12, 36, 18], 3_000, &[0.9; 4], 5);
+        let plan = Planner::new(&t, 8)
+            .estimator(NnzEstimator::Exact)
+            .objective(Objective::Flops)
+            .plan();
+        let min = plan
+            .candidates
+            .iter()
+            .map(|c| c.cost.flops_per_iter)
+            .fold(f64::INFINITY, f64::min);
+        assert!((plan.predicted.flops_per_iter - min).abs() < 1e-9);
+        plan.shape.validate();
+    }
+
+    #[test]
+    fn plan_beats_every_named_baseline() {
+        let t = zipf_tensor(&[50, 9, 60, 14, 44], 4_000, &[1.0; 5], 8);
+        let plan = Planner::new(&t, 8).estimator(NnzEstimator::Exact).plan();
+        for c in plan.candidates.iter().filter(|c| !c.label.starts_with("dp:")) {
+            assert!(
+                plan.predicted.flops_per_iter <= c.cost.flops_per_iter + 1e-9,
+                "{} beat the plan",
+                c.label
+            );
+        }
+    }
+
+    #[test]
+    fn memory_budget_rejects_heavy_strategies() {
+        let t = uniform_tensor(&[60; 6], 6_000, 9);
+        let unbounded = Planner::new(&t, 16).estimator(NnzEstimator::Exact).plan();
+        // A budget barely above the flat tree's footprint forces a cheap-
+        // memory plan.
+        let flat = unbounded
+            .candidates
+            .iter()
+            .find(|c| c.label == "flat")
+            .expect("flat evaluated")
+            .cost
+            .resident_bytes();
+        let plan = Planner::new(&t, 16)
+            .estimator(NnzEstimator::Exact)
+            .memory_budget(flat as usize + 1)
+            .plan();
+        assert!(plan.predicted.resident_bytes() <= flat + 1.0);
+    }
+
+    #[test]
+    fn impossible_budget_falls_back_to_min_memory() {
+        let t = uniform_tensor(&[30; 4], 2_000, 10);
+        let plan =
+            Planner::new(&t, 8).estimator(NnzEstimator::Exact).memory_budget(1).plan();
+        let min_mem = plan
+            .candidates
+            .iter()
+            .map(|c| c.cost.resident_bytes())
+            .fold(f64::INFINITY, f64::min);
+        assert!((plan.predicted.resident_bytes() - min_mem).abs() < 1e-9);
+    }
+
+    #[test]
+    fn named_only_search_contains_exactly_named() {
+        let t = uniform_tensor(&[20; 4], 1_000, 11);
+        let plan = Planner::new(&t, 4)
+            .estimator(NnzEstimator::Exact)
+            .search(SearchStrategy::NamedOnly)
+            .plan();
+        assert_eq!(plan.candidates.len(), 4);
+    }
+
+    #[test]
+    fn auto_runs_subset_dp_for_small_orders() {
+        let t = uniform_tensor(&[15; 4], 800, 12);
+        let plan = Planner::new(&t, 4).estimator(NnzEstimator::Exact).plan();
+        assert!(plan.candidates.iter().any(|c| c.label == "dp:subset"));
+        assert!(plan.estimator_evals > 0);
+    }
+
+    #[test]
+    fn auto_skips_subset_dp_for_large_orders() {
+        let t = uniform_tensor(&[8; 8], 500, 13);
+        let plan = Planner::new(&t, 4).estimator(NnzEstimator::Exact).plan();
+        assert!(plan.candidates.iter().all(|c| c.label != "dp:subset"));
+        assert!(plan.candidates.iter().any(|c| c.label.starts_with("dp:")));
+    }
+
+    #[test]
+    fn candidates_sorted_by_objective_units() {
+        let t = zipf_tensor(&[25; 4], 1_500, &[0.6; 4], 14);
+        let plan = Planner::new(&t, 8).estimator(NnzEstimator::Exact).plan();
+        let beta = Objective::default().beta();
+        for w in plan.candidates.windows(2) {
+            assert!(w[0].cost.cost_units(beta) <= w[1].cost.cost_units(beta));
+        }
+    }
+
+    #[test]
+    fn traffic_objective_selects_minimum_cost_units() {
+        let t = zipf_tensor(&[30; 5], 2_500, &[0.5; 5], 16);
+        let plan = Planner::new(&t, 16).estimator(NnzEstimator::Exact).plan();
+        let min = plan
+            .candidates
+            .iter()
+            .map(|c| c.cost.cost_units(1.0))
+            .fold(f64::INFINITY, f64::min);
+        assert!((plan.predicted.cost_units(1.0) - min).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traffic_objective_prefers_shallower_trees_on_no_collapse_data() {
+        // Uniform high-order tensors: every intermediate is ~nnz elements,
+        // so a balanced tree's many materializations dominate. The
+        // traffic-aware plan must choose fewer memoized nodes than the
+        // flop-only plan (which tends to the balanced tree).
+        let t = uniform_tensor(&[60; 8], 6_000, 18);
+        let flops_plan = Planner::new(&t, 16)
+            .estimator(NnzEstimator::Exact)
+            .objective(Objective::Flops)
+            .plan();
+        let traffic_plan = Planner::new(&t, 16).estimator(NnzEstimator::Exact).plan();
+        assert!(
+            traffic_plan.predicted.memo_count <= flops_plan.predicted.memo_count,
+            "traffic-aware memoized {} nodes vs flop-only {}",
+            traffic_plan.predicted.memo_count,
+            flops_plan.predicted.memo_count
+        );
+        assert!(
+            traffic_plan.predicted.traffic_bytes_per_iter
+                <= flops_plan.predicted.traffic_bytes_per_iter + 1e-9
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! Dense tensors: the brute-force oracle.
+//!
+//! Every sparse kernel in this workspace (COO MTTKRP, CSF MTTKRP, the
+//! dimension-tree TTMV engine) is validated against the same dense
+//! reference implementations here, which follow the textbook definitions
+//! directly. They are `O(prod(dims))` and only suitable for tiny tensors.
+
+use crate::coo::SparseTensor;
+use adatm_linalg::Mat;
+
+/// A dense `N`-mode tensor with row-major (last mode fastest) layout.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseTensor {
+    dims: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl DenseTensor {
+    /// Creates a zero tensor.
+    pub fn zeros(dims: Vec<usize>) -> Self {
+        let len = dims.iter().product();
+        DenseTensor { dims, data: vec![0.0; len] }
+    }
+
+    /// Densifies a sparse tensor (duplicates sum).
+    pub fn from_sparse(t: &SparseTensor) -> Self {
+        let mut d = DenseTensor::zeros(t.dims().to_vec());
+        for k in 0..t.nnz() {
+            let coords: Vec<usize> = (0..t.ndim()).map(|m| t.mode_idx(m)[k] as usize).collect();
+            let off = d.offset(&coords);
+            d.data[off] += t.vals()[k];
+        }
+        d
+    }
+
+    /// Mode sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Flat data (row-major, last mode fastest).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Linear offset of a coordinate.
+    pub fn offset(&self, coords: &[usize]) -> usize {
+        assert_eq!(coords.len(), self.dims.len());
+        let mut off = 0usize;
+        for (&c, &d) in coords.iter().zip(self.dims.iter()) {
+            debug_assert!(c < d);
+            off = off * d + c;
+        }
+        off
+    }
+
+    /// Element access.
+    pub fn get(&self, coords: &[usize]) -> f64 {
+        self.data[self.offset(coords)]
+    }
+
+    /// Mutable element access.
+    pub fn get_mut(&mut self, coords: &[usize]) -> &mut f64 {
+        let off = self.offset(coords);
+        &mut self.data[off]
+    }
+
+    /// Iterates all coordinates in row-major order (test helper).
+    pub fn coords_iter(&self) -> CoordIter {
+        CoordIter { dims: self.dims.clone(), next: Some(vec![0; self.dims.len()]) }
+    }
+
+    /// Reference MTTKRP: `M(i_n, r) = sum_{nz} X(i_1..i_N) prod_{d != n} U^(d)(i_d, r)`,
+    /// evaluated over every dense cell. The definitive oracle for all
+    /// sparse MTTKRP implementations.
+    ///
+    /// # Panics
+    /// Panics if `factors` shapes do not match `dims` / a common rank.
+    pub fn mttkrp_ref(&self, factors: &[Mat], mode: usize) -> Mat {
+        let n = self.dims.len();
+        assert_eq!(factors.len(), n, "one factor per mode required");
+        let rank = factors[0].ncols();
+        for (d, f) in factors.iter().enumerate() {
+            assert_eq!(f.nrows(), self.dims[d], "factor {d} row count mismatch");
+            assert_eq!(f.ncols(), rank, "factor {d} rank mismatch");
+        }
+        let mut m = Mat::zeros(self.dims[mode], rank);
+        for coords in self.coords_iter() {
+            let x = self.get(&coords);
+            if x == 0.0 {
+                continue;
+            }
+            for r in 0..rank {
+                let mut p = x;
+                for d in 0..n {
+                    if d != mode {
+                        p *= factors[d].get(coords[d], r);
+                    }
+                }
+                let cur = m.get(coords[mode], r);
+                m.set(coords[mode], r, cur + p);
+            }
+        }
+        m
+    }
+
+    /// Reconstructs the dense tensor of a rank-`R` CP model
+    /// `[lambda; U^(1), ..., U^(N)]` (test helper for fit checks).
+    pub fn from_cp(lambda: &[f64], factors: &[Mat]) -> DenseTensor {
+        let dims: Vec<usize> = factors.iter().map(|f| f.nrows()).collect();
+        let rank = lambda.len();
+        let mut out = DenseTensor::zeros(dims);
+        let coords: Vec<Vec<usize>> = out.coords_iter().collect();
+        for c in coords {
+            let mut v = 0.0;
+            for (r, &l) in lambda.iter().enumerate().take(rank) {
+                let mut p = l;
+                for (d, f) in factors.iter().enumerate() {
+                    p *= f.get(c[d], r);
+                }
+                v += p;
+            }
+            *out.get_mut(&c) = v;
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Frobenius distance to another tensor of the same shape.
+    pub fn fro_dist(&self, other: &DenseTensor) -> f64 {
+        assert_eq!(self.dims, other.dims);
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// Row-major coordinate iterator.
+pub struct CoordIter {
+    dims: Vec<usize>,
+    next: Option<Vec<usize>>,
+}
+
+impl Iterator for CoordIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.dims.iter().any(|&d| d == 0) {
+            return None;
+        }
+        let cur = self.next.take()?;
+        let mut nxt = cur.clone();
+        // Odometer increment, last mode fastest.
+        for d in (0..self.dims.len()).rev() {
+            nxt[d] += 1;
+            if nxt[d] < self.dims[d] {
+                self.next = Some(nxt);
+                return Some(cur);
+            }
+            nxt[d] = 0;
+        }
+        // Wrapped around: `cur` was the final coordinate.
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_iter_covers_all_cells_once() {
+        let t = DenseTensor::zeros(vec![2, 3, 2]);
+        let all: Vec<_> = t.coords_iter().collect();
+        assert_eq!(all.len(), 12);
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 12);
+    }
+
+    #[test]
+    fn coords_iter_empty_dim() {
+        let t = DenseTensor::zeros(vec![2, 0, 3]);
+        assert_eq!(t.coords_iter().count(), 0);
+    }
+
+    #[test]
+    fn from_sparse_sums_duplicates() {
+        let s = SparseTensor::from_entries(
+            vec![2, 2],
+            &[(vec![1, 0], 2.0), (vec![1, 0], 3.0), (vec![0, 1], -1.0)],
+        );
+        let d = DenseTensor::from_sparse(&s);
+        assert_eq!(d.get(&[1, 0]), 5.0);
+        assert_eq!(d.get(&[0, 1]), -1.0);
+        assert_eq!(d.get(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn mttkrp_ref_matches_hand_computation_3d() {
+        // X(0,0,0)=1, X(1,1,1)=2; R=1 with all-ones factors:
+        // M^(0)(0,0)=1, M^(0)(1,0)=2.
+        let s = SparseTensor::from_entries(
+            vec![2, 2, 2],
+            &[(vec![0, 0, 0], 1.0), (vec![1, 1, 1], 2.0)],
+        );
+        let d = DenseTensor::from_sparse(&s);
+        let ones = |n: usize| Mat::from_vec(n, 1, vec![1.0; n]);
+        let factors = vec![ones(2), ones(2), ones(2)];
+        let m = d.mttkrp_ref(&factors, 0);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 0), 2.0);
+    }
+
+    #[test]
+    fn mttkrp_ref_weighted_factors() {
+        let s = SparseTensor::from_entries(vec![2, 3], &[(vec![1, 2], 4.0)]);
+        let d = DenseTensor::from_sparse(&s);
+        let u0 = Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let u1 = Mat::from_vec(3, 2, vec![0.0, 0.0, 0.0, 0.0, 5.0, 6.0]);
+        let m = d.mttkrp_ref(&[u0, u1.clone()], 0);
+        // M(1, r) = 4 * U1(2, r)
+        assert_eq!(m.get(1, 0), 20.0);
+        assert_eq!(m.get(1, 1), 24.0);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn from_cp_rank1_outer_product() {
+        let u0 = Mat::from_vec(2, 1, vec![1.0, 2.0]);
+        let u1 = Mat::from_vec(2, 1, vec![3.0, 4.0]);
+        let t = DenseTensor::from_cp(&[2.0], &[u0, u1]);
+        assert_eq!(t.get(&[0, 0]), 6.0);
+        assert_eq!(t.get(&[1, 1]), 16.0);
+    }
+
+    #[test]
+    fn fro_dist_zero_for_identical() {
+        let s = SparseTensor::from_entries(vec![3, 3], &[(vec![0, 2], 1.0)]);
+        let d = DenseTensor::from_sparse(&s);
+        assert_eq!(d.fro_dist(&d.clone()), 0.0);
+    }
+}

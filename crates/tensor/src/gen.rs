@@ -1,0 +1,487 @@
+//! Synthetic sparse tensor generators.
+//!
+//! The paper's evaluation runs on real FROSTT-class datasets plus uniform
+//! random higher-order tensors. Real datasets are not redistributable
+//! here, so the harness substitutes *shape-faithful proxies*: same order
+//! and mode-size ratios (scaled to laptop budgets), with per-mode
+//! Zipf-skewed index distributions. Skew is the property that matters —
+//! it controls how much the nonzero index sets collapse under projection,
+//! which is exactly what determines the payoff of memoizing intermediate
+//! tensors. Uniform tensors reproduce the no-overlap extreme the papers
+//! use as the pessimistic bound.
+
+use crate::coo::{Idx, SparseTensor};
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws indices from `0..size` with probability proportional to
+/// `1/(k+1)^skew` via an inverse-CDF table. `skew = 0` is uniform.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler for a mode of the given size.
+    ///
+    /// # Panics
+    /// Panics if `size == 0` or `skew < 0`.
+    pub fn new(size: usize, skew: f64) -> Self {
+        assert!(size > 0, "mode size must be positive");
+        assert!(skew >= 0.0, "skew must be nonnegative");
+        let mut cdf = Vec::with_capacity(size);
+        let mut acc = 0.0;
+        for k in 0..size {
+            acc += 1.0 / ((k + 1) as f64).powf(skew);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Samples one index.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Idx {
+        let u: f64 = rng.gen();
+        // partition_point returns the count of entries < u, i.e. the first
+        // index whose cdf >= u.
+        let i = self.cdf.partition_point(|&c| c < u);
+        i.min(self.cdf.len() - 1) as Idx
+    }
+}
+
+/// Generates a sparse tensor with per-mode Zipf-skewed indices.
+///
+/// Approximately `nnz` *distinct* coordinates are produced (duplicates
+/// from the skewed sampling are summed away, so high skews may return
+/// slightly fewer). Values are uniform in `(0, 1]`.
+pub fn zipf_tensor(dims: &[usize], nnz: usize, skews: &[f64], seed: u64) -> SparseTensor {
+    assert_eq!(dims.len(), skews.len(), "one skew per mode required");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let samplers: Vec<ZipfSampler> =
+        dims.iter().zip(skews.iter()).map(|(&d, &s)| ZipfSampler::new(d, s)).collect();
+    let n = dims.len();
+    let mut inds: Vec<Vec<Idx>> = vec![Vec::with_capacity(nnz); n];
+    let mut vals: Vec<f64> = Vec::with_capacity(nnz);
+    let vdist = Uniform::new(f64::MIN_POSITIVE, 1.0);
+    let mut t = SparseTensor::empty(dims.to_vec());
+    // Sample in rounds until we reach the target distinct count or the
+    // duplicate rate shows the space is saturated.
+    let mut target = nnz;
+    for _round in 0..8 {
+        for _ in 0..target {
+            for (col, s) in inds.iter_mut().zip(samplers.iter()) {
+                col.push(s.sample(&mut rng));
+            }
+            vals.push(vdist.sample(&mut rng));
+        }
+        let mut all_inds: Vec<Vec<Idx>> = Vec::with_capacity(n);
+        for (d, col) in inds.iter_mut().enumerate() {
+            let mut merged = t.mode_idx(d).to_vec();
+            merged.append(col);
+            all_inds.push(merged);
+        }
+        let mut all_vals = t.vals().to_vec();
+        all_vals.append(&mut vals);
+        t = SparseTensor::new(dims.to_vec(), all_inds, all_vals);
+        t.dedup_sum();
+        if t.nnz() >= nnz {
+            break;
+        }
+        target = (nnz - t.nnz()).max(nnz / 10);
+    }
+    // Rounds may overshoot; clamp to the requested count. dedup_sum leaves
+    // entries lexicographically sorted, so truncating directly would bias
+    // the kept coordinates low — shuffle first so the dropped entries are
+    // a uniform subset.
+    if t.nnz() > nnz {
+        let mut perm: Vec<u32> = (0..t.nnz() as u32).collect();
+        for i in (1..perm.len()).rev() {
+            perm.swap(i, rng.gen_range(0..=i));
+        }
+        t.apply_permutation(&perm);
+        t.truncate(nnz);
+    }
+    t
+}
+
+/// Generates a sparse tensor with uniformly random distinct coordinates.
+pub fn uniform_tensor(dims: &[usize], nnz: usize, seed: u64) -> SparseTensor {
+    let skews = vec![0.0; dims.len()];
+    zipf_tensor(dims, nnz, &skews, seed)
+}
+
+/// Ground truth returned by [`low_rank_tensor`].
+pub struct LowRankTruth {
+    /// The generated tensor (values sampled from the low-rank model plus
+    /// optional Gaussian noise).
+    pub tensor: SparseTensor,
+    /// The factor matrices that produced it (unit-norm columns are *not*
+    /// enforced).
+    pub factors: Vec<adatm_linalg::Mat>,
+}
+
+/// Generates a sparse sample of a random rank-`rank` CP model.
+///
+/// Coordinates are uniform-random distinct; each value is the CP model
+/// value at that coordinate plus `noise * g` with `g` standard normal
+/// (Box–Muller). With `noise = 0`, CP-ALS at the same rank should fit this
+/// tensor essentially exactly — the convergence tests rely on it.
+pub fn low_rank_tensor(
+    dims: &[usize],
+    rank: usize,
+    nnz: usize,
+    noise: f64,
+    seed: u64,
+) -> LowRankTruth {
+    let factors: Vec<adatm_linalg::Mat> = dims
+        .iter()
+        .enumerate()
+        .map(|(d, &n)| adatm_linalg::Mat::random(n, rank, seed ^ (0x9e37 + d as u64)))
+        .collect();
+    let mut t = uniform_tensor(dims, nnz, seed.wrapping_add(1));
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(2));
+    for k in 0..t.nnz() {
+        let mut v = 0.0;
+        for r in 0..rank {
+            let mut p = 1.0;
+            for (d, f) in factors.iter().enumerate() {
+                p *= f.get(t.mode_idx(d)[k] as usize, r);
+            }
+            v += p;
+        }
+        if noise > 0.0 {
+            let (u1, u2): (f64, f64) = (rng.gen_range(f64::MIN_POSITIVE..1.0), rng.gen());
+            let g = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            v += noise * g;
+        }
+        t.vals_mut()[k] = v;
+    }
+    LowRankTruth { tensor: t, factors }
+}
+
+/// Generates a block-clustered sparse tensor: `blocks` dense-ish
+/// communities whose member indices co-occur, plus uniform background
+/// noise — the community structure of social/commerce tensors, which
+/// produces projection collapse *without* global index skew.
+///
+/// Each block is an axis-aligned sub-box covering `block_frac` of every
+/// mode; `noise_frac` of the entries are uniform over the whole tensor.
+pub fn clustered_tensor(
+    dims: &[usize],
+    nnz: usize,
+    blocks: usize,
+    block_frac: f64,
+    noise_frac: f64,
+    seed: u64,
+) -> SparseTensor {
+    assert!(blocks > 0, "need at least one block");
+    assert!((0.0..=1.0).contains(&block_frac), "block_frac in [0,1]");
+    assert!((0.0..=1.0).contains(&noise_frac), "noise_frac in [0,1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = dims.len();
+    // Random block origins; extents are block_frac of each mode.
+    let extents: Vec<usize> =
+        dims.iter().map(|&d| ((d as f64 * block_frac) as usize).max(1)).collect();
+    let origins: Vec<Vec<usize>> = (0..blocks)
+        .map(|_| {
+            dims.iter()
+                .zip(extents.iter())
+                .map(|(&d, &e)| if d > e { rng.gen_range(0..=d - e) } else { 0 })
+                .collect()
+        })
+        .collect();
+    let vdist = Uniform::new(f64::MIN_POSITIVE, 1.0);
+    let mut inds: Vec<Vec<Idx>> = vec![Vec::with_capacity(nnz); n];
+    let mut vals = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        let coords: Vec<usize> = if rng.gen::<f64>() < noise_frac {
+            dims.iter().map(|&d| rng.gen_range(0..d)).collect()
+        } else {
+            let b = &origins[rng.gen_range(0..blocks)];
+            b.iter().zip(extents.iter()).map(|(&o, &e)| o + rng.gen_range(0..e)).collect()
+        };
+        for (col, &c) in inds.iter_mut().zip(coords.iter()) {
+            col.push(c as Idx);
+        }
+        vals.push(vdist.sample(&mut rng));
+    }
+    let mut t = SparseTensor::new(dims.to_vec(), inds, vals);
+    t.dedup_sum();
+    t
+}
+
+/// Generates a **fully dense** rank-`rank` CP tensor, stored in COO form.
+///
+/// Unlike [`low_rank_tensor`] (which samples the model at sparse
+/// positions, leaving implicit zeros that break exact low-rankness), this
+/// enumerates every cell, so the resulting tensor *is* rank <= `rank` and
+/// CP-ALS at that rank can reach fit ~1. Only suitable for small dims
+/// (`prod(dims)` entries are materialized).
+pub fn dense_low_rank(dims: &[usize], rank: usize, noise: f64, seed: u64) -> LowRankTruth {
+    let factors: Vec<adatm_linalg::Mat> = dims
+        .iter()
+        .enumerate()
+        .map(|(d, &n)| adatm_linalg::Mat::random(n, rank, seed ^ (0x517c + d as u64)))
+        .collect();
+    let cells: usize = dims.iter().product();
+    let n = dims.len();
+    let mut inds: Vec<Vec<Idx>> = vec![Vec::with_capacity(cells); n];
+    let mut vals = Vec::with_capacity(cells);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(3));
+    let mut coords = vec![0usize; n];
+    for _ in 0..cells {
+        let mut v = 0.0;
+        for r in 0..rank {
+            let mut p = 1.0;
+            for (d, f) in factors.iter().enumerate() {
+                p *= f.get(coords[d], r);
+            }
+            v += p;
+        }
+        if noise > 0.0 {
+            let (u1, u2): (f64, f64) = (rng.gen_range(f64::MIN_POSITIVE..1.0), rng.gen());
+            let g = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            v += noise * g;
+        }
+        for (col, &c) in inds.iter_mut().zip(coords.iter()) {
+            col.push(c as Idx);
+        }
+        vals.push(v);
+        // Odometer increment, last mode fastest.
+        for d in (0..n).rev() {
+            coords[d] += 1;
+            if coords[d] < dims[d] {
+                break;
+            }
+            coords[d] = 0;
+        }
+    }
+    LowRankTruth { tensor: SparseTensor::new(dims.to_vec(), inds, vals), factors }
+}
+
+/// A named synthetic dataset specification (proxy for a paper dataset or
+/// a pure synthetic family member).
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    /// Dataset name as it appears in experiment tables.
+    pub name: &'static str,
+    /// Mode sizes.
+    pub dims: Vec<usize>,
+    /// Target number of distinct nonzeros.
+    pub nnz: usize,
+    /// Per-mode Zipf skew (0 = uniform).
+    pub skews: Vec<f64>,
+    /// RNG seed; fixed so every harness sees identical data.
+    pub seed: u64,
+    /// What this dataset stands in for.
+    pub proxy_for: &'static str,
+}
+
+impl DatasetSpec {
+    /// Materializes the tensor.
+    pub fn build(&self) -> SparseTensor {
+        zipf_tensor(&self.dims, self.nnz, &self.skews, self.seed)
+    }
+}
+
+/// The registry of proxy datasets used across all experiments.
+///
+/// Dims preserve each real dataset's order and mode-size *ratios*, scaled
+/// so the largest harness run finishes in seconds; skews reproduce the
+/// heavy-tailed index reuse of web/commerce data (higher on "user"/"tag"
+/// style modes). `scale` in `(0, 1]` scales nnz for quick runs.
+pub fn proxy_datasets(scale: f64) -> Vec<DatasetSpec> {
+    let nnz = |base: usize| ((base as f64 * scale) as usize).max(10_000);
+    vec![
+        DatasetSpec {
+            name: "deli4d",
+            dims: vec![200, 12_000, 120_000, 40_000],
+            nnz: nnz(1_500_000),
+            skews: vec![0.3, 0.9, 0.7, 1.0],
+            seed: 11,
+            proxy_for: "Delicious (time x user x resource x tag, 4-mode)",
+        },
+        DatasetSpec {
+            name: "flickr4d",
+            dims: vec![120, 6_000, 160_000, 30_000],
+            nnz: nnz(1_200_000),
+            skews: vec![0.3, 0.9, 0.6, 1.1],
+            seed: 12,
+            proxy_for: "Flickr (time x user x resource x tag, 4-mode)",
+        },
+        DatasetSpec {
+            name: "netflix3d",
+            dims: vec![60_000, 3_500, 400],
+            nnz: nnz(1_500_000),
+            skews: vec![0.7, 0.8, 0.4],
+            seed: 13,
+            proxy_for: "Netflix (user x movie x time, 3-mode)",
+        },
+        DatasetSpec {
+            name: "nell3d",
+            dims: vec![150_000, 80, 40_000],
+            nnz: nnz(1_000_000),
+            skews: vec![0.8, 0.9, 0.8],
+            seed: 14,
+            proxy_for: "NELL (entity x relation x entity, 3-mode)",
+        },
+        DatasetSpec {
+            name: "amazon3d",
+            dims: vec![200_000, 60_000, 6_000],
+            nnz: nnz(2_000_000),
+            skews: vec![0.6, 0.7, 1.0],
+            seed: 15,
+            proxy_for: "Amazon reviews (user x product x word, 3-mode)",
+        },
+    ]
+}
+
+/// Uniform random higher-order tensors matching the papers' RandomND
+/// family (every mode the same size, uniform indices). `scale` scales nnz.
+pub fn random_nd(order: usize, scale: f64) -> DatasetSpec {
+    let nnz = ((600_000.0 * scale) as usize).max(10_000);
+    let name: &'static str = match order {
+        3 => "random3d",
+        4 => "random4d",
+        6 => "random6d",
+        8 => "random8d",
+        12 => "random12d",
+        16 => "random16d",
+        32 => "random32d",
+        _ => "randomNd",
+    };
+    DatasetSpec {
+        name,
+        // nnz/dim ratio ~12 at full scale, matching the papers' setup
+        // (10M-wide modes with 100M nonzeros) closely enough that MTTKRP
+        // work dominates the dense factor operations.
+        dims: vec![50_000; order],
+        nnz,
+        skews: vec![0.0; order],
+        seed: 40 + order as u64,
+        proxy_for: "uniform random higher-order tensor",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_sampler_uniform_when_skew_zero() {
+        let s = ZipfSampler::new(1000, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[(s.sample(&mut rng) as usize) / 100] += 1;
+        }
+        // Each decile should get roughly 2000 draws.
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((1600..2400).contains(&c), "decile {i} got {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_sampler_concentrates_with_high_skew() {
+        let s = ZipfSampler::new(1000, 1.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let head = (0..10_000).filter(|_| s.sample(&mut rng) < 10).count();
+        assert!(head > 6_000, "head mass {head} should dominate at skew 1.5");
+    }
+
+    #[test]
+    fn uniform_tensor_hits_target_nnz_and_bounds() {
+        let t = uniform_tensor(&[50, 60, 70], 5_000, 3);
+        assert_eq!(t.nnz(), 5_000);
+        for d in 0..3 {
+            assert!(t.mode_idx(d).iter().all(|&i| (i as usize) < t.dims()[d]));
+        }
+    }
+
+    #[test]
+    fn tensors_are_deterministic_per_seed() {
+        let a = zipf_tensor(&[40, 40, 40], 2_000, &[0.5, 0.5, 0.5], 9);
+        let b = zipf_tensor(&[40, 40, 40], 2_000, &[0.5, 0.5, 0.5], 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zipf_tensor_has_distinct_coordinates() {
+        let mut t = zipf_tensor(&[30, 30, 30], 3_000, &[1.0, 1.0, 1.0], 4);
+        let before = t.nnz();
+        t.dedup_sum();
+        assert_eq!(t.nnz(), before, "generator must emit deduplicated entries");
+    }
+
+    #[test]
+    fn saturated_space_returns_fewer_entries() {
+        // Only 64 cells exist; asking for 1000 must terminate gracefully.
+        let t = uniform_tensor(&[4, 4, 4], 1000, 5);
+        assert!(t.nnz() <= 64);
+        assert!(t.nnz() >= 48, "should nearly fill the space");
+    }
+
+    #[test]
+    fn clustered_tensor_collapses_more_than_uniform() {
+        let dims = [300usize, 300, 300];
+        let uni = uniform_tensor(&dims, 5_000, 8);
+        let clu = clustered_tensor(&dims, 5_000, 4, 0.05, 0.1, 8);
+        let cf_uni = crate::stats::collapse_factor(&uni, &[0, 1]);
+        let cf_clu = crate::stats::collapse_factor(&clu, &[0, 1]);
+        assert!(
+            cf_clu > cf_uni,
+            "clustered collapse {cf_clu} should exceed uniform {cf_uni}"
+        );
+    }
+
+    #[test]
+    fn clustered_tensor_respects_bounds_and_determinism() {
+        let dims = [40usize, 50, 30, 20];
+        let a = clustered_tensor(&dims, 1_000, 3, 0.2, 0.2, 5);
+        let b = clustered_tensor(&dims, 1_000, 3, 0.2, 0.2, 5);
+        assert_eq!(a, b);
+        for (d, &size) in dims.iter().enumerate() {
+            assert!(a.mode_idx(d).iter().all(|&i| (i as usize) < size));
+        }
+    }
+
+    #[test]
+    fn low_rank_tensor_values_match_model_when_noiseless() {
+        let truth = low_rank_tensor(&[20, 25, 30], 3, 500, 0.0, 7);
+        let t = &truth.tensor;
+        for k in (0..t.nnz()).step_by(97) {
+            let mut v = 0.0;
+            for r in 0..3 {
+                let mut p = 1.0;
+                for (d, f) in truth.factors.iter().enumerate() {
+                    p *= f.get(t.mode_idx(d)[k] as usize, r);
+                }
+                v += p;
+            }
+            assert!((v - t.vals()[k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn proxy_registry_shapes() {
+        let specs = proxy_datasets(0.01);
+        assert_eq!(specs.len(), 5);
+        for s in &specs {
+            assert_eq!(s.dims.len(), s.skews.len());
+            let t = s.build();
+            assert!(t.nnz() > 0, "{} is empty", s.name);
+            assert_eq!(t.ndim(), s.dims.len());
+        }
+    }
+
+    #[test]
+    fn random_nd_orders() {
+        let s = random_nd(8, 0.01);
+        assert_eq!(s.dims.len(), 8);
+        assert!(s.skews.iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,300 @@
+//! Tensor I/O: FROSTT `.tns` text format and a compact binary format.
+//!
+//! The `.tns` format is the interchange format of the FROSTT collection
+//! used throughout the sparse-tensor literature: one nonzero per line,
+//! `N` whitespace-separated 1-based indices followed by the value; `#`
+//! starts a comment. The binary format (`.adtm`) is a straightforward
+//! little-endian dump used by the harness to cache generated datasets.
+
+use crate::coo::{Idx, SparseTensor};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic bytes opening the binary format.
+const MAGIC: &[u8; 8] = b"ADTMTNS1";
+
+/// Errors produced by tensor I/O.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The input could not be parsed; the message describes where.
+    Parse(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse(m) => write!(f, "parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Reads a FROSTT `.tns` tensor from a reader.
+///
+/// The tensor order is inferred from the first data line; mode sizes are
+/// the per-mode maxima of the (1-based) indices. Duplicate coordinates are
+/// preserved (call [`SparseTensor::dedup_sum`] to canonicalize).
+pub fn read_tns<R: Read>(reader: R) -> Result<SparseTensor, IoError> {
+    let buf = BufReader::new(reader);
+    let mut inds: Vec<Vec<Idx>> = Vec::new();
+    let mut vals: Vec<f64> = Vec::new();
+    let mut dims: Vec<usize> = Vec::new();
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 2 {
+            return Err(IoError::Parse(format!("line {}: too few fields", lineno + 1)));
+        }
+        let n = fields.len() - 1;
+        if inds.is_empty() {
+            inds = vec![Vec::new(); n];
+            dims = vec![0; n];
+        } else if n != inds.len() {
+            return Err(IoError::Parse(format!(
+                "line {}: expected {} indices, found {n}",
+                lineno + 1,
+                inds.len()
+            )));
+        }
+        for (d, f) in fields[..n].iter().enumerate() {
+            let one_based: u64 = f
+                .parse()
+                .map_err(|_| IoError::Parse(format!("line {}: bad index '{f}'", lineno + 1)))?;
+            if one_based == 0 {
+                return Err(IoError::Parse(format!(
+                    "line {}: indices are 1-based, found 0",
+                    lineno + 1
+                )));
+            }
+            let zero_based = one_based - 1;
+            if zero_based > Idx::MAX as u64 {
+                return Err(IoError::Parse(format!("line {}: index overflow", lineno + 1)));
+            }
+            inds[d].push(zero_based as Idx);
+            dims[d] = dims[d].max(one_based as usize);
+        }
+        let v: f64 = fields[n]
+            .parse()
+            .map_err(|_| IoError::Parse(format!("line {}: bad value", lineno + 1)))?;
+        vals.push(v);
+    }
+    if inds.is_empty() {
+        return Err(IoError::Parse("no data lines found".into()));
+    }
+    Ok(SparseTensor::new(dims, inds, vals))
+}
+
+/// Reads a `.tns` file from disk.
+pub fn read_tns_file<P: AsRef<Path>>(path: P) -> Result<SparseTensor, IoError> {
+    read_tns(File::open(path)?)
+}
+
+/// Writes a tensor in FROSTT `.tns` format (1-based indices).
+pub fn write_tns<W: Write>(t: &SparseTensor, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    for k in 0..t.nnz() {
+        for d in 0..t.ndim() {
+            write!(w, "{} ", t.mode_idx(d)[k] as u64 + 1)?;
+        }
+        writeln!(w, "{}", t.vals()[k])?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a `.tns` file to disk.
+pub fn write_tns_file<P: AsRef<Path>>(t: &SparseTensor, path: P) -> Result<(), IoError> {
+    write_tns(t, File::create(path)?)
+}
+
+/// Writes the compact binary format.
+pub fn write_binary<W: Write>(t: &SparseTensor, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+    w.write_all(&(t.ndim() as u32).to_le_bytes())?;
+    for &d in t.dims() {
+        w.write_all(&(d as u64).to_le_bytes())?;
+    }
+    w.write_all(&(t.nnz() as u64).to_le_bytes())?;
+    for d in 0..t.ndim() {
+        for &i in t.mode_idx(d) {
+            w.write_all(&i.to_le_bytes())?;
+        }
+    }
+    for &v in t.vals() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes the binary format to a file.
+pub fn write_binary_file<P: AsRef<Path>>(t: &SparseTensor, path: P) -> Result<(), IoError> {
+    write_binary(t, File::create(path)?)
+}
+
+/// Reads the compact binary format.
+pub fn read_binary<R: Read>(reader: R) -> Result<SparseTensor, IoError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(IoError::Parse("bad magic: not an adatm binary tensor".into()));
+    }
+    let ndim = read_u32(&mut r)? as usize;
+    if ndim == 0 || ndim > 1024 {
+        return Err(IoError::Parse(format!("implausible order {ndim}")));
+    }
+    let mut dims = Vec::with_capacity(ndim);
+    for _ in 0..ndim {
+        dims.push(read_u64(&mut r)? as usize);
+    }
+    let nnz = read_u64(&mut r)? as usize;
+    let mut inds = Vec::with_capacity(ndim);
+    for _ in 0..ndim {
+        let mut col = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            col.push(read_u32(&mut r)?);
+        }
+        inds.push(col);
+    }
+    let mut vals = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        vals.push(f64::from_le_bytes(read_arr::<8, _>(&mut r)?));
+    }
+    Ok(SparseTensor::new(dims, inds, vals))
+}
+
+/// Reads the binary format from a file.
+pub fn read_binary_file<P: AsRef<Path>>(path: P) -> Result<SparseTensor, IoError> {
+    read_binary(File::open(path)?)
+}
+
+fn read_arr<const K: usize, R: Read>(r: &mut R) -> Result<[u8; K], IoError> {
+    let mut b = [0u8; K];
+    r.read_exact(&mut b)?;
+    Ok(b)
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, IoError> {
+    Ok(u32::from_le_bytes(read_arr::<4, _>(r)?))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, IoError> {
+    Ok(u64::from_le_bytes(read_arr::<8, _>(r)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> SparseTensor {
+        SparseTensor::from_entries(
+            vec![3, 4, 2],
+            &[(vec![0, 3, 1], 1.5), (vec![2, 0, 0], -2.0), (vec![1, 1, 1], 0.25)],
+        )
+    }
+
+    #[test]
+    fn tns_round_trip() {
+        let t = toy();
+        let mut buf = Vec::new();
+        write_tns(&t, &mut buf).unwrap();
+        let back = read_tns(&buf[..]).unwrap();
+        assert_eq!(back.ndim(), 3);
+        assert_eq!(back.nnz(), 3);
+        assert_eq!(back.get(&[0, 3, 1]), 1.5);
+        assert_eq!(back.get(&[2, 0, 0]), -2.0);
+    }
+
+    #[test]
+    fn tns_parses_comments_and_blank_lines() {
+        let text = "# a comment\n\n1 1 2.5 # trailing comment\n2 3 -1\n";
+        let t = read_tns(text.as_bytes()).unwrap();
+        assert_eq!(t.ndim(), 2);
+        assert_eq!(t.nnz(), 2);
+        assert_eq!(t.get(&[0, 0]), 2.5);
+        assert_eq!(t.get(&[1, 2]), -1.0);
+    }
+
+    #[test]
+    fn tns_rejects_zero_index() {
+        let err = read_tns("0 1 2.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Parse(_)));
+    }
+
+    #[test]
+    fn tns_rejects_inconsistent_arity() {
+        let err = read_tns("1 1 1 2.0\n1 1 3.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Parse(_)));
+    }
+
+    #[test]
+    fn tns_rejects_empty_input() {
+        assert!(matches!(read_tns("# only comments\n".as_bytes()), Err(IoError::Parse(_))));
+    }
+
+    #[test]
+    fn tns_parses_scientific_notation_and_negatives() {
+        let t = read_tns("1 2 1.5e-3\n3 1 -2.25E+2\n2 2 .5\n".as_bytes()).unwrap();
+        assert_eq!(t.nnz(), 3);
+        assert!((t.get(&[0, 1]) - 1.5e-3).abs() < 1e-18);
+        assert_eq!(t.get(&[2, 0]), -225.0);
+        assert_eq!(t.get(&[1, 1]), 0.5);
+    }
+
+    #[test]
+    fn tns_preserves_duplicates_for_caller_to_dedup() {
+        let mut t = read_tns("1 1 2.0\n1 1 3.0\n".as_bytes()).unwrap();
+        assert_eq!(t.nnz(), 2);
+        t.dedup_sum();
+        assert_eq!(t.nnz(), 1);
+        assert_eq!(t.get(&[0, 0]), 5.0);
+    }
+
+    #[test]
+    fn binary_round_trip_exact() {
+        let t = toy();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        let back = read_binary(&buf[..]).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let err = read_binary(&b"NOTMAGICristretto"[..]).unwrap_err();
+        assert!(matches!(err, IoError::Parse(_)));
+    }
+
+    #[test]
+    fn files_round_trip() {
+        let dir = std::env::temp_dir();
+        let t = toy();
+        let tns = dir.join("adatm_io_test.tns");
+        let bin = dir.join("adatm_io_test.adtm");
+        write_tns_file(&t, &tns).unwrap();
+        write_binary_file(&t, &bin).unwrap();
+        let a = read_tns_file(&tns).unwrap();
+        let b = read_binary_file(&bin).unwrap();
+        assert_eq!(a.nnz(), t.nnz());
+        assert_eq!(b, t);
+        let _ = std::fs::remove_file(tns);
+        let _ = std::fs::remove_file(bin);
+    }
+}

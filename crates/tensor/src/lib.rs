@@ -1,0 +1,46 @@
+//! Sparse tensor substrate for CP decomposition.
+//!
+//! This crate provides everything below the decomposition algorithms:
+//!
+//! * [`coo`] — the coordinate (COO) sparse tensor, stored
+//!   structure-of-arrays (one index array per mode plus a value array),
+//!   which is both the interchange format (FROSTT) and the root of every
+//!   dimension tree;
+//! * [`sorted`] — per-mode sorted views used to parallelize COO MTTKRP
+//!   without atomics;
+//! * [`dense`] — a small dense tensor used as a brute-force oracle in tests
+//!   and for tiny examples;
+//! * [`csf`] — compressed sparse fiber storage and the SPLATT-style
+//!   fiber-reusing MTTKRP, the state-of-the-art baseline the paper
+//!   compares against;
+//! * [`mttkrp`] — the element-wise COO MTTKRP baseline (Tensor-Toolbox
+//!   style);
+//! * [`ops`] — standalone tensor operations: TTV and TTV chains,
+//!   add/scale, empty-slice compaction, inner products;
+//! * [`semisparse`] — sCOO tensors (sparse modes + one dense mode) and
+//!   the TTM / TTM-chain operations Tucker builds on;
+//! * [`io`] — FROSTT `.tns` text and a compact binary format;
+//! * [`gen`] — synthetic tensor generators (uniform, Zipf-skewed,
+//!   low-rank-plus-noise) and shape-faithful proxies for the real datasets
+//!   used in the paper's line of work;
+//! * [`stats`] — dataset characteristics and projection-collapse
+//!   statistics used by the planner's experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coo;
+pub mod csf;
+pub mod dense;
+pub mod gen;
+pub mod io;
+pub mod mttkrp;
+pub mod ops;
+pub mod semisparse;
+pub mod sorted;
+pub mod stats;
+
+pub use coo::SparseTensor;
+pub use csf::CsfTensor;
+pub use dense::DenseTensor;
+pub use sorted::SortedModeView;

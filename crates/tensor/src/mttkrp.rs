@@ -1,0 +1,232 @@
+//! Element-wise COO MTTKRP — the Tensor-Toolbox-style baseline.
+//!
+//! For every nonzero `x` with coordinate `(i_1, ..., i_N)` and every rank
+//! column `r`, the mode-`n` MTTKRP accumulates
+//! `x * prod_{d != n} U^(d)(i_d, r)` into `M(i_n, r)`. The COO formulation
+//! performs `N-1` row Hadamard products per nonzero per mode — `N(N-1)`
+//! tensor sweeps per CP-ALS iteration — and is the non-memoized reference
+//! point every memoization strategy is measured against.
+//!
+//! Two schedules are provided:
+//! * [`mttkrp_seq`] — a single pass over entries in storage order;
+//! * [`mttkrp_par`] — rayon-parallel over the groups of a
+//!   [`SortedModeView`], each group owning one output row (no atomics).
+
+use crate::coo::SparseTensor;
+use crate::sorted::SortedModeView;
+use adatm_linalg::Mat;
+use rayon::prelude::*;
+
+/// Validates factor shapes against a tensor; returns the common rank.
+///
+/// # Panics
+/// Panics on any shape mismatch.
+pub fn check_factors(t: &SparseTensor, factors: &[Mat]) -> usize {
+    assert_eq!(factors.len(), t.ndim(), "one factor matrix per mode required");
+    let rank = factors.first().map_or(0, Mat::ncols);
+    for (d, f) in factors.iter().enumerate() {
+        assert_eq!(f.nrows(), t.dims()[d], "factor {d} rows must equal mode size");
+        assert_eq!(f.ncols(), rank, "factor {d} rank mismatch");
+    }
+    rank
+}
+
+/// Accumulates the contribution of one entry into `row`.
+///
+/// `row` must hold the running Hadamard product seeded with the entry
+/// value; this multiplies in the factor rows of every mode except `mode`.
+#[inline]
+fn hadamard_rows(
+    row: &mut [f64],
+    factors: &[Mat],
+    t: &SparseTensor,
+    entry: usize,
+    mode: usize,
+) {
+    for (d, f) in factors.iter().enumerate() {
+        if d == mode {
+            continue;
+        }
+        let frow = f.row(t.mode_idx(d)[entry] as usize);
+        for (acc, &u) in row.iter_mut().zip(frow.iter()) {
+            *acc *= u;
+        }
+    }
+}
+
+/// Sequential COO MTTKRP into a fresh `I_mode x R` matrix.
+pub fn mttkrp_seq(t: &SparseTensor, factors: &[Mat], mode: usize) -> Mat {
+    let rank = check_factors(t, factors);
+    let mut m = Mat::zeros(t.dims()[mode], rank);
+    mttkrp_seq_into(t, factors, mode, &mut m);
+    m
+}
+
+/// Sequential COO MTTKRP into a caller-provided output (zeroed first).
+pub fn mttkrp_seq_into(t: &SparseTensor, factors: &[Mat], mode: usize, out: &mut Mat) {
+    let rank = check_factors(t, factors);
+    assert_eq!(out.nrows(), t.dims()[mode], "output rows mismatch");
+    assert_eq!(out.ncols(), rank, "output rank mismatch");
+    out.fill_zero();
+    let mut scratch = vec![0.0f64; rank];
+    for k in 0..t.nnz() {
+        scratch.iter_mut().for_each(|s| *s = t.vals()[k]);
+        hadamard_rows(&mut scratch, factors, t, k, mode);
+        let orow = out.row_mut(t.mode_idx(mode)[k] as usize);
+        for (o, &s) in orow.iter_mut().zip(scratch.iter()) {
+            *o += s;
+        }
+    }
+}
+
+/// Parallel COO MTTKRP using a prebuilt [`SortedModeView`] for `mode`.
+///
+/// Each group of the view owns a distinct output row, so groups are
+/// processed with `par_iter` and write without synchronization. Rows whose
+/// mode index never occurs stay zero.
+///
+/// # Panics
+/// Panics if `view.mode() != mode` or on factor-shape mismatch.
+pub fn mttkrp_par(
+    t: &SparseTensor,
+    factors: &[Mat],
+    mode: usize,
+    view: &SortedModeView,
+) -> Mat {
+    let rank = check_factors(t, factors);
+    assert_eq!(view.mode(), mode, "sorted view is for a different mode");
+    let mut m = Mat::zeros(t.dims()[mode], rank);
+    // Hand each group its own output row. Group g writes row view.key(g);
+    // keys are strictly ascending so the rows are disjoint. We iterate the
+    // output by row chunks and look groups up by key order.
+    let groups: Vec<(u32, &[u32])> = view.iter().map(|(k, g)| (k, g)).collect();
+    let rows: Vec<(usize, Vec<f64>)> = groups
+        .par_iter()
+        .map(|&(key, grp)| {
+            let mut acc = vec![0.0f64; rank];
+            let mut scratch = vec![0.0f64; rank];
+            for &e in grp {
+                let k = e as usize;
+                scratch.iter_mut().for_each(|s| *s = t.vals()[k]);
+                hadamard_rows(&mut scratch, factors, t, k, mode);
+                for (a, &s) in acc.iter_mut().zip(scratch.iter()) {
+                    *a += s;
+                }
+            }
+            (key as usize, acc)
+        })
+        .collect();
+    for (row_idx, acc) in rows {
+        m.row_mut(row_idx).copy_from_slice(&acc);
+    }
+    m
+}
+
+/// Total fused multiply-add count of one COO MTTKRP in one mode
+/// (`nnz * (N-1) * R` multiplies plus `nnz * R` adds), used by the cost
+/// model and the operation-count experiments.
+pub fn flops_per_mode(t: &SparseTensor, rank: usize) -> usize {
+    t.nnz() * rank * t.ndim()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseTensor;
+
+    fn toy4() -> SparseTensor {
+        SparseTensor::from_entries(
+            vec![4, 3, 5, 2],
+            &[
+                (vec![0, 1, 2, 1], 1.0),
+                (vec![1, 2, 3, 0], 2.0),
+                (vec![2, 0, 0, 1], 3.0),
+                (vec![3, 0, 1, 0], -4.0),
+                (vec![0, 1, 0, 1], 5.0),
+                (vec![2, 2, 2, 1], 7.0),
+                (vec![0, 1, 2, 0], 0.5),
+            ],
+        )
+    }
+
+    fn factors_for(t: &SparseTensor, rank: usize, seed: u64) -> Vec<Mat> {
+        t.dims()
+            .iter()
+            .enumerate()
+            .map(|(d, &n)| Mat::random(n, rank, seed + d as u64))
+            .collect()
+    }
+
+    #[test]
+    fn seq_matches_dense_oracle_all_modes() {
+        let t = toy4();
+        let dense = DenseTensor::from_sparse(&t);
+        let factors = factors_for(&t, 3, 10);
+        for mode in 0..4 {
+            let m = mttkrp_seq(&t, &factors, mode);
+            let m_ref = dense.mttkrp_ref(&factors, mode);
+            assert!(m.max_abs_diff(&m_ref) < 1e-12, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn par_matches_seq_all_modes() {
+        let t = toy4();
+        let factors = factors_for(&t, 4, 20);
+        for mode in 0..4 {
+            let view = SortedModeView::build(&t, mode);
+            let p = mttkrp_par(&t, &factors, mode, &view);
+            let s = mttkrp_seq(&t, &factors, mode);
+            assert!(p.max_abs_diff(&s) < 1e-12, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn empty_slice_rows_stay_zero() {
+        let t = SparseTensor::from_entries(vec![5, 2], &[(vec![1, 0], 1.0), (vec![3, 1], 2.0)]);
+        let factors = factors_for(&t, 2, 1);
+        let m = mttkrp_seq(&t, &factors, 0);
+        for &row in &[0usize, 2, 4] {
+            assert_eq!(m.row(row), &[0.0, 0.0], "row {row}");
+        }
+    }
+
+    #[test]
+    fn rank_one_ones_factors_gives_slice_sums() {
+        let t = toy4();
+        let ones: Vec<Mat> =
+            t.dims().iter().map(|&n| Mat::from_vec(n, 1, vec![1.0; n])).collect();
+        let m = mttkrp_seq(&t, &ones, 0);
+        // With all-ones factors, M(i, 0) is the sum of slice i in mode 0.
+        assert!((m.get(0, 0) - (1.0 + 5.0 + 0.5)).abs() < 1e-14);
+        assert!((m.get(3, 0) + 4.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn mttkrp_into_reuses_buffer() {
+        let t = toy4();
+        let factors = factors_for(&t, 3, 30);
+        let mut out = Mat::zeros(t.dims()[1], 3);
+        mttkrp_seq_into(&t, &factors, 1, &mut out);
+        let fresh = mttkrp_seq(&t, &factors, 1);
+        assert!(out.max_abs_diff(&fresh) < 1e-15);
+        // Second call must not accumulate on top of the first.
+        mttkrp_seq_into(&t, &factors, 1, &mut out);
+        assert!(out.max_abs_diff(&fresh) < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "different mode")]
+    fn par_rejects_wrong_view() {
+        let t = toy4();
+        let factors = factors_for(&t, 2, 3);
+        let view = SortedModeView::build(&t, 1);
+        let _ = mttkrp_par(&t, &factors, 0, &view);
+    }
+
+    #[test]
+    fn flops_formula() {
+        let t = toy4();
+        assert_eq!(flops_per_mode(&t, 8), 7 * 8 * 4);
+    }
+}

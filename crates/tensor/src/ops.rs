@@ -1,0 +1,281 @@
+//! Standalone sparse tensor operations: TTV, arithmetic, compaction.
+//!
+//! These are the public building blocks the decomposition engines
+//! specialize internally. [`ttv`] is the textbook tensor-times-vector
+//! contraction (Eq. (1) of the CP literature); [`compact`] removes empty
+//! slices, the standard preprocessing step for real datasets whose id
+//! spaces are sparse themselves.
+
+use crate::coo::{Idx, SparseTensor};
+
+/// Tensor-times-vector along `mode`: contracts the mode away, returning
+/// an `(N-1)`-mode tensor with entries
+/// `y(i_1, ..their mode numbers shifted..) = sum_j v[j] x(.., j, ..)`.
+/// The result is deduplicated (entries whose remaining coordinates
+/// coincide are summed).
+///
+/// # Panics
+/// Panics if `v.len() != dims[mode]`, the tensor has fewer than 2 modes,
+/// or `mode` is out of range.
+pub fn ttv(t: &SparseTensor, mode: usize, v: &[f64]) -> SparseTensor {
+    assert!(t.ndim() >= 2, "ttv would produce a 0-mode tensor");
+    assert!(mode < t.ndim(), "mode out of range");
+    assert_eq!(v.len(), t.dims()[mode], "vector length must match mode size");
+    let keep: Vec<usize> = (0..t.ndim()).filter(|&d| d != mode).collect();
+    let dims: Vec<usize> = keep.iter().map(|&d| t.dims()[d]).collect();
+    let mut inds: Vec<Vec<Idx>> = keep.iter().map(|&d| t.mode_idx(d).to_vec()).collect();
+    let mut vals: Vec<f64> = (0..t.nnz())
+        .map(|k| t.vals()[k] * v[t.mode_idx(mode)[k] as usize])
+        .collect();
+    // Reuse SparseTensor's dedup machinery.
+    let mut out = SparseTensor::new(dims, std::mem::take(&mut inds), std::mem::take(&mut vals));
+    out.dedup_sum();
+    out
+}
+
+/// Applies a chain of TTVs in the *original* tensor's mode numbering:
+/// multiplies away every `(mode, vector)` pair, highest mode first so the
+/// shifting of mode indices never invalidates the remaining pairs.
+///
+/// # Panics
+/// Panics on duplicate modes or a chain that would consume every mode.
+pub fn ttv_chain(t: &SparseTensor, pairs: &[(usize, &[f64])]) -> SparseTensor {
+    assert!(pairs.len() < t.ndim(), "chain must leave at least one mode");
+    let mut order: Vec<usize> = (0..pairs.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(pairs[i].0));
+    for w in order.windows(2) {
+        assert_ne!(pairs[w[0]].0, pairs[w[1]].0, "duplicate mode in TTV chain");
+    }
+    let mut cur = t.clone();
+    for &i in &order {
+        cur = ttv(&cur, pairs[i].0, pairs[i].1);
+    }
+    cur
+}
+
+/// Scales every value by `alpha` in place.
+pub fn scale(t: &mut SparseTensor, alpha: f64) {
+    for v in t.vals_mut() {
+        *v *= alpha;
+    }
+}
+
+/// Element-wise sum of two tensors of identical shape (duplicates are
+/// merged).
+///
+/// # Panics
+/// Panics if shapes differ.
+pub fn add(a: &SparseTensor, b: &SparseTensor) -> SparseTensor {
+    assert_eq!(a.dims(), b.dims(), "tensor shapes must match");
+    let n = a.ndim();
+    let mut inds: Vec<Vec<Idx>> = (0..n)
+        .map(|d| {
+            let mut col = a.mode_idx(d).to_vec();
+            col.extend_from_slice(b.mode_idx(d));
+            col
+        })
+        .collect();
+    let mut vals = a.vals().to_vec();
+    vals.extend_from_slice(b.vals());
+    let mut out =
+        SparseTensor::new(a.dims().to_vec(), std::mem::take(&mut inds), std::mem::take(&mut vals));
+    out.dedup_sum();
+    out
+}
+
+/// Result of [`compact`]: the squeezed tensor plus, per mode, the map
+/// from new (dense) index to the original index.
+#[derive(Clone, Debug)]
+pub struct Compacted {
+    /// The tensor with all empty slices removed (mode `d` has size equal
+    /// to the number of distinct original indices).
+    pub tensor: SparseTensor,
+    /// `maps[d][new_index] = original_index`.
+    pub maps: Vec<Vec<Idx>>,
+}
+
+/// Removes empty slices in every mode, renumbering indices densely.
+///
+/// Real datasets (user ids, entity ids) routinely have mode sizes far
+/// above the number of distinct indices actually used; compaction shrinks
+/// the factor matrices and every downstream structure accordingly.
+pub fn compact(t: &SparseTensor) -> Compacted {
+    let n = t.ndim();
+    let mut maps: Vec<Vec<Idx>> = Vec::with_capacity(n);
+    let mut inds: Vec<Vec<Idx>> = Vec::with_capacity(n);
+    let mut dims: Vec<usize> = Vec::with_capacity(n);
+    for d in 0..n {
+        let mut used = t.mode_idx(d).to_vec();
+        used.sort_unstable();
+        used.dedup();
+        // old -> new lookup by binary search (used is sorted).
+        let col: Vec<Idx> = t
+            .mode_idx(d)
+            .iter()
+            .map(|&i| used.partition_point(|&u| u < i) as Idx)
+            .collect();
+        dims.push(used.len().max(1));
+        maps.push(used);
+        inds.push(col);
+    }
+    Compacted { tensor: SparseTensor::new(dims, inds, t.vals().to_vec()), maps }
+}
+
+/// Inner (Frobenius) product of two same-shape sparse tensors.
+///
+/// Both tensors are canonicalized copies internally; for repeated use,
+/// keep operands deduplicated and sorted.
+pub fn inner(a: &SparseTensor, b: &SparseTensor) -> f64 {
+    assert_eq!(a.dims(), b.dims(), "tensor shapes must match");
+    let mut x = a.clone();
+    let mut y = b.clone();
+    x.dedup_sum();
+    y.dedup_sum();
+    // Merge the two sorted entry streams.
+    let cmp = |x: &SparseTensor, i: usize, y: &SparseTensor, j: usize| {
+        for d in 0..x.ndim() {
+            match x.mode_idx(d)[i].cmp(&y.mode_idx(d)[j]) {
+                std::cmp::Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        std::cmp::Ordering::Equal
+    };
+    let (mut i, mut j, mut total) = (0usize, 0usize, 0.0);
+    while i < x.nnz() && j < y.nnz() {
+        match cmp(&x, i, &y, j) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                total += x.vals()[i] * y.vals()[j];
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseTensor;
+    use crate::gen::zipf_tensor;
+
+    fn toy() -> SparseTensor {
+        SparseTensor::from_entries(
+            vec![3, 4, 2],
+            &[
+                (vec![0, 1, 0], 2.0),
+                (vec![0, 1, 1], 3.0),
+                (vec![2, 0, 1], -1.0),
+                (vec![1, 3, 0], 4.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn ttv_matches_dense_definition() {
+        let t = toy();
+        let dense = DenseTensor::from_sparse(&t);
+        let v = [0.5, -1.0, 2.0, 0.25];
+        let y = ttv(&t, 1, &v);
+        assert_eq!(y.dims(), &[3, 2]);
+        for i in 0..3 {
+            for k in 0..2 {
+                let want: f64 = (0..4).map(|j| v[j] * dense.get(&[i, j, k])).sum();
+                assert!((y.get(&[i, k]) - want).abs() < 1e-12, "({i},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn ttv_merges_collapsing_coordinates() {
+        // Two entries that differ only in the contracted mode must merge.
+        let t = SparseTensor::from_entries(
+            vec![2, 3],
+            &[(vec![1, 0], 2.0), (vec![1, 2], 5.0)],
+        );
+        let y = ttv(&t, 1, &[1.0, 1.0, 1.0]);
+        assert_eq!(y.nnz(), 1);
+        assert_eq!(y.get(&[1]), 7.0);
+    }
+
+    #[test]
+    fn ttv_chain_order_independence() {
+        let t = zipf_tensor(&[6, 7, 8, 5], 100, &[0.4; 4], 3);
+        let u: Vec<f64> = (0..7).map(|i| 0.1 * i as f64 - 0.3).collect();
+        let w: Vec<f64> = (0..5).map(|i| 1.0 / (i + 1) as f64).collect();
+        let a = ttv_chain(&t, &[(1, &u), (3, &w)]);
+        let b = ttv_chain(&t, &[(3, &w), (1, &u)]);
+        assert_eq!(a.dims(), b.dims());
+        for k in 0..a.nnz() {
+            let coords: Vec<usize> =
+                (0..a.ndim()).map(|d| a.mode_idx(d)[k] as usize).collect();
+            assert!((a.vals()[k] - b.get(&coords)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate mode")]
+    fn ttv_chain_rejects_duplicates() {
+        let t = toy();
+        let v = vec![1.0; 4];
+        let _ = ttv_chain(&t, &[(1, &v), (1, &v)]);
+    }
+
+    #[test]
+    fn scale_and_add_are_linear() {
+        let a = toy();
+        let mut a2 = a.clone();
+        scale(&mut a2, 2.0);
+        let s = add(&a, &a);
+        // a + a == 2a entry-wise.
+        for k in 0..s.nnz() {
+            let coords: Vec<usize> =
+                (0..s.ndim()).map(|d| s.mode_idx(d)[k] as usize).collect();
+            assert!((s.vals()[k] - a2.get(&coords)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn add_cancellation_keeps_structural_zero() {
+        let a = SparseTensor::from_entries(vec![2, 2], &[(vec![0, 1], 3.0)]);
+        let mut b = a.clone();
+        scale(&mut b, -1.0);
+        let s = add(&a, &b);
+        assert_eq!(s.nnz(), 1);
+        assert_eq!(s.vals()[0], 0.0);
+    }
+
+    #[test]
+    fn compact_removes_empty_slices_and_round_trips() {
+        let t = SparseTensor::from_entries(
+            vec![100, 50, 10],
+            &[(vec![7, 30, 2], 1.0), (vec![99, 30, 5], 2.0), (vec![7, 4, 2], 3.0)],
+        );
+        let c = compact(&t);
+        assert_eq!(c.tensor.dims(), &[2, 2, 2]);
+        assert_eq!(c.tensor.nnz(), 3);
+        // Every compacted entry maps back to an original entry.
+        for k in 0..c.tensor.nnz() {
+            let orig: Vec<usize> = (0..3)
+                .map(|d| c.maps[d][c.tensor.mode_idx(d)[k] as usize] as usize)
+                .collect();
+            assert_eq!(t.get(&orig), c.tensor.vals()[k]);
+        }
+    }
+
+    #[test]
+    fn inner_matches_norm_on_self() {
+        let t = zipf_tensor(&[10, 12, 8], 200, &[0.5; 3], 9);
+        assert!((inner(&t, &t) - t.fro_norm_sq()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inner_of_disjoint_supports_is_zero() {
+        let a = SparseTensor::from_entries(vec![4, 4], &[(vec![0, 0], 5.0)]);
+        let b = SparseTensor::from_entries(vec![4, 4], &[(vec![3, 3], 7.0)]);
+        assert_eq!(inner(&a, &b), 0.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests of the tensor substrate: CSF equivalence, TTV
+//! algebra, I/O round trips, and compaction, on random sparse tensors.
+
+use adatm_linalg::Mat;
+use adatm_tensor::csf::CsfTensor;
+use adatm_tensor::dense::DenseTensor;
+use adatm_tensor::io::{read_binary, read_tns, write_binary, write_tns};
+use adatm_tensor::mttkrp::mttkrp_seq;
+use adatm_tensor::ops::{add, compact, inner, scale, ttv};
+use adatm_tensor::semisparse::ttm;
+use adatm_tensor::stats::distinct_projections;
+use adatm_tensor::SparseTensor;
+use proptest::prelude::*;
+
+fn arb_tensor() -> impl Strategy<Value = SparseTensor> {
+    (2usize..=4)
+        .prop_flat_map(|ndim| {
+            proptest::collection::vec(2usize..8, ndim).prop_flat_map(move |dims| {
+                let cells: usize = dims.iter().product();
+                let entry = {
+                    let dims = dims.clone();
+                    (0..cells).prop_map(move |flat| {
+                        let mut c = Vec::with_capacity(dims.len());
+                        let mut rest = flat;
+                        for &d in dims.iter().rev() {
+                            c.push(rest % d);
+                            rest /= d;
+                        }
+                        c.reverse();
+                        c
+                    })
+                };
+                (
+                    Just(dims.clone()),
+                    proptest::collection::vec((entry, -4.0f64..4.0), 1..=cells.min(30)),
+                )
+            })
+        })
+        .prop_map(|(dims, entries)| {
+            let mut t = SparseTensor::from_entries(dims, &entries);
+            t.dedup_sum();
+            t
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn csf_mttkrp_equals_coo_mttkrp(t in arb_tensor(), seed in 0u64..500) {
+        let rank = 2;
+        let factors: Vec<Mat> = t.dims().iter().enumerate()
+            .map(|(d, &n)| Mat::random(n, rank, seed + d as u64))
+            .collect();
+        for mode in 0..t.ndim() {
+            let csf = CsfTensor::for_mode(&t, mode);
+            let a = csf.mttkrp_root(&factors);
+            let b = mttkrp_seq(&t, &factors, mode);
+            prop_assert!(a.max_abs_diff(&b) < 1e-9, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn csf_leaf_count_is_distinct_coordinate_count(t in arb_tensor()) {
+        let csf = CsfTensor::build(&t, &(0..t.ndim()).collect::<Vec<_>>());
+        prop_assert_eq!(*csf.node_counts().last().unwrap(), t.nnz());
+    }
+
+    #[test]
+    fn ttv_is_linear_in_values(t in arb_tensor(), alpha in -3.0f64..3.0) {
+        prop_assume!(t.ndim() >= 2);
+        let mode = t.ndim() - 1;
+        let v: Vec<f64> = (0..t.dims()[mode]).map(|i| 0.5 + i as f64).collect();
+        let y1 = ttv(&t, mode, &v);
+        let mut t2 = t.clone();
+        scale(&mut t2, alpha);
+        let y2 = ttv(&t2, mode, &v);
+        // y2 == alpha * y1 entry-wise.
+        for k in 0..y2.nnz() {
+            let coords: Vec<usize> =
+                (0..y2.ndim()).map(|d| y2.mode_idx(d)[k] as usize).collect();
+            prop_assert!((y2.vals()[k] - alpha * y1.get(&coords)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ttm_row_sums_equal_ttv_with_same_vector(t in arb_tensor(), seed in 0u64..100) {
+        prop_assume!(t.ndim() >= 2);
+        let mode = 0;
+        let u = Mat::random(t.dims()[mode], 3, seed);
+        let y = ttm(&t, mode, &u);
+        // Column r of the TTM equals the TTV with u's column r.
+        for r in 0..3 {
+            let col: Vec<f64> = (0..u.nrows()).map(|i| u.get(i, r)).collect();
+            let z = ttv(&t, mode, &col);
+            for e in 0..y.nnz() {
+                let coords: Vec<usize> =
+                    (0..y.idx.len()).map(|p| y.idx[p][e] as usize).collect();
+                prop_assert!((y.fiber(e)[r] - z.get(&coords)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn add_commutes(a in arb_tensor()) {
+        let mut b = a.clone();
+        scale(&mut b, 0.5);
+        let ab = add(&a, &b);
+        let ba = add(&b, &a);
+        prop_assert_eq!(ab.nnz(), ba.nnz());
+        for k in 0..ab.nnz() {
+            let coords: Vec<usize> =
+                (0..ab.ndim()).map(|d| ab.mode_idx(d)[k] as usize).collect();
+            prop_assert!((ab.vals()[k] - ba.get(&coords)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inner_is_bilinear_diagonal(t in arb_tensor(), alpha in -2.0f64..2.0) {
+        let mut s = t.clone();
+        scale(&mut s, alpha);
+        prop_assert!((inner(&t, &s) - alpha * t.fro_norm_sq()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn compact_preserves_values_and_projections(t in arb_tensor()) {
+        let c = compact(&t);
+        prop_assert_eq!(c.tensor.nnz(), t.nnz());
+        // Distinct projections are invariant under index renaming.
+        for m in 0..t.ndim() {
+            prop_assert_eq!(
+                distinct_projections(&c.tensor, &[m]),
+                distinct_projections(&t, &[m])
+            );
+        }
+        prop_assert!((c.tensor.fro_norm() - t.fro_norm()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tns_round_trip_preserves_dense_content(t in arb_tensor()) {
+        let mut buf = Vec::new();
+        write_tns(&t, &mut buf).unwrap();
+        let mut back = read_tns(&buf[..]).unwrap();
+        back.dedup_sum();
+        // The reader infers dims from max indices; compare via dense on
+        // the original dims (the read tensor's dims are <= original).
+        let dense_a = DenseTensor::from_sparse(&t);
+        for k in 0..back.nnz() {
+            let coords: Vec<usize> =
+                (0..back.ndim()).map(|d| back.mode_idx(d)[k] as usize).collect();
+            prop_assert!((dense_a.get(&coords) - back.vals()[k]).abs() < 1e-9);
+        }
+        prop_assert_eq!(back.nnz(), t.nnz());
+    }
+
+    #[test]
+    fn binary_round_trip_is_exact(t in arb_tensor()) {
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        let back = read_binary(&buf[..]).unwrap();
+        prop_assert_eq!(back, t);
+    }
+}

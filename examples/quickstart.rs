@@ -1,0 +1,49 @@
+//! Quickstart: decompose a sparse tensor in a few lines.
+//!
+//! Generates a 4-mode skewed sparse tensor, lets the model-driven planner
+//! pick a memoization strategy, runs CP-ALS, and inspects the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use adatm::tensor::gen::zipf_tensor;
+use adatm::{decompose, CpAlsOptions};
+
+fn main() {
+    // A 4-mode sparse tensor with heavy-tailed index reuse, the regime
+    // where memoized MTTKRP shines.
+    let tensor = zipf_tensor(&[2_000, 10_000, 30_000, 5_000], 200_000, &[0.5, 0.9, 0.7, 1.0], 42);
+    println!(
+        "tensor: order {}, dims {:?}, nnz {}",
+        tensor.ndim(),
+        tensor.dims(),
+        tensor.nnz()
+    );
+
+    // One call: plan the memoization strategy, then run rank-16 CP-ALS.
+    let opts = CpAlsOptions::new(16).max_iters(20).tol(1e-5).seed(0);
+    let result = decompose(&tensor, &opts);
+
+    println!(
+        "CP-ALS: {} iterations, fit {:.4}, converged: {}",
+        result.iters,
+        result.final_fit(),
+        result.converged
+    );
+    println!(
+        "time: mttkrp {:.3}s, dense {:.3}s, fit {:.3}s",
+        result.timings.mttkrp.as_secs_f64(),
+        result.timings.dense.as_secs_f64(),
+        result.timings.fit.as_secs_f64()
+    );
+    // The model: lambda weights plus one normalized factor per mode.
+    let model = &result.model;
+    println!("rank {} model, lambda[0..4] = {:?}", model.rank(), &model.lambda[..4]);
+    for (d, f) in model.factors.iter().enumerate() {
+        println!("  factor {d}: {} x {}", f.nrows(), f.ncols());
+    }
+    // Predict a (held-in) entry.
+    let coords = [0usize, 1, 2, 3];
+    println!("model value at {:?}: {:.5}", coords, model.predict(&coords));
+}

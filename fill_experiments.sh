@@ -1,0 +1,44 @@
+#!/bin/sh
+# Splices results/e*.txt into EXPERIMENTS.md at the <!-- EN --> markers.
+# Idempotent: re-running replaces the previously spliced blocks.
+set -e
+src=EXPERIMENTS.md
+tmp=$(mktemp)
+awk '
+  /^<!-- E[0-9]+ -->$/ {
+    id = $2
+    print
+    file = "results/" tolower(id)
+    # Map marker id to the harness output file.
+    if (id == "E1") file = "results/e1_datasets.txt"
+    else if (id == "E2") file = "results/e2_sequential.txt"
+    else if (id == "E3") file = "results/e3_parallel.txt"
+    else if (id == "E4") file = "results/e4_preprocess.txt"
+    else if (id == "E5") file = "results/e5_memory.txt"
+    else if (id == "E6") file = "results/e6_order_sweep.txt"
+    else if (id == "E7") file = "results/e7_scaling.txt"
+    else if (id == "E8") file = "results/e8_model.txt"
+    else if (id == "E9") file = "results/e9_rank_sweep.txt"
+    else if (id == "E10") file = "results/e10_dissect.txt"
+    else if (id == "E11") file = "results/e11_skew.txt"
+    else if (id == "E12") file = "results/e12_ttmv_ablation.txt"
+    else if (id == "E13") file = "results/e13_estimators.txt"
+    else if (id == "E14") file = "results/e14_budget.txt"
+    print ""
+    print "```text"
+    while ((getline line < file) > 0) {
+      if (line !~ /^#TSV/) print line
+    }
+    close(file)
+    print "```"
+    skip = 1
+    next
+  }
+  /^## / { skip = 0 }
+  skip && /^```/ { incode = !incode; next }
+  skip && incode { next }
+  skip && /^$/ { next }
+  { if (!skip) print }
+' "$src" > "$tmp"
+mv "$tmp" "$src"
+echo "spliced results into $src"

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Regenerates every experiment table into results/. Knobs: ADATM_SCALE,
+# ADATM_ITERS, ADATM_RANK (see crates/bench/src/lib.rs).
+set -x
+export ADATM_SCALE="${ADATM_SCALE:-1.0}"
+export ADATM_ITERS="${ADATM_ITERS:-3}"
+export ADATM_RANK="${ADATM_RANK:-16}"
+mkdir -p results
+for e in e1_datasets e2_sequential e3_parallel e4_preprocess e5_memory \
+         e6_order_sweep e7_scaling e8_model e9_rank_sweep e10_dissect \
+         e11_skew e12_ttmv_ablation e13_estimators e14_budget; do
+  ./target/release/$e > results/$e.txt 2>&1 || echo "FAILED: $e" >> results/errors.txt
+done
+echo DONE > results/.done

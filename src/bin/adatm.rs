@@ -1,0 +1,374 @@
+//! `adatm` — command-line interface to the library.
+//!
+//! ```text
+//! adatm info <tensor>                      dataset characteristics
+//! adatm convert <in> <out>                 .tns <-> .adtm by extension
+//! adatm generate [opts] -o <out>           synthesize a tensor
+//! adatm plan <tensor> [opts]               print the planner's candidates
+//! adatm decompose <tensor> [opts]          run CP-ALS / NCP / CP-OPT
+//! ```
+//!
+//! Run any subcommand with `--help` for its options.
+
+use adatm::planner::estimate::NnzEstimator;
+use adatm::tensor::gen::{uniform_tensor, zipf_tensor};
+use adatm::tensor::io::{
+    read_binary_file, read_tns_file, write_binary_file, write_tns_file,
+};
+use adatm::tensor::stats::TensorStats;
+use adatm::{
+    complete, cp_opt, decompose_with, hooi, ncp, AdaptiveBackend, CompletionOptions,
+    CooBackend, CpAlsOptions, CpOptOptions, CsfBackend, DtreeBackend, MttkrpBackend,
+    NcpOptions, Planner, SparseTensor, TreeShape, TuckerOptions,
+};
+use std::collections::HashMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("info") => cmd_info(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("plan") => cmd_plan(&args[1..]),
+        Some("decompose") => cmd_decompose(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand '{other}' (try --help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "adatm - model-driven sparse CP decomposition\n\n\
+         USAGE:\n  adatm info <tensor>\n  adatm convert <in> <out>\n  \
+         adatm generate --dims AxBxC [--nnz N] [--skew s|s1,s2,..] [--seed S] -o <out>\n  \
+         adatm plan <tensor> [--rank R] [--estimator exact|sampled|analytic] [--budget-mib M]\n  \
+         adatm decompose <tensor> [--rank R] [--iters N] [--tol T] [--seed S]\n      \
+         [--backend adaptive|coo|csf|tree2|tree3|bdt] [--shape '(0 (1 2))']\n      \
+         [--algo als|ncp|cpopt|complete|tucker] [--reg R (complete)]\n      \
+         [--ranks AxBxC (tucker)] [--out DIR]\n\n\
+         Tensor files: FROSTT text (.tns) or adatm binary (.adtm), chosen by extension."
+    );
+}
+
+/// Splits `args` into positionals and `--flag value` options (flags with
+/// no following value or followed by another flag get an empty value).
+fn parse_args(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>), String> {
+    let mut pos = Vec::new();
+    let mut opts = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            let val = if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                i += 1;
+                args[i].clone()
+            } else {
+                String::new()
+            };
+            opts.insert(name.to_string(), val);
+        } else if a == "-o" {
+            if i + 1 >= args.len() {
+                return Err("-o requires a path".into());
+            }
+            i += 1;
+            opts.insert("out".to_string(), args[i].clone());
+        } else {
+            pos.push(a.clone());
+        }
+        i += 1;
+    }
+    Ok((pos, opts))
+}
+
+fn opt_parse<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad value '{v}' for --{key}")),
+    }
+}
+
+fn load(path: &str) -> Result<SparseTensor, String> {
+    let p = Path::new(path);
+    let ext = p.extension().and_then(|e| e.to_str()).unwrap_or("");
+    let mut t = match ext {
+        "adtm" => read_binary_file(p).map_err(|e| e.to_string())?,
+        _ => read_tns_file(p).map_err(|e| e.to_string())?,
+    };
+    t.dedup_sum();
+    Ok(t)
+}
+
+fn store(t: &SparseTensor, path: &str) -> Result<(), String> {
+    let p = Path::new(path);
+    let ext = p.extension().and_then(|e| e.to_str()).unwrap_or("");
+    match ext {
+        "adtm" => write_binary_file(t, p).map_err(|e| e.to_string()),
+        _ => write_tns_file(t, p).map_err(|e| e.to_string()),
+    }
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let (pos, _) = parse_args(args)?;
+    let path = pos.first().ok_or("info requires a tensor file")?;
+    let t = load(path)?;
+    let s = TensorStats::compute(&t);
+    println!("file      : {path}");
+    println!("order     : {}", s.order);
+    println!(
+        "dims      : {}",
+        s.dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(" x ")
+    );
+    println!("nnz       : {}", s.nnz);
+    println!("density   : {:.3e}", s.density);
+    println!("per-mode distinct: {:?}", s.distinct_per_mode);
+    println!(
+        "half-split collapse: {:.2} | {:.2}",
+        s.half_split_collapse.0, s.half_split_collapse.1
+    );
+    Ok(())
+}
+
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let (pos, _) = parse_args(args)?;
+    if pos.len() != 2 {
+        return Err("convert requires <in> and <out>".into());
+    }
+    let t = load(&pos[0])?;
+    store(&t, &pos[1])?;
+    println!("wrote {} ({} nnz)", pos[1], t.nnz());
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let (_, opts) = parse_args(args)?;
+    let dims_s = opts.get("dims").ok_or("generate requires --dims AxBxC")?;
+    let dims: Vec<usize> = dims_s
+        .split(['x', 'X'])
+        .map(|d| d.parse().map_err(|_| format!("bad dims '{dims_s}'")))
+        .collect::<Result<_, _>>()?;
+    let nnz = opt_parse(&opts, "nnz", 100_000usize)?;
+    let seed = opt_parse(&opts, "seed", 0u64)?;
+    let skews: Vec<f64> = match opts.get("skew") {
+        None => vec![0.0; dims.len()],
+        Some(s) if s.contains(',') => s
+            .split(',')
+            .map(|x| x.parse().map_err(|_| format!("bad skew '{s}'")))
+            .collect::<Result<_, _>>()?,
+        Some(s) => {
+            let v: f64 = s.parse().map_err(|_| format!("bad skew '{s}'"))?;
+            vec![v; dims.len()]
+        }
+    };
+    if skews.len() != dims.len() {
+        return Err("--skew needs one value or one per mode".into());
+    }
+    let out = opts.get("out").ok_or("generate requires -o <out>")?;
+    let t = if skews.iter().all(|&s| s == 0.0) {
+        uniform_tensor(&dims, nnz, seed)
+    } else {
+        zipf_tensor(&dims, nnz, &skews, seed)
+    };
+    store(&t, out)?;
+    println!("generated {} nnz into {out}", t.nnz());
+    Ok(())
+}
+
+fn parse_estimator(opts: &HashMap<String, String>) -> Result<NnzEstimator, String> {
+    match opts.get("estimator").map(String::as_str) {
+        None | Some("sampled") => Ok(NnzEstimator::default()),
+        Some("exact") => Ok(NnzEstimator::Exact),
+        Some("analytic") => Ok(NnzEstimator::Analytic),
+        Some(other) => Err(format!("unknown estimator '{other}'")),
+    }
+}
+
+fn cmd_plan(args: &[String]) -> Result<(), String> {
+    let (pos, opts) = parse_args(args)?;
+    let path = pos.first().ok_or("plan requires a tensor file")?;
+    let t = load(path)?;
+    let rank = opt_parse(&opts, "rank", 16usize)?;
+    let mut planner = Planner::new(&t, rank).estimator(parse_estimator(&opts)?);
+    if let Some(m) = opts.get("budget-mib") {
+        let mib: f64 = m.parse().map_err(|_| format!("bad --budget-mib '{m}'"))?;
+        planner = planner.memory_budget((mib * 1024.0 * 1024.0) as usize);
+    }
+    let plan = planner.plan();
+    println!(
+        "{} candidates ({} estimator evaluations); chosen: {}",
+        plan.candidates.len(),
+        plan.estimator_evals,
+        plan.shape
+    );
+    println!(
+        "{:<20} {:>14} {:>14} {:>12} {:>7}  shape",
+        "label", "flops/iter", "traffic-MiB/it", "resident-MiB", "fits"
+    );
+    for c in &plan.candidates {
+        println!(
+            "{:<20} {:>14.3e} {:>14.1} {:>12.1} {:>7}  {}{}",
+            c.label,
+            c.cost.flops_per_iter,
+            c.cost.traffic_bytes_per_iter / (1024.0 * 1024.0),
+            c.cost.resident_bytes() / (1024.0 * 1024.0),
+            c.fits_budget,
+            c.shape,
+            if c.shape == plan.shape { "  <== chosen" } else { "" }
+        );
+    }
+    Ok(())
+}
+
+fn make_backend(
+    t: &SparseTensor,
+    rank: usize,
+    opts: &HashMap<String, String>,
+) -> Result<Box<dyn MttkrpBackend>, String> {
+    if let Some(s) = opts.get("shape") {
+        let shape: TreeShape = s.parse().map_err(|e| format!("{e}"))?;
+        shape.validate();
+        return Ok(Box::new(DtreeBackend::new(t, &shape, rank)));
+    }
+    Ok(match opts.get("backend").map(String::as_str) {
+        None | Some("adaptive") => Box::new(AdaptiveBackend::plan(t, rank)),
+        Some("coo") => Box::new(CooBackend::new(t)),
+        Some("csf") => Box::new(CsfBackend::new(t)),
+        Some("tree2") => Box::new(DtreeBackend::two_level(t, rank)),
+        Some("tree3") => Box::new(DtreeBackend::three_level(t, rank)),
+        Some("bdt") => Box::new(DtreeBackend::balanced_binary(t, rank)),
+        Some(other) => return Err(format!("unknown backend '{other}'")),
+    })
+}
+
+fn write_factors(dir: &str, model: &adatm::CpModel) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    use std::io::Write;
+    let lpath = format!("{dir}/lambda.txt");
+    let mut lf = std::fs::File::create(&lpath).map_err(|e| e.to_string())?;
+    for l in &model.lambda {
+        writeln!(lf, "{l}").map_err(|e| e.to_string())?;
+    }
+    for (d, f) in model.factors.iter().enumerate() {
+        let path = format!("{dir}/factor_{d}.txt");
+        let mut file = std::fs::File::create(&path).map_err(|e| e.to_string())?;
+        for i in 0..f.nrows() {
+            let row: Vec<String> = f.row(i).iter().map(|x| format!("{x}")).collect();
+            writeln!(file, "{}", row.join(" ")).map_err(|e| e.to_string())?;
+        }
+    }
+    println!("wrote lambda + {} factors under {dir}/", model.factors.len());
+    Ok(())
+}
+
+fn cmd_decompose(args: &[String]) -> Result<(), String> {
+    let (pos, opts) = parse_args(args)?;
+    let path = pos.first().ok_or("decompose requires a tensor file")?;
+    let t = load(path)?;
+    let rank = opt_parse(&opts, "rank", 16usize)?;
+    let iters = opt_parse(&opts, "iters", 50usize)?;
+    let tol = opt_parse(&opts, "tol", 1e-5f64)?;
+    let seed = opt_parse(&opts, "seed", 0u64)?;
+    if opts.get("algo").map(String::as_str) == Some("tucker") {
+        // Tucker runs on TTM chains directly, not an MTTKRP backend.
+        let ranks: Vec<usize> = match opts.get("ranks") {
+            Some(s) => s
+                .split(['x', 'X'])
+                .map(|r| r.parse().map_err(|_| format!("bad --ranks '{s}'")))
+                .collect::<Result<_, _>>()?,
+            None => vec![rank.min(8); t.ndim()],
+        };
+        if ranks.len() != t.ndim() {
+            return Err("--ranks needs one value per mode".into());
+        }
+        let res = hooi(&t, &TuckerOptions::new(ranks).max_iters(iters).tol(tol).seed(seed));
+        println!(
+            "tucker: {} iters, fit {:.5}, converged {}, core norm {:.4}",
+            res.iters,
+            res.final_fit(),
+            res.converged,
+            res.model.core_norm()
+        );
+        return Ok(());
+    }
+    let mut backend = make_backend(&t, rank, &opts)?;
+    println!("backend: {}", backend.name());
+    match opts.get("algo").map(String::as_str) {
+        None | Some("als") => {
+            let o = CpAlsOptions::new(rank).max_iters(iters).tol(tol).seed(seed);
+            let res = decompose_with(&t, &o, &mut backend);
+            println!(
+                "als: {} iters, fit {:.5}, converged {}, mttkrp {:.3}s dense {:.3}s fit {:.3}s",
+                res.iters,
+                res.final_fit(),
+                res.converged,
+                res.timings.mttkrp.as_secs_f64(),
+                res.timings.dense.as_secs_f64(),
+                res.timings.fit.as_secs_f64()
+            );
+            if let Some(dir) = opts.get("out") {
+                write_factors(dir, &res.model)?;
+            }
+        }
+        Some("ncp") => {
+            let o = NcpOptions::new(rank).max_iters(iters).tol(tol).seed(seed);
+            let res = ncp(&t, &mut backend, &o);
+            println!(
+                "ncp: {} iters, fit {:.5}, converged {}",
+                res.iters,
+                res.final_fit(),
+                res.converged
+            );
+            if let Some(dir) = opts.get("out") {
+                write_factors(dir, &res.model)?;
+            }
+        }
+        Some("complete") => {
+            let reg = opt_parse(&opts, "reg", 0.1f64)?;
+            let o = CompletionOptions::new(rank)
+                .max_iters(iters)
+                .tol(tol)
+                .reg(reg)
+                .seed(seed);
+            let res = complete(&t, &o);
+            println!(
+                "complete: {} iters, train RMSE {:.5}, converged {}",
+                res.iters,
+                res.final_rmse(),
+                res.converged
+            );
+            if let Some(dir) = opts.get("out") {
+                write_factors(dir, &res.model)?;
+            }
+        }
+        Some("cpopt") => {
+            let o = CpOptOptions::new(rank).max_iters(iters).tol(tol).seed(seed);
+            let res = cp_opt(&t, &mut backend, &o);
+            println!(
+                "cpopt: {} iters, objective {:.5e}, converged {}",
+                res.iters,
+                res.objective_history.last().copied().unwrap_or(f64::NAN),
+                res.converged
+            );
+            if let Some(dir) = opts.get("out") {
+                write_factors(dir, &res.model)?;
+            }
+        }
+        Some(other) => return Err(format!("unknown algorithm '{other}'")),
+    }
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! `adatm` — model-driven sparse CP decomposition for higher-order
+//! tensors.
+//!
+//! This is the facade crate: it re-exports the full public API of the
+//! workspace so downstream users depend on a single crate.
+//!
+//! * Sparse tensors, I/O, generators: [`tensor`]
+//! * Dense kernels: [`linalg`]
+//! * Dimension trees and memoized TTMV: [`dtree`]
+//! * The model-driven planner: [`planner`]
+//! * CP-ALS drivers and backends: re-exported at the root
+//!
+//! See `examples/quickstart.rs` for a five-line decomposition.
+
+pub use adatm_core::backend::all_backends;
+pub use adatm_core::{
+    complete, cp_opt, decompose, decompose_with, factor_match_score, hooi, ncp, AdaptiveBackend,
+    CompletionOptions, CompletionResult, CooBackend, CpAls, CpAlsOptions, CpModel,
+    CpOptOptions, CpOptResult, CpResult, CsfBackend, DtreeBackend, InitStrategy,
+    MttkrpBackend, NcpOptions, NcpResult, PhaseTimings, TuckerModel, TuckerOptions,
+    TuckerResult,
+};
+pub use adatm_dtree::TreeShape;
+pub use adatm_linalg::Mat;
+pub use adatm_model::{MemoPlan, NnzEstimator, Objective, Planner, SearchStrategy};
+pub use adatm_tensor::SparseTensor;
+
+/// Dense linear-algebra kernels (`Mat`, Jacobi eigensolver, pinv).
+pub mod linalg {
+    pub use adatm_linalg::*;
+}
+
+/// Sparse tensor substrate (COO, CSF, I/O, generators, statistics).
+pub mod tensor {
+    pub use adatm_tensor::*;
+}
+
+/// Dimension trees: shapes, symbolic analysis, numeric TTMV engine.
+pub mod dtree {
+    pub use adatm_dtree::*;
+}
+
+/// The model-driven memoization planner.
+pub mod planner {
+    pub use adatm_model::*;
+}

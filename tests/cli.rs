@@ -1,0 +1,198 @@
+//! Integration tests for the `adatm` CLI binary, driven through
+//! `std::process` against a temp directory.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn adatm() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_adatm"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("adatm_cli_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = adatm().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("decompose"));
+    assert!(text.contains("generate"));
+}
+
+#[test]
+fn unknown_subcommand_fails() {
+    let out = adatm().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+}
+
+#[test]
+fn generate_info_convert_round_trip() {
+    let dir = tmpdir("roundtrip");
+    let tns = dir.join("t.tns");
+    let bin = dir.join("t.adtm");
+
+    let out = adatm()
+        .args([
+            "generate", "--dims", "40x50x30", "--nnz", "2000", "--skew", "0.7", "--seed", "3",
+            "-o",
+        ])
+        .arg(&tns)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = adatm().arg("info").arg(&tns).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("order     : 3"), "{text}");
+    assert!(text.contains("nnz       : 2000"), "{text}");
+
+    let out = adatm().arg("convert").arg(&tns).arg(&bin).output().unwrap();
+    assert!(out.status.success());
+    let out = adatm().arg("info").arg(&bin).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("nnz       : 2000"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn plan_prints_candidates() {
+    let dir = tmpdir("plan");
+    let tns = dir.join("t.tns");
+    adatm()
+        .args(["generate", "--dims", "20x30x25x15", "--nnz", "1500", "--skew", "0.8", "-o"])
+        .arg(&tns)
+        .status()
+        .unwrap();
+    let out = adatm()
+        .args(["plan"])
+        .arg(&tns)
+        .args(["--rank", "8", "--estimator", "exact"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("chosen"), "{text}");
+    assert!(text.contains("bdt"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn decompose_als_writes_factors() {
+    let dir = tmpdir("als");
+    let tns = dir.join("t.tns");
+    adatm()
+        .args(["generate", "--dims", "25x20x15", "--nnz", "1000", "--seed", "5", "-o"])
+        .arg(&tns)
+        .status()
+        .unwrap();
+    let factors = dir.join("factors");
+    let out = adatm()
+        .arg("decompose")
+        .arg(&tns)
+        .args(["--rank", "4", "--iters", "5", "--backend", "bdt", "--out"])
+        .arg(&factors)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(factors.join("lambda.txt").exists());
+    for d in 0..3 {
+        let f = factors.join(format!("factor_{d}.txt"));
+        assert!(f.exists());
+        let lines = std::fs::read_to_string(&f).unwrap().lines().count();
+        assert_eq!(lines, [25, 20, 15][d]);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn decompose_with_explicit_shape() {
+    let dir = tmpdir("shape");
+    let tns = dir.join("t.tns");
+    adatm()
+        .args(["generate", "--dims", "15x20x10x12", "--nnz", "800", "-o"])
+        .arg(&tns)
+        .status()
+        .unwrap();
+    let out = adatm()
+        .arg("decompose")
+        .arg(&tns)
+        .args(["--rank", "3", "--iters", "3", "--shape", "((0 2) (1 3))"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("fit"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn decompose_ncp_and_cpopt_run() {
+    let dir = tmpdir("algos");
+    let tns = dir.join("t.tns");
+    adatm()
+        .args(["generate", "--dims", "12x15x10", "--nnz", "500", "--skew", "0.5", "-o"])
+        .arg(&tns)
+        .status()
+        .unwrap();
+    for algo in ["ncp", "cpopt", "complete"] {
+        let out = adatm()
+            .arg("decompose")
+            .arg(&tns)
+            .args(["--rank", "3", "--iters", "5", "--algo", algo, "--backend", "coo"])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{algo}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(String::from_utf8_lossy(&out.stdout).contains(algo));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn decompose_tucker_runs() {
+    let dir = tmpdir("tucker");
+    let tns = dir.join("t.tns");
+    adatm()
+        .args(["generate", "--dims", "20x15x12", "--nnz", "600", "--skew", "0.6", "-o"])
+        .arg(&tns)
+        .status()
+        .unwrap();
+    let out = adatm()
+        .arg("decompose")
+        .arg(&tns)
+        .args(["--algo", "tucker", "--ranks", "3x3x3", "--iters", "4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("tucker"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_shape_is_rejected() {
+    let dir = tmpdir("badshape");
+    let tns = dir.join("t.tns");
+    adatm()
+        .args(["generate", "--dims", "10x10x10", "--nnz", "100", "-o"])
+        .arg(&tns)
+        .status()
+        .unwrap();
+    let out = adatm()
+        .arg("decompose")
+        .arg(&tns)
+        .args(["--rank", "2", "--shape", "(0 1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}

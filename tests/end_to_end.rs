@@ -1,0 +1,157 @@
+//! End-to-end integration tests: data generation -> (optional I/O round
+//! trip) -> planning -> CP-ALS -> model quality, across all backends.
+
+use adatm::tensor::gen::{dense_low_rank, zipf_tensor};
+use adatm::tensor::io::{read_binary, read_tns, write_binary, write_tns};
+use adatm::{
+    all_backends, decompose, decompose_with, CooBackend, CpAlsOptions, CsfBackend,
+    DtreeBackend,
+};
+
+#[test]
+fn adaptive_decompose_recovers_dense_low_rank() {
+    let truth = dense_low_rank(&[10, 12, 8, 9], 3, 0.0, 31);
+    let res = decompose(&truth.tensor, &CpAlsOptions::new(3).max_iters(80).tol(1e-9).seed(4));
+    assert!(res.final_fit() > 0.99, "fit {}", res.final_fit());
+}
+
+#[test]
+fn all_backends_agree_on_final_model_4d() {
+    let t = zipf_tensor(&[40, 60, 50, 30], 4_000, &[0.7; 4], 55);
+    let opts = CpAlsOptions::new(5).max_iters(8).tol(0.0).seed(19);
+    let natural: Vec<usize> = (0..4).collect();
+    let mut reference: Option<Vec<f64>> = None;
+    for mut b in all_backends(&t, 5) {
+        let res = decompose_with(&t, &opts, &mut b);
+        if b.mode_order(4) != natural {
+            // A permuted sweep order (the adaptive planner may reorder)
+            // follows a different but valid ALS trajectory.
+            assert!(res.final_fit().is_finite());
+            continue;
+        }
+        let hist = res.fit_history.clone();
+        match &reference {
+            None => reference = Some(hist),
+            Some(r) => {
+                for (a, b2) in r.iter().zip(hist.iter()) {
+                    assert!((a - b2).abs() < 1e-7, "backend {} diverged", b.name());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn five_and_six_mode_end_to_end() {
+    for n in [5usize, 6] {
+        let dims: Vec<usize> = (0..n).map(|d| 15 + 5 * d).collect();
+        let t = zipf_tensor(&dims, 3_000, &vec![0.6; n], 77 + n as u64);
+        let res = decompose(&t, &CpAlsOptions::new(4).max_iters(6).tol(0.0).seed(2));
+        assert_eq!(res.iters, 6);
+        assert!(res.final_fit().is_finite());
+        // Factors keep their shapes and normalized columns.
+        for (d, f) in res.model.factors.iter().enumerate() {
+            assert_eq!(f.nrows(), dims[d]);
+            assert_eq!(f.ncols(), 4);
+        }
+    }
+}
+
+#[test]
+fn io_round_trip_preserves_decomposition() {
+    let t = zipf_tensor(&[30, 40, 25], 1_500, &[0.5; 3], 13);
+    // Through text format.
+    let mut buf = Vec::new();
+    write_tns(&t, &mut buf).unwrap();
+    let mut t2 = read_tns(&buf[..]).unwrap();
+    t2.dedup_sum();
+    // Through binary format.
+    let mut bbuf = Vec::new();
+    write_binary(&t, &mut bbuf).unwrap();
+    let t3 = read_binary(&bbuf[..]).unwrap();
+
+    let opts = CpAlsOptions::new(3).max_iters(5).tol(0.0).seed(1);
+    let f1 = {
+        let mut b = CooBackend::new(&t);
+        decompose_with(&t, &opts, &mut b).final_fit()
+    };
+    let f3 = {
+        let mut b = CooBackend::new(&t3);
+        decompose_with(&t3, &opts, &mut b).final_fit()
+    };
+    assert!((f1 - f3).abs() < 1e-12, "binary round trip changed the data");
+    // Text re-read may reorder entries (dims inferred identically since no
+    // empty trailing slices in generated data); fit must match closely.
+    if t2.dims() == t.dims() {
+        let f2 = {
+            let mut b = CooBackend::new(&t2);
+            decompose_with(&t2, &opts, &mut b).final_fit()
+        };
+        assert!((f1 - f2).abs() < 1e-7, "text round trip changed the result");
+    }
+}
+
+#[test]
+fn rank_one_decomposition_works() {
+    let truth = dense_low_rank(&[8, 10, 6], 1, 0.0, 3);
+    let mut b = CsfBackend::new(&truth.tensor);
+    let res =
+        decompose_with(&truth.tensor, &CpAlsOptions::new(1).max_iters(30).seed(6), &mut b);
+    assert!(res.final_fit() > 0.999, "rank-1 exact fit, got {}", res.final_fit());
+}
+
+#[test]
+fn overcomplete_rank_still_converges() {
+    // Rank higher than the data's true rank: ALS must stay stable (the
+    // pseudoinverse handles the singular normal equations).
+    let truth = dense_low_rank(&[8, 9, 7], 2, 0.0, 8);
+    let mut b = DtreeBackend::balanced_binary(&truth.tensor, 6);
+    let res = decompose_with(
+        &truth.tensor,
+        &CpAlsOptions::new(6).max_iters(40).tol(0.0).seed(9),
+        &mut b,
+    );
+    assert!(res.final_fit() > 0.99, "fit {}", res.final_fit());
+    assert!(res.fit_history.iter().all(|f| f.is_finite()));
+}
+
+#[test]
+fn mode_permutation_invariance() {
+    // Decomposing a mode-permuted tensor must give the same fit.
+    let t = zipf_tensor(&[20, 35, 25, 15], 2_000, &[0.8; 4], 21);
+    let perm = [2usize, 0, 3, 1];
+    let tp = t.permute_modes(&perm);
+    let opts = CpAlsOptions::new(4).max_iters(10).tol(0.0).seed(33);
+    let fit_a = {
+        let mut b = DtreeBackend::balanced_binary(&t, 4);
+        decompose_with(&t, &opts, &mut b).final_fit()
+    };
+    let fit_b = {
+        let mut b = DtreeBackend::balanced_binary(&tp, 4);
+        decompose_with(&tp, &opts, &mut b).final_fit()
+    };
+    // Different random inits see different mode sizes, so allow loose
+    // agreement (the optimum is permutation-invariant; trajectories are
+    // close at 10 iterations on this well-conditioned problem).
+    assert!(
+        (fit_a - fit_b).abs() < 0.05,
+        "permuted fit {fit_b} far from original {fit_a}"
+    );
+}
+
+#[test]
+fn empty_slices_do_not_break_anything() {
+    // Mode 0 has size 50 but only 3 distinct indices in use.
+    let t = adatm::SparseTensor::from_entries(
+        vec![50, 6, 7],
+        &[
+            (vec![3, 0, 0], 1.0),
+            (vec![3, 5, 6], 2.0),
+            (vec![20, 2, 3], 3.0),
+            (vec![49, 1, 2], 4.0),
+            (vec![20, 4, 5], 5.0),
+        ],
+    );
+    let res = decompose(&t, &CpAlsOptions::new(2).max_iters(5).tol(0.0).seed(1));
+    assert!(res.final_fit().is_finite());
+}

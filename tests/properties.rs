@@ -1,0 +1,183 @@
+//! Property-based tests (proptest) on the core invariants of the
+//! workspace: MTTKRP correctness of every backend against the dense
+//! oracle, symbolic-tree structure, estimator bounds, and planner
+//! validity — on randomly generated tensors and shapes.
+
+use adatm::dtree::{DimTree, SymbolicTree, TreeShape};
+use adatm::linalg::Mat;
+use adatm::planner::estimate::{estimate, NnzEstimator};
+use adatm::tensor::dense::DenseTensor;
+use adatm::tensor::stats::distinct_projections;
+use adatm::{all_backends, Planner, SparseTensor};
+use proptest::prelude::*;
+
+/// Strategy: a random sparse tensor with 2-5 modes, small dims, and a
+/// handful of (possibly duplicate-free) entries.
+fn arb_tensor() -> impl Strategy<Value = SparseTensor> {
+    (2usize..=5)
+        .prop_flat_map(|ndim| {
+            let dims = proptest::collection::vec(2usize..7, ndim);
+            dims.prop_flat_map(move |dims| {
+                let cells: usize = dims.iter().product();
+                let max_nnz = cells.min(40);
+                let entry = {
+                    let dims = dims.clone();
+                    (0..cells).prop_map(move |flat| {
+                        let mut c = Vec::with_capacity(dims.len());
+                        let mut rest = flat;
+                        for &d in dims.iter().rev() {
+                            c.push(rest % d);
+                            rest /= d;
+                        }
+                        c.reverse();
+                        c
+                    })
+                };
+                (
+                    Just(dims.clone()),
+                    proptest::collection::vec((entry, -5.0f64..5.0), 1..=max_nnz),
+                )
+            })
+        })
+        .prop_map(|(dims, entries)| {
+            let entries: Vec<(Vec<usize>, f64)> = entries;
+            let mut t = SparseTensor::from_entries(dims, &entries);
+            t.dedup_sum();
+            t
+        })
+}
+
+/// Strategy: a random valid tree shape over `n` modes (random recursive
+/// partition with fanout 2-3).
+fn arb_shape(n: usize) -> impl Strategy<Value = TreeShape> {
+    // Random split seed drives a deterministic recursive partitioner.
+    (0u64..u64::MAX).prop_map(move |seed| random_shape(&(0..n).collect::<Vec<_>>(), seed))
+}
+
+fn random_shape(modes: &[usize], seed: u64) -> TreeShape {
+    if modes.len() == 1 {
+        return TreeShape::Leaf(modes[0]);
+    }
+    // Simple xorshift for deterministic pseudo-random splits.
+    let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    let mut next = || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let cut = 1 + (next() as usize) % (modes.len() - 1);
+    TreeShape::internal(vec![
+        random_shape(&modes[..cut], next()),
+        random_shape(&modes[cut..], next()),
+    ])
+}
+
+fn factors_for(t: &SparseTensor, rank: usize, seed: u64) -> Vec<Mat> {
+    t.dims()
+        .iter()
+        .enumerate()
+        .map(|(d, &n)| Mat::random(n, rank, seed + d as u64))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_backends_match_dense_oracle(t in arb_tensor(), seed in 0u64..1000) {
+        let rank = 3;
+        let factors = factors_for(&t, rank, seed);
+        let dense = DenseTensor::from_sparse(&t);
+        for mut b in all_backends(&t, rank) {
+            for mode in 0..t.ndim() {
+                b.begin_mode(mode);
+                let mut out = Mat::zeros(t.dims()[mode], rank);
+                b.mttkrp_into(&t, &factors, mode, &mut out);
+                let want = dense.mttkrp_ref(&factors, mode);
+                prop_assert!(
+                    out.max_abs_diff(&want) < 1e-9,
+                    "backend {} mode {mode} diff {}",
+                    b.name(), out.max_abs_diff(&want)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_tree_shapes_compute_correct_mttkrp(
+        t in arb_tensor(),
+        seed in 0u64..1000,
+    ) {
+        let rank = 2;
+        let shape = random_shape(&(0..t.ndim()).collect::<Vec<_>>(), seed);
+        shape.validate();
+        let factors = factors_for(&t, rank, seed);
+        let dense = DenseTensor::from_sparse(&t);
+        let mut eng = adatm::dtree::DtreeEngine::new(&t, &shape, rank);
+        for mode in 0..t.ndim() {
+            eng.invalidate_mode(mode);
+            let m = eng.mttkrp(&t, &factors, mode);
+            let want = dense.mttkrp_ref(&factors, mode);
+            prop_assert!(m.max_abs_diff(&want) < 1e-9, "shape {shape} mode {mode}");
+        }
+    }
+
+    #[test]
+    fn symbolic_counts_match_projections(t in arb_tensor(), seed in 0u64..1000) {
+        let shape = random_shape(&(0..t.ndim()).collect::<Vec<_>>(), seed);
+        let tree = DimTree::from_shape(&shape);
+        let sym = SymbolicTree::build(&t, &tree);
+        for id in 1..tree.len() {
+            let want = distinct_projections(&t, &tree.node(id).modes);
+            prop_assert_eq!(sym.node(id).len, want);
+            // Reduction sets partition the parent's elements.
+            let parent = tree.node(id).parent.unwrap();
+            prop_assert_eq!(*sym.node(id).rptr.last().unwrap(), sym.node(parent).len);
+        }
+    }
+
+    #[test]
+    fn estimators_respect_bounds(t in arb_tensor()) {
+        for how in [NnzEstimator::Exact, NnzEstimator::Analytic,
+                    NnzEstimator::Sampled { sample: 8 }] {
+            for m in 0..t.ndim() {
+                let e = estimate(&t, &[m], how);
+                let space = t.dims()[m] as f64;
+                if t.nnz() == 0 {
+                    prop_assert_eq!(e, 0.0);
+                } else {
+                    prop_assert!(e >= 1.0);
+                    prop_assert!(e <= (t.nnz() as f64).min(space) + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planner_always_returns_valid_plan(t in arb_tensor()) {
+        prop_assume!(t.nnz() > 0);
+        let plan = Planner::new(&t, 2).estimator(NnzEstimator::Exact).plan();
+        plan.shape.validate();
+        prop_assert!(plan.predicted.flops_per_iter >= 0.0);
+        prop_assert!(plan.predicted.traffic_bytes_per_iter >= 0.0);
+        prop_assert!(!plan.candidates.is_empty());
+        // The chosen plan minimizes the default (traffic-aware) objective.
+        let beta = adatm::Objective::default().beta();
+        let min = plan.candidates.iter()
+            .map(|c| c.cost.cost_units(beta))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((plan.predicted.cost_units(beta) - min).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dedup_then_dense_round_trip(t in arb_tensor()) {
+        // Densify -> re-sparsify (implicitly via get) agrees entry-wise.
+        let dense = DenseTensor::from_sparse(&t);
+        for k in 0..t.nnz() {
+            let coords: Vec<usize> =
+                (0..t.ndim()).map(|d| t.mode_idx(d)[k] as usize).collect();
+            prop_assert!((dense.get(&coords) - t.vals()[k]).abs() < 1e-12);
+        }
+    }
+}
