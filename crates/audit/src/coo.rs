@@ -1,0 +1,152 @@
+//! Validators for COO tensors ([`SparseTensor`]).
+
+use crate::{AuditError, Validate};
+use adatm_tensor::SparseTensor;
+
+impl Validate for SparseTensor {
+    /// Structural invariants of COO storage: every mode's index array has
+    /// one entry per nonzero, every index stays under its mode's size, and
+    /// every value is finite. Ordering is *not* required here — COO
+    /// tensors are legal unsorted; see [`validate_canonical`] for the
+    /// sorted-and-deduplicated form the kernels consume.
+    fn validate(&self) -> Result<(), AuditError> {
+        let nnz = self.nnz();
+        if self.vals().len() != nnz {
+            return Err(AuditError::LengthMismatch {
+                what: "coo values",
+                expected: nnz,
+                got: self.vals().len(),
+            });
+        }
+        for d in 0..self.ndim() {
+            let col = self.mode_idx(d);
+            if col.len() != nnz {
+                return Err(AuditError::LengthMismatch {
+                    what: "coo index array",
+                    expected: nnz,
+                    got: col.len(),
+                });
+            }
+            let bound = self.dims()[d];
+            for (pos, &i) in col.iter().enumerate() {
+                if (i as usize) >= bound {
+                    return Err(AuditError::IndexOutOfBounds {
+                        what: "coo index",
+                        mode: d,
+                        pos,
+                        index: i as usize,
+                        bound,
+                    });
+                }
+            }
+        }
+        for (pos, v) in self.vals().iter().enumerate() {
+            if !v.is_finite() {
+                return Err(AuditError::NonFinite { what: "coo values", pos });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validates the *canonical* COO form the kernels consume: structurally
+/// valid ([`SparseTensor::validate`]) **and** coordinates strictly
+/// increasing in lexicographic mode order `0..ndim` — i.e. sorted with no
+/// duplicate coordinates (what [`SparseTensor::dedup_sum`] produces).
+///
+/// Equal adjacent coordinates yield [`AuditError::DuplicateIndex`];
+/// out-of-order ones yield [`AuditError::Unsorted`], both at the second
+/// entry's position.
+pub fn validate_canonical(t: &SparseTensor) -> Result<(), AuditError> {
+    t.validate()?;
+    for pos in 1..t.nnz() {
+        let mut ord = std::cmp::Ordering::Equal;
+        for d in 0..t.ndim() {
+            let col = t.mode_idx(d);
+            ord = col[pos - 1].cmp(&col[pos]);
+            if ord != std::cmp::Ordering::Equal {
+                break;
+            }
+        }
+        match ord {
+            std::cmp::Ordering::Less => {}
+            std::cmp::Ordering::Equal => {
+                return Err(AuditError::DuplicateIndex { what: "coo coordinates", pos });
+            }
+            std::cmp::Ordering::Greater => {
+                return Err(AuditError::Unsorted { what: "coo coordinates", pos });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> SparseTensor {
+        let mut t = SparseTensor::from_entries(
+            vec![3, 4, 5],
+            &[
+                (vec![0, 1, 2], 1.0),
+                (vec![1, 2, 3], 2.0),
+                (vec![2, 3, 4], 3.0),
+                (vec![0, 0, 0], 4.0),
+            ],
+        );
+        t.dedup_sum();
+        t
+    }
+
+    #[test]
+    fn canonical_tensor_validates() {
+        let t = toy();
+        assert_eq!(t.validate(), Ok(()));
+        assert_eq!(validate_canonical(&t), Ok(()));
+    }
+
+    #[test]
+    fn empty_tensor_validates() {
+        let t = SparseTensor::empty(vec![2, 2, 2]);
+        assert_eq!(validate_canonical(&t), Ok(()));
+    }
+
+    #[test]
+    fn nan_value_is_caught() {
+        let mut t = toy();
+        t.vals_mut()[2] = f64::NAN;
+        assert_eq!(t.validate(), Err(AuditError::NonFinite { what: "coo values", pos: 2 }));
+    }
+
+    #[test]
+    fn unsorted_coordinates_are_caught() {
+        // from_entries preserves input order; this one is deliberately
+        // reversed and never deduplicated.
+        let t = SparseTensor::from_entries(vec![3, 3], &[(vec![2, 2], 1.0), (vec![0, 0], 2.0)]);
+        assert_eq!(t.validate(), Ok(()));
+        assert_eq!(
+            validate_canonical(&t),
+            Err(AuditError::Unsorted { what: "coo coordinates", pos: 1 })
+        );
+    }
+
+    #[test]
+    fn duplicate_coordinates_are_caught() {
+        let t = SparseTensor::from_entries(vec![3, 3], &[(vec![1, 1], 1.0), (vec![1, 1], 2.0)]);
+        assert_eq!(
+            validate_canonical(&t),
+            Err(AuditError::DuplicateIndex { what: "coo coordinates", pos: 1 })
+        );
+    }
+
+    #[test]
+    fn infinity_is_caught_too() {
+        let mut t = toy();
+        *t.vals_mut().last_mut().expect("nonempty") = f64::INFINITY;
+        let pos = t.nnz() - 1;
+        assert_eq!(t.validate(), Err(AuditError::NonFinite { what: "coo values", pos }));
+        // validate_canonical runs the structural checks first.
+        assert_eq!(validate_canonical(&t), Err(AuditError::NonFinite { what: "coo values", pos }));
+    }
+}

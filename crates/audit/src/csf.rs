@@ -1,0 +1,317 @@
+//! Validators for compressed-sparse-fiber forests ([`CsfTensor`]).
+
+use crate::{check_permutation, AuditError, Validate};
+use adatm_tensor::coo::Idx;
+use adatm_tensor::csf::CsfTensor;
+
+/// Validates CSF storage handed in as raw parts.
+///
+/// `fids[l]` are the node indices of level `l` (one level per mode, root
+/// level first); `fptr[l]` is the CSR-style child-range array of level
+/// `l` (present for levels `0..N-1`); `vals` aligns with the leaf level.
+/// The checks, in order:
+///
+/// 1. `order` is a permutation of `0..dims.len()`;
+/// 2. level counts match the tensor order;
+/// 3. every `fptr[l]` is CSR-shaped: `fids[l].len() + 1` entries (a lone
+///    `[0]` for an empty level), starts at `0`, ends at the next level's
+///    node count, and is **strictly** increasing — no node without
+///    children;
+/// 4. every `fids[l][j]` stays under `dims[order[l]]`;
+/// 5. sibling fibers are strictly increasing: the whole root level, and
+///    each child range at deeper levels (ties are duplicates — CSF
+///    construction must have merged them);
+/// 6. the leaf level accounts for `vals` exactly, and every value is
+///    finite.
+///
+/// Taking slices instead of a [`CsfTensor`] lets property tests corrupt
+/// one part (shuffle a fiber, break a pointer) without having to
+/// construct an invalid tensor through the validating builders.
+pub fn validate_csf_parts(
+    dims: &[usize],
+    order: &[usize],
+    fids: &[&[Idx]],
+    fptr: &[&[usize]],
+    vals: &[f64],
+) -> Result<(), AuditError> {
+    let n = dims.len();
+    check_permutation("csf mode order", order.iter().copied(), n)?;
+    if fids.len() != n {
+        return Err(AuditError::LengthMismatch {
+            what: "csf index levels",
+            expected: n,
+            got: fids.len(),
+        });
+    }
+    if fptr.len() != n.saturating_sub(1) {
+        return Err(AuditError::LengthMismatch {
+            what: "csf pointer levels",
+            expected: n.saturating_sub(1),
+            got: fptr.len(),
+        });
+    }
+    for (l, ptr) in fptr.iter().enumerate() {
+        if ptr.len() != fids[l].len() + 1 {
+            return Err(AuditError::BrokenPointers {
+                what: "csf",
+                level: l,
+                pos: ptr.len(),
+                detail: "fptr must have one entry per node plus a sentinel",
+            });
+        }
+        if ptr.first() != Some(&0) {
+            return Err(AuditError::BrokenPointers {
+                what: "csf",
+                level: l,
+                pos: 0,
+                detail: "child ranges must start at 0",
+            });
+        }
+        if ptr.last() != Some(&fids[l + 1].len()) {
+            return Err(AuditError::BrokenPointers {
+                what: "csf",
+                level: l,
+                pos: ptr.len() - 1,
+                detail: "child ranges must cover the next level exactly",
+            });
+        }
+        for (pos, w) in ptr.windows(2).enumerate() {
+            if w[0] >= w[1] {
+                return Err(AuditError::BrokenPointers {
+                    what: "csf",
+                    level: l,
+                    pos: pos + 1,
+                    detail: "empty child range",
+                });
+            }
+        }
+    }
+    for (l, level) in fids.iter().enumerate() {
+        let bound = dims[order[l]];
+        for (pos, &i) in level.iter().enumerate() {
+            if (i as usize) >= bound {
+                return Err(AuditError::IndexOutOfBounds {
+                    what: "csf fiber index",
+                    mode: order[l],
+                    pos,
+                    index: i as usize,
+                    bound,
+                });
+            }
+        }
+    }
+    // Sibling ordering: the root level is one sibling range; deeper levels
+    // are split by the parent's (already validated) child ranges.
+    check_strictly_increasing("csf root fibers", fids[0], 1, fids[0].len())?;
+    for l in 1..n {
+        for w in fptr[l - 1].windows(2) {
+            check_strictly_increasing("csf sibling fibers", fids[l], w[0] + 1, w[1])?;
+        }
+    }
+    let leaves = fids[n - 1].len();
+    if vals.len() != leaves {
+        return Err(AuditError::CountMismatch {
+            what: "csf leaf values",
+            expected: leaves,
+            got: vals.len(),
+        });
+    }
+    for (pos, v) in vals.iter().enumerate() {
+        if !v.is_finite() {
+            return Err(AuditError::NonFinite { what: "csf values", pos });
+        }
+    }
+    Ok(())
+}
+
+/// Checks `seq[from..to]` strictly increasing relative to each previous
+/// element (ties are duplicates, drops are sort violations).
+fn check_strictly_increasing(
+    what: &'static str,
+    seq: &[Idx],
+    from: usize,
+    to: usize,
+) -> Result<(), AuditError> {
+    for pos in from..to {
+        match seq[pos - 1].cmp(&seq[pos]) {
+            std::cmp::Ordering::Less => {}
+            std::cmp::Ordering::Equal => {
+                return Err(AuditError::DuplicateIndex { what, pos });
+            }
+            std::cmp::Ordering::Greater => return Err(AuditError::Unsorted { what, pos }),
+        }
+    }
+    Ok(())
+}
+
+impl Validate for CsfTensor {
+    /// Delegates to [`validate_csf_parts`] over the tensor's own levels.
+    fn validate(&self) -> Result<(), AuditError> {
+        let n = self.ndim();
+        let fids: Vec<&[Idx]> = (0..n).map(|l| self.level_fids(l)).collect();
+        let fptr: Vec<&[usize]> = (0..n.saturating_sub(1)).map(|l| self.level_fptr(l)).collect();
+        validate_csf_parts(self.dims(), self.order(), &fids, &fptr, self.vals())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adatm_tensor::SparseTensor;
+
+    fn toy() -> SparseTensor {
+        SparseTensor::from_entries(
+            vec![3, 4, 5],
+            &[
+                (vec![0, 1, 2], 1.0),
+                (vec![0, 1, 4], 1.5),
+                (vec![1, 2, 3], 2.0),
+                (vec![2, 3, 4], 3.0),
+                (vec![2, 0, 1], 4.0),
+            ],
+        )
+    }
+
+    /// Owned raw parts of a built CSF: `(dims, order, fids, fptr, vals)`.
+    type Parts = (Vec<usize>, Vec<usize>, Vec<Vec<Idx>>, Vec<Vec<usize>>, Vec<f64>);
+
+    /// Borrowed raw parts of a built CSF, for corruption.
+    fn parts(c: &CsfTensor) -> Parts {
+        let n = c.ndim();
+        (
+            c.dims().to_vec(),
+            c.order().to_vec(),
+            (0..n).map(|l| c.level_fids(l).to_vec()).collect(),
+            (0..n - 1).map(|l| c.level_fptr(l).to_vec()).collect(),
+            c.vals().to_vec(),
+        )
+    }
+
+    fn run(
+        dims: &[usize],
+        order: &[usize],
+        fids: &[Vec<Idx>],
+        fptr: &[Vec<usize>],
+        vals: &[f64],
+    ) -> Result<(), AuditError> {
+        let fids: Vec<&[Idx]> = fids.iter().map(Vec::as_slice).collect();
+        let fptr: Vec<&[usize]> = fptr.iter().map(Vec::as_slice).collect();
+        validate_csf_parts(dims, order, &fids, &fptr, vals)
+    }
+
+    #[test]
+    fn built_csf_validates_for_every_mode() {
+        let t = toy();
+        for m in 0..t.ndim() {
+            assert_eq!(CsfTensor::for_mode(&t, m).validate(), Ok(()), "mode {m}");
+        }
+    }
+
+    #[test]
+    fn empty_tensor_csf_validates() {
+        let t = SparseTensor::empty(vec![3, 4, 5]);
+        assert_eq!(CsfTensor::for_mode(&t, 0).validate(), Ok(()));
+    }
+
+    #[test]
+    fn shuffled_sibling_fiber_is_unsorted() {
+        let c = CsfTensor::for_mode(&toy(), 0);
+        let (dims, order, mut fids, fptr, vals) = parts(&c);
+        // Swap two root-level fibers: order breaks, pointers stay intact.
+        let last = fids[0].len() - 1;
+        fids[0].swap(0, last);
+        assert!(matches!(
+            run(&dims, &order, &fids, &fptr, &vals),
+            Err(AuditError::Unsorted { what: "csf root fibers", .. })
+        ));
+    }
+
+    #[test]
+    fn duplicated_sibling_fiber_is_caught() {
+        let c = CsfTensor::for_mode(&toy(), 0);
+        let (dims, order, mut fids, fptr, vals) = parts(&c);
+        fids[0][1] = fids[0][0];
+        assert!(matches!(
+            run(&dims, &order, &fids, &fptr, &vals),
+            Err(AuditError::DuplicateIndex { what: "csf root fibers", .. })
+        ));
+    }
+
+    #[test]
+    fn broken_pointer_shapes_are_caught() {
+        let c = CsfTensor::for_mode(&toy(), 0);
+        let (dims, order, fids, fptr, vals) = parts(&c);
+
+        let mut bad = fptr.clone();
+        bad[0][0] = 1; // must start at 0
+        assert!(matches!(
+            run(&dims, &order, &fids, &bad, &vals),
+            Err(AuditError::BrokenPointers { level: 0, pos: 0, .. })
+        ));
+
+        let mut bad = fptr.clone();
+        let last = bad[0].len() - 1;
+        bad[0][last] += 1; // overruns the next level
+        assert!(matches!(
+            run(&dims, &order, &fids, &bad, &vals),
+            Err(AuditError::BrokenPointers { level: 0, .. })
+        ));
+
+        let mut bad = fptr.clone();
+        bad[0].pop(); // lost sentinel
+        assert!(matches!(
+            run(&dims, &order, &fids, &bad, &vals),
+            Err(AuditError::BrokenPointers { level: 0, .. })
+        ));
+
+        let mut bad = fptr;
+        bad[1][1] = bad[1][2]; // empty child range mid-level
+        assert!(matches!(
+            run(&dims, &order, &fids, &bad, &vals),
+            Err(AuditError::BrokenPointers { level: 1, detail: "empty child range", .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_fiber_index_is_caught() {
+        let c = CsfTensor::for_mode(&toy(), 1);
+        let (dims, order, mut fids, fptr, vals) = parts(&c);
+        fids[0][0] = dims[order[0]] as Idx;
+        assert!(matches!(
+            run(&dims, &order, &fids, &fptr, &vals),
+            Err(AuditError::IndexOutOfBounds { what: "csf fiber index", .. })
+        ));
+    }
+
+    #[test]
+    fn leaf_value_accounting_is_checked() {
+        let c = CsfTensor::for_mode(&toy(), 0);
+        let (dims, order, fids, fptr, mut vals) = parts(&c);
+        vals.pop();
+        assert!(matches!(
+            run(&dims, &order, &fids, &fptr, &vals),
+            Err(AuditError::CountMismatch { what: "csf leaf values", .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_leaf_value_is_caught() {
+        let c = CsfTensor::for_mode(&toy(), 0);
+        let (dims, order, fids, fptr, mut vals) = parts(&c);
+        vals[3] = f64::NAN;
+        assert_eq!(
+            run(&dims, &order, &fids, &fptr, &vals),
+            Err(AuditError::NonFinite { what: "csf values", pos: 3 })
+        );
+    }
+
+    #[test]
+    fn bad_mode_order_is_caught() {
+        let c = CsfTensor::for_mode(&toy(), 0);
+        let (dims, _, fids, fptr, vals) = parts(&c);
+        assert!(matches!(
+            run(&dims, &[0, 0, 2], &fids, &fptr, &vals),
+            Err(AuditError::DuplicateIndex { what: "csf mode order", .. })
+        ));
+    }
+}

@@ -1,0 +1,88 @@
+//! Validators for factor matrices.
+
+use crate::{AuditError, Validate};
+use adatm_linalg::Mat;
+
+impl Validate for Mat {
+    /// A matrix is valid when every entry is finite — NaN or infinity in
+    /// a factor (or an MTTKRP output) silently poisons every later
+    /// iteration through the gram products.
+    fn validate(&self) -> Result<(), AuditError> {
+        for (pos, v) in self.as_slice().iter().enumerate() {
+            if !v.is_finite() {
+                return Err(AuditError::NonFinite { what: "matrix entries", pos });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validates a full CP factor set against the tensor it factors: one
+/// matrix per mode, `dims[d] x rank` each, all entries finite.
+pub fn validate_factors(factors: &[Mat], dims: &[usize], rank: usize) -> Result<(), AuditError> {
+    if factors.len() != dims.len() {
+        return Err(AuditError::LengthMismatch {
+            what: "factor matrices",
+            expected: dims.len(),
+            got: factors.len(),
+        });
+    }
+    for (d, f) in factors.iter().enumerate() {
+        if f.nrows() != dims[d] {
+            return Err(AuditError::CountMismatch {
+                what: "factor rows",
+                expected: dims[d],
+                got: f.nrows(),
+            });
+        }
+        if f.ncols() != rank {
+            return Err(AuditError::CountMismatch {
+                what: "factor columns",
+                expected: rank,
+                got: f.ncols(),
+            });
+        }
+        f.validate()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_factors_validate() {
+        let dims = [6, 4, 5];
+        let factors: Vec<Mat> =
+            dims.iter().enumerate().map(|(d, &n)| Mat::random(n, 3, d as u64)).collect();
+        assert_eq!(validate_factors(&factors, &dims, 3), Ok(()));
+    }
+
+    #[test]
+    fn nan_entry_is_located() {
+        let mut m = Mat::zeros(3, 2);
+        m.set(2, 1, f64::NEG_INFINITY);
+        assert_eq!(m.validate(), Err(AuditError::NonFinite { what: "matrix entries", pos: 5 }));
+    }
+
+    #[test]
+    fn shape_mismatches_are_caught() {
+        let dims = [6, 4];
+        let factors = vec![Mat::zeros(6, 3), Mat::zeros(5, 3)];
+        assert!(matches!(
+            validate_factors(&factors, &dims, 3),
+            Err(AuditError::CountMismatch { what: "factor rows", .. })
+        ));
+        let factors = vec![Mat::zeros(6, 3)];
+        assert!(matches!(
+            validate_factors(&factors, &dims, 3),
+            Err(AuditError::LengthMismatch { what: "factor matrices", .. })
+        ));
+        let factors = vec![Mat::zeros(6, 3), Mat::zeros(4, 2)];
+        assert!(matches!(
+            validate_factors(&factors, &dims, 3),
+            Err(AuditError::CountMismatch { what: "factor columns", .. })
+        ));
+    }
+}

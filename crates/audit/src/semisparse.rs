@@ -1,0 +1,180 @@
+//! Validators for semi-sparse (sCOO) intermediates.
+
+use crate::{AuditError, Validate};
+use adatm_tensor::semisparse::SemiSparseTensor;
+
+impl Validate for SemiSparseTensor {
+    /// Invariants of the sCOO intermediates the TTM chains produce:
+    ///
+    /// * one size and one index array per sparse mode, with the sparse
+    ///   mode ids strictly ascending;
+    /// * every index array has one entry per stored tuple and stays under
+    ///   its mode's size;
+    /// * tuples are strictly increasing in lexicographic order — sorted
+    ///   and merged, as the TTM kernels construct them;
+    /// * every dense-fiber value is finite.
+    fn validate(&self) -> Result<(), AuditError> {
+        let k = self.sparse_modes.len();
+        if self.sparse_dims.len() != k {
+            return Err(AuditError::LengthMismatch {
+                what: "semisparse mode sizes",
+                expected: k,
+                got: self.sparse_dims.len(),
+            });
+        }
+        if self.idx.len() != k {
+            return Err(AuditError::LengthMismatch {
+                what: "semisparse index arrays",
+                expected: k,
+                got: self.idx.len(),
+            });
+        }
+        for pos in 1..k {
+            match self.sparse_modes[pos - 1].cmp(&self.sparse_modes[pos]) {
+                std::cmp::Ordering::Less => {}
+                std::cmp::Ordering::Equal => {
+                    return Err(AuditError::DuplicateIndex { what: "semisparse modes", pos });
+                }
+                std::cmp::Ordering::Greater => {
+                    return Err(AuditError::Unsorted { what: "semisparse modes", pos });
+                }
+            }
+        }
+        let nnz = self.nnz();
+        for (m, col) in self.idx.iter().enumerate() {
+            if col.len() != nnz {
+                return Err(AuditError::LengthMismatch {
+                    what: "semisparse index array",
+                    expected: nnz,
+                    got: col.len(),
+                });
+            }
+            let bound = self.sparse_dims[m];
+            for (pos, &i) in col.iter().enumerate() {
+                if (i as usize) >= bound {
+                    return Err(AuditError::IndexOutOfBounds {
+                        what: "semisparse index",
+                        mode: self.sparse_modes[m],
+                        pos,
+                        index: i as usize,
+                        bound,
+                    });
+                }
+            }
+        }
+        for pos in 1..nnz {
+            let mut ord = std::cmp::Ordering::Equal;
+            for col in &self.idx {
+                ord = col[pos - 1].cmp(&col[pos]);
+                if ord != std::cmp::Ordering::Equal {
+                    break;
+                }
+            }
+            match ord {
+                std::cmp::Ordering::Less => {}
+                std::cmp::Ordering::Equal => {
+                    return Err(AuditError::DuplicateIndex { what: "semisparse tuples", pos });
+                }
+                std::cmp::Ordering::Greater => {
+                    return Err(AuditError::Unsorted { what: "semisparse tuples", pos });
+                }
+            }
+        }
+        for (pos, v) in self.vals.as_slice().iter().enumerate() {
+            if !v.is_finite() {
+                return Err(AuditError::NonFinite { what: "semisparse fibers", pos });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adatm_linalg::Mat;
+    use adatm_tensor::semisparse::{ttm, ttm_chain_all_but, ttm_semisparse};
+    use adatm_tensor::SparseTensor;
+
+    fn toy() -> SparseTensor {
+        SparseTensor::from_entries(
+            vec![3, 4, 5, 2],
+            &[
+                (vec![0, 1, 2, 0], 1.0),
+                (vec![1, 2, 3, 1], 2.0),
+                (vec![2, 3, 4, 0], 3.0),
+                (vec![2, 0, 1, 1], 4.0),
+                (vec![0, 1, 4, 0], 5.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn ttm_output_validates() {
+        let t = toy();
+        for mode in 0..t.ndim() {
+            let u = Mat::random(t.dims()[mode], 3, 7);
+            assert_eq!(ttm(&t, mode, &u).validate(), Ok(()), "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn chained_ttm_output_validates() {
+        let t = toy();
+        let s = ttm(&t, 3, &Mat::random(2, 3, 1));
+        let s2 = ttm_semisparse(&s, 2, &Mat::random(5, 2, 2));
+        assert_eq!(s2.validate(), Ok(()));
+        let factors: Vec<Mat> =
+            t.dims().iter().enumerate().map(|(d, &n)| Mat::random(n, 2, d as u64)).collect();
+        let refs: Vec<&Mat> = factors.iter().collect();
+        assert_eq!(ttm_chain_all_but(&t, 1, &refs).validate(), Ok(()));
+    }
+
+    #[test]
+    fn corrupted_tuple_order_is_caught() {
+        let t = toy();
+        let mut s = ttm(&t, 3, &Mat::random(2, 3, 7));
+        assert!(s.nnz() >= 2);
+        let last = s.idx[0].len() - 1;
+        for col in &mut s.idx {
+            col.swap(0, last);
+        }
+        assert!(matches!(
+            s.validate(),
+            Err(AuditError::Unsorted { what: "semisparse tuples", .. })
+        ));
+    }
+
+    #[test]
+    fn duplicated_tuple_is_caught() {
+        let t = toy();
+        let mut s = ttm(&t, 3, &Mat::random(2, 3, 7));
+        for col in &mut s.idx {
+            let first = col[0];
+            col[1] = first;
+        }
+        assert!(matches!(
+            s.validate(),
+            Err(AuditError::DuplicateIndex { what: "semisparse tuples", .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_fiber_is_caught() {
+        let t = toy();
+        let mut s = ttm(&t, 3, &Mat::random(2, 3, 7));
+        s.vals.set(0, 1, f64::NAN);
+        assert_eq!(s.validate(), Err(AuditError::NonFinite { what: "semisparse fibers", pos: 1 }));
+    }
+
+    #[test]
+    fn out_of_bounds_index_is_caught() {
+        let t = toy();
+        let mut s = ttm(&t, 3, &Mat::random(2, 3, 7));
+        s.idx[1][0] = s.sparse_dims[1] as u32;
+        assert!(matches!(
+            s.validate(),
+            Err(AuditError::IndexOutOfBounds { what: "semisparse index", mode: 1, .. })
+        ));
+    }
+}

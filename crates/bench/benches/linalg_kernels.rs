@@ -13,9 +13,7 @@ fn bench_linalg(c: &mut Criterion) {
     let mut group = c.benchmark_group("dense_kernels");
     group.sample_size(20);
     group.bench_function("gram_100k_x_32", |b| b.iter(|| std::hint::black_box(u.gram())));
-    group.bench_function("jacobi_eigh_32", |b| {
-        b.iter(|| std::hint::black_box(jacobi_eigh(&g)))
-    });
+    group.bench_function("jacobi_eigh_32", |b| b.iter(|| std::hint::black_box(jacobi_eigh(&g))));
     group.bench_function("solve_gram_100k_x_32", |b| {
         b.iter(|| std::hint::black_box(solve_gram(&m, &g)))
     });

@@ -11,12 +11,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench_mttkrp(c: &mut Criterion) {
     let rank = 16;
     let t = zipf_tensor(&[2_000, 30_000, 60_000, 10_000], 200_000, &[0.4, 0.9, 0.7, 1.0], 7);
-    let factors: Vec<Mat> = t
-        .dims()
-        .iter()
-        .enumerate()
-        .map(|(d, &n)| Mat::random(n, rank, 10 + d as u64))
-        .collect();
+    let factors: Vec<Mat> =
+        t.dims().iter().enumerate().map(|(d, &n)| Mat::random(n, rank, 10 + d as u64)).collect();
     let mut group = c.benchmark_group("mttkrp_sweep");
     group.sample_size(10);
     for mut backend in all_backends(&t, rank) {

@@ -12,8 +12,7 @@ fn main() {
     banner("E10", "iteration time dissection (fractions)");
     let suite = standard_suite(scale());
     let (r, it) = (rank(), iters());
-    let mut table =
-        Table::new(&["tensor", "backend", "total-s/iter", "mttkrp%", "dense%", "fit%"]);
+    let mut table = Table::new(&["tensor", "backend", "total-s/iter", "mttkrp%", "dense%", "fit%"]);
     for d in suite.iter().take(3) {
         for mut b in all_backends(&d.tensor, r) {
             let res = run_cpals(&d.tensor, &mut b, r, it);

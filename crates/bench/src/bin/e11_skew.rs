@@ -16,9 +16,8 @@ fn main() {
     let (r, it) = (rank(), iters());
     let nnz = ((800_000.0 * scale()) as usize).max(20_000);
     let dims = vec![50_000usize; 4];
-    let mut table = Table::new(&[
-        "skew", "nnz", "collapse(0,1)", "tree2-s/iter", "bdt-s/iter", "bdt-speedup",
-    ]);
+    let mut table =
+        Table::new(&["skew", "nnz", "collapse(0,1)", "tree2-s/iter", "bdt-s/iter", "bdt-speedup"]);
     for skew in [0.0f64, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5] {
         let t = zipf_tensor(&dims, nnz, &[skew; 4], 101);
         let cf = collapse_factor(&t, &[0, 1]);

@@ -14,7 +14,12 @@ fn main() {
     let suite = standard_suite(scale());
     let r = rank();
     let mut table = Table::new(&[
-        "tensor", "budget-MiB", "chosen", "pred-flops/iter", "pred-resident-MiB", "fits",
+        "tensor",
+        "budget-MiB",
+        "chosen",
+        "pred-flops/iter",
+        "pred-resident-MiB",
+        "fits",
     ]);
     for d in suite.iter().filter(|d| d.tensor.ndim() >= 4 && d.tensor.ndim() <= 8) {
         let t = &d.tensor;

@@ -10,17 +10,11 @@ use adatm_tensor::stats::TensorStats;
 fn main() {
     banner("E1", "dataset characteristics (proxy suite)");
     let suite = standard_suite(scale());
-    let mut table = Table::new(&[
-        "tensor", "order", "dims", "nnz", "density", "collapse(lo|hi)", "proxy for",
-    ]);
+    let mut table =
+        Table::new(&["tensor", "order", "dims", "nnz", "density", "collapse(lo|hi)", "proxy for"]);
     for d in &suite {
         let s = TensorStats::compute(&d.tensor);
-        let dims = s
-            .dims
-            .iter()
-            .map(|x| x.to_string())
-            .collect::<Vec<_>>()
-            .join("x");
+        let dims = s.dims.iter().map(|x| x.to_string()).collect::<Vec<_>>().join("x");
         table.row(&[
             d.name.clone(),
             s.order.to_string(),

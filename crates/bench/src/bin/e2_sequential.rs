@@ -17,7 +17,14 @@ fn main() {
     let suite = standard_suite(scale());
     let (r, it) = (rank(), iters());
     let mut table = Table::new(&[
-        "tensor", "coo", "splatt-csf", "tree2", "tree3", "bdt", "adaptive", "best/splatt",
+        "tensor",
+        "coo",
+        "splatt-csf",
+        "tree2",
+        "tree3",
+        "bdt",
+        "adaptive",
+        "best/splatt",
     ]);
     with_threads(1, || {
         for d in &suite {

@@ -3,9 +3,7 @@
 //!
 //! Same layout as E2 but using the full rayon pool.
 
-use adatm_bench::{
-    banner, iters, per_iter, rank, run_cpals, scale, secs, standard_suite, Table,
-};
+use adatm_bench::{banner, iters, per_iter, rank, run_cpals, scale, secs, standard_suite, Table};
 use adatm_core::all_backends;
 
 fn main() {
@@ -13,7 +11,14 @@ fn main() {
     let suite = standard_suite(scale());
     let (r, it) = (rank(), iters());
     let mut table = Table::new(&[
-        "tensor", "coo", "splatt-csf", "tree2", "tree3", "bdt", "adaptive", "best/splatt",
+        "tensor",
+        "coo",
+        "splatt-csf",
+        "tree2",
+        "tree3",
+        "bdt",
+        "adaptive",
+        "best/splatt",
     ]);
     for d in &suite {
         let mut cells = vec![d.name.clone()];

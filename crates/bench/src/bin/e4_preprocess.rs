@@ -13,8 +13,15 @@ fn main() {
     banner("E4", "one-time preprocessing cost (seconds, single build)");
     let suite = standard_suite(scale());
     let r = rank();
-    let mut table =
-        Table::new(&["tensor", "coo-views", "splatt-csf", "tree2", "tree3", "bdt", "adaptive(+plan)"]);
+    let mut table = Table::new(&[
+        "tensor",
+        "coo-views",
+        "splatt-csf",
+        "tree2",
+        "tree3",
+        "bdt",
+        "adaptive(+plan)",
+    ]);
     for d in &suite {
         let t = &d.tensor;
         let coo = time_once(|| {

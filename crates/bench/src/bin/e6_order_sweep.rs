@@ -16,8 +16,16 @@ fn main() {
     let suite = order_sweep_suite(scale(), &orders);
     let (r, it) = (rank(), iters());
     let mut table = Table::new(&[
-        "order", "nnz", "coo", "splatt-csf", "tree2", "tree3", "bdt", "adaptive",
-        "bdt/splatt", "theory-min",
+        "order",
+        "nnz",
+        "coo",
+        "splatt-csf",
+        "tree2",
+        "tree3",
+        "bdt",
+        "adaptive",
+        "bdt/splatt",
+        "theory-min",
     ]);
     for (d, &order) in suite.iter().zip(orders.iter()) {
         let mut cells = vec![order.to_string(), d.tensor.nnz().to_string()];
@@ -30,10 +38,7 @@ fn main() {
         }
         let get = |name: &str| times.iter().find(|(n, _)| *n == name).map(|(_, t)| *t).unwrap();
         cells.push(format!("{:.2}x", get("splatt-csf") / get("bdt")));
-        cells.push(format!(
-            "{:.2}x",
-            (order as f64 - 1.0) / (order as f64).log2()
-        ));
+        cells.push(format!("{:.2}x", (order as f64 - 1.0) / (order as f64).log2()));
         table.row(&cells);
     }
     table.print();

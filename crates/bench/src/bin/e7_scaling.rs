@@ -24,9 +24,8 @@ fn main() {
         materialize(&proxy_datasets(scale())[0]), // deli4d
         materialize(&random_nd(8, scale())),
     ];
-    let mut table = Table::new(&[
-        "tensor", "threads", "splatt-csf", "bdt", "splatt-speedup", "bdt-speedup",
-    ]);
+    let mut table =
+        Table::new(&["tensor", "threads", "splatt-csf", "bdt", "splatt-speedup", "bdt-speedup"]);
     for d in &datasets {
         let mut base: Option<(f64, f64)> = None;
         for &p in &threads {

@@ -13,7 +13,14 @@ fn main() {
     let d = materialize(&proxy_datasets(scale())[0]); // deli4d
     let it = iters();
     let mut table = Table::new(&[
-        "rank", "coo", "splatt-csf", "tree2", "tree3", "bdt", "adaptive", "bdt/splatt",
+        "rank",
+        "coo",
+        "splatt-csf",
+        "tree2",
+        "tree3",
+        "bdt",
+        "adaptive",
+        "bdt/splatt",
     ]);
     for r in [4usize, 8, 16, 32, 64] {
         let mut cells = vec![r.to_string()];

@@ -136,11 +136,8 @@ impl Table {
             }
         }
         let line = |cells: &[String]| {
-            let parts: Vec<String> = cells
-                .iter()
-                .zip(widths.iter())
-                .map(|(c, w)| format!("{c:>w$}", w = w))
-                .collect();
+            let parts: Vec<String> =
+                cells.iter().zip(widths.iter()).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
             println!("  {}", parts.join("  "));
         };
         line(&self.headers);
@@ -182,11 +179,7 @@ pub fn per_iter(res: &adatm_core::CpResult) -> Duration {
 
 /// Runs `f` inside a rayon pool with exactly `threads` workers.
 pub fn with_threads<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
-    rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("thread pool")
-        .install(f)
+    rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("thread pool").install(f)
 }
 
 /// Spearman rank correlation between two equal-length samples.

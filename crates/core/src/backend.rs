@@ -24,13 +24,7 @@ pub trait MttkrpBackend {
 
     /// Computes the mode-`mode` MTTKRP of `tensor` with the current
     /// `factors` into `out` (an `I_mode x R` matrix, overwritten).
-    fn mttkrp_into(
-        &mut self,
-        tensor: &SparseTensor,
-        factors: &[Mat],
-        mode: usize,
-        out: &mut Mat,
-    );
+    fn mttkrp_into(&mut self, tensor: &SparseTensor, factors: &[Mat], mode: usize, out: &mut Mat);
 
     /// Invalidates all cached numeric state (call after re-initializing
     /// factors outside the ALS protocol).
@@ -80,13 +74,7 @@ impl CooBackend {
 }
 
 impl MttkrpBackend for CooBackend {
-    fn mttkrp_into(
-        &mut self,
-        tensor: &SparseTensor,
-        factors: &[Mat],
-        mode: usize,
-        out: &mut Mat,
-    ) {
+    fn mttkrp_into(&mut self, tensor: &SparseTensor, factors: &[Mat], mode: usize, out: &mut Mat) {
         if self.parallel {
             let m = mttkrp_par(tensor, factors, mode, &self.views[mode]);
             out.as_mut_slice().copy_from_slice(m.as_slice());
@@ -126,19 +114,9 @@ impl CsfBackend {
 }
 
 impl MttkrpBackend for CsfBackend {
-    fn mttkrp_into(
-        &mut self,
-        _tensor: &SparseTensor,
-        factors: &[Mat],
-        mode: usize,
-        out: &mut Mat,
-    ) {
+    fn mttkrp_into(&mut self, _tensor: &SparseTensor, factors: &[Mat], mode: usize, out: &mut Mat) {
         let csf = self.set.for_mode(mode);
-        let m = if self.parallel {
-            csf.mttkrp_root_par(factors)
-        } else {
-            csf.mttkrp_root(factors)
-        };
+        let m = if self.parallel { csf.mttkrp_root_par(factors) } else { csf.mttkrp_root(factors) };
         out.as_mut_slice().copy_from_slice(m.as_slice());
     }
 
@@ -210,13 +188,7 @@ impl MttkrpBackend for DtreeBackend {
         order
     }
 
-    fn mttkrp_into(
-        &mut self,
-        tensor: &SparseTensor,
-        factors: &[Mat],
-        mode: usize,
-        out: &mut Mat,
-    ) {
+    fn mttkrp_into(&mut self, tensor: &SparseTensor, factors: &[Mat], mode: usize, out: &mut Mat) {
         self.engine.mttkrp_into(tensor, factors, mode, out);
     }
 
@@ -258,11 +230,7 @@ impl AdaptiveBackend {
 
     /// Plans with a memory budget on resident structures.
     pub fn plan_with_budget(tensor: &SparseTensor, rank: usize, budget_bytes: usize) -> Self {
-        Self::from_planner(
-            tensor,
-            rank,
-            Planner::new(tensor, rank).memory_budget(budget_bytes),
-        )
+        Self::from_planner(tensor, rank, Planner::new(tensor, rank).memory_budget(budget_bytes))
     }
 
     /// Runs an explicitly configured planner and builds the engine.
@@ -298,13 +266,7 @@ impl MttkrpBackend for AdaptiveBackend {
         self.inner.mode_order(ndim)
     }
 
-    fn mttkrp_into(
-        &mut self,
-        tensor: &SparseTensor,
-        factors: &[Mat],
-        mode: usize,
-        out: &mut Mat,
-    ) {
+    fn mttkrp_into(&mut self, tensor: &SparseTensor, factors: &[Mat], mode: usize, out: &mut Mat) {
         self.inner.mttkrp_into(tensor, factors, mode, out);
     }
 
@@ -330,13 +292,7 @@ impl<B: MttkrpBackend + ?Sized> MttkrpBackend for Box<B> {
         (**self).mode_order(ndim)
     }
 
-    fn mttkrp_into(
-        &mut self,
-        tensor: &SparseTensor,
-        factors: &[Mat],
-        mode: usize,
-        out: &mut Mat,
-    ) {
+    fn mttkrp_into(&mut self, tensor: &SparseTensor, factors: &[Mat], mode: usize, out: &mut Mat) {
         (**self).mttkrp_into(tensor, factors, mode, out);
     }
 
@@ -373,11 +329,7 @@ mod tests {
     use adatm_tensor::mttkrp::mttkrp_seq;
 
     fn factors_for(t: &SparseTensor, rank: usize, seed: u64) -> Vec<Mat> {
-        t.dims()
-            .iter()
-            .enumerate()
-            .map(|(d, &n)| Mat::random(n, rank, seed + d as u64))
-            .collect()
+        t.dims().iter().enumerate().map(|(d, &n)| Mat::random(n, rank, seed + d as u64)).collect()
     }
 
     #[test]
@@ -390,11 +342,7 @@ mod tests {
                 let mut out = Mat::zeros(t.dims()[mode], 4);
                 b.mttkrp_into(&t, &factors, mode, &mut out);
                 let want = mttkrp_seq(&t, &factors, mode);
-                assert!(
-                    out.max_abs_diff(&want) < 1e-10,
-                    "backend {} mode {mode}",
-                    b.name()
-                );
+                assert!(out.max_abs_diff(&want) < 1e-10, "backend {} mode {mode}", b.name());
             }
         }
     }

@@ -114,8 +114,7 @@ pub fn complete(tensor: &SparseTensor, opts: &CompletionOptions) -> CompletionRe
     let n = tensor.ndim();
     assert!(n >= 2, "completion needs at least 2 modes");
     let rank = opts.rank;
-    let views: Vec<SortedModeView> =
-        (0..n).map(|m| SortedModeView::build(tensor, m)).collect();
+    let views: Vec<SortedModeView> = (0..n).map(|m| SortedModeView::build(tensor, m)).collect();
     let mut factors: Vec<Mat> = tensor
         .dims()
         .iter()
@@ -169,9 +168,9 @@ pub fn complete(tensor: &SparseTensor, opts: &CompletionOptions) -> CompletionRe
                     }
                     let ainv = pinv_sym(&a, PINV_RCOND);
                     let mut u = vec![0.0f64; rank];
-                    for r in 0..rank {
+                    for (r, ur) in u.iter_mut().enumerate() {
                         let arow = ainv.row(r);
-                        u[r] = arow.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
+                        *ur = arow.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
                     }
                     (row_idx, u)
                 })
@@ -219,11 +218,7 @@ mod tests {
             &truth.tensor,
             &CompletionOptions::new(3).max_iters(40).reg(1e-4).tol(0.0).seed(5),
         );
-        assert!(
-            res.final_rmse() < 0.05,
-            "training RMSE {} should be near zero",
-            res.final_rmse()
-        );
+        assert!(res.final_rmse() < 0.05, "training RMSE {} should be near zero", res.final_rmse());
     }
 
     #[test]
@@ -234,8 +229,7 @@ mod tests {
         let mut train = Vec::new();
         let mut test = Vec::new();
         for k in 0..full.nnz() {
-            let coords: Vec<usize> =
-                (0..3).map(|d| full.mode_idx(d)[k] as usize).collect();
+            let coords: Vec<usize> = (0..3).map(|d| full.mode_idx(d)[k] as usize).collect();
             if k % 10 == 0 {
                 test.push((coords, full.vals()[k]));
             } else {
@@ -244,10 +238,8 @@ mod tests {
         }
         let train_t = SparseTensor::from_entries(full.dims().to_vec(), &train);
         let test_t = SparseTensor::from_entries(full.dims().to_vec(), &test);
-        let res = complete(
-            &train_t,
-            &CompletionOptions::new(2).max_iters(30).reg(1e-3).tol(0.0).seed(2),
-        );
+        let res =
+            complete(&train_t, &CompletionOptions::new(2).max_iters(30).reg(1e-3).tol(0.0).seed(2));
         let test_rmse = rmse_on(&res.model, &test_t);
         // Values are O(rank * 0.25); an informative model sits well below
         // the data's own standard deviation.
@@ -255,10 +247,7 @@ mod tests {
         let sd: f64 = (test_t.vals().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
             / test_t.nnz() as f64)
             .sqrt();
-        assert!(
-            test_rmse < 0.5 * sd,
-            "held-out RMSE {test_rmse} vs data sd {sd}"
-        );
+        assert!(test_rmse < 0.5 * sd, "held-out RMSE {test_rmse} vs data sd {sd}");
     }
 
     #[test]
@@ -295,8 +284,7 @@ mod tests {
             vec![5, 3, 3],
             &[(vec![0, 1, 2], 1.0), (vec![2, 0, 1], 2.0)],
         );
-        let res =
-            complete(&t, &CompletionOptions::new(2).max_iters(2).tol(0.0).seed(11));
+        let res = complete(&t, &CompletionOptions::new(2).max_iters(2).tol(0.0).seed(11));
         let init = Mat::random(5, 2, 11 ^ 0xc0_f1);
         for &row in &[1usize, 3, 4] {
             assert_eq!(res.model.factors[0].row(row), init.row(row), "row {row}");

@@ -12,9 +12,9 @@
 //!    factors well-scaled without re-shrinking converged columns),
 //! 6. `W^(n) <- U^(n)^T U^(n)`.
 //!
-//! The fit `1 - ||X - M|| / ||X||` is computed per iteration at `O(I_N R
-//! + R²)` extra cost using the last subiteration's MTTKRP result — no
-//! extra pass over the tensor.
+//! The fit `1 - ||X - M|| / ||X||` is computed per iteration at
+//! `O(I_N R + R²)` extra cost using the last subiteration's MTTKRP
+//! result — no extra pass over the tensor.
 
 use crate::backend::MttkrpBackend;
 use crate::init::{init_factors, InitStrategy};
@@ -22,6 +22,15 @@ use crate::model::CpModel;
 use adatm_linalg::{pinv::solve_gram, Mat};
 use adatm_tensor::SparseTensor;
 use std::time::{Duration, Instant};
+
+/// Audit hook: panics when `v` violates its invariants, naming the CP-ALS
+/// stage boundary where the corruption was detected.
+#[cfg(feature = "audit")]
+fn audit_stage(stage: &str, v: &dyn adatm_audit::Validate) {
+    if let Err(e) = v.validate() {
+        panic!("audit: {stage}: {e}");
+    }
+}
 
 /// Options for a CP-ALS run.
 #[derive(Clone, Debug)]
@@ -152,6 +161,8 @@ impl CpAls {
             assert_eq!(f.nrows(), tensor.dims()[d], "factor {d} rows mismatch");
             assert_eq!(f.ncols(), rank, "factor {d} rank mismatch");
         }
+        #[cfg(feature = "audit")]
+        audit_stage("cp-als input tensor", tensor);
         backend.reset();
         let mut timings = PhaseTimings::default();
         let xnorm2 = tensor.fro_norm_sq();
@@ -183,6 +194,8 @@ impl CpAls {
                 }
                 backend.mttkrp_into(tensor, &factors, mode, &mut m_buf);
                 timings.mttkrp += t0.elapsed();
+                #[cfg(feature = "audit")]
+                audit_stage("mttkrp output", &m_buf);
 
                 let t1 = Instant::now();
                 let mut h = Mat::from_vec(rank, rank, vec![1.0; rank * rank]);
@@ -197,8 +210,7 @@ impl CpAls {
                 // model; re-seed it with noise so ALS can recover.
                 for (r, &l) in lambda.iter().enumerate() {
                     if l == 0.0 {
-                        let noise =
-                            Mat::random(u.nrows(), 1, self.opts.seed ^ 0xdead ^ r as u64);
+                        let noise = Mat::random(u.nrows(), 1, self.opts.seed ^ 0xdead ^ r as u64);
                         for i in 0..u.nrows() {
                             u.set(i, r, noise.get(i, 0));
                         }
@@ -207,6 +219,8 @@ impl CpAls {
                 grams[mode] = u.gram();
                 factors[mode] = u;
                 timings.dense += t1.elapsed();
+                #[cfg(feature = "audit")]
+                audit_stage("updated factor", &factors[mode]);
             }
 
             // Efficient fit from the last subiteration: with every factor
@@ -238,36 +252,26 @@ impl CpAls {
             }
         }
 
-        CpResult {
-            model: CpModel { lambda, factors },
-            iters,
-            fit_history,
-            converged,
-            timings,
-        }
+        #[cfg(feature = "audit")]
+        adatm_audit::validate_factors(&factors, tensor.dims(), rank)
+            .unwrap_or_else(|e| panic!("audit: final factor set: {e}"));
+        CpResult { model: CpModel { lambda, factors }, iters, fit_history, converged, timings }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::backend::{
-        all_backends, AdaptiveBackend, CooBackend, CsfBackend, DtreeBackend,
-    };
+    use crate::backend::{all_backends, AdaptiveBackend, CooBackend, CsfBackend, DtreeBackend};
     use adatm_tensor::gen::{dense_low_rank, low_rank_tensor, zipf_tensor};
 
     #[test]
     fn recovers_noiseless_low_rank_tensor() {
         let truth = dense_low_rank(&[12, 14, 10], 3, 0.0, 11);
         let mut backend = CooBackend::new(&truth.tensor);
-        let res = CpAls::new(CpAlsOptions::new(3).max_iters(60).seed(5))
-            .run(&truth.tensor, &mut backend);
-        assert!(
-            res.final_fit() > 0.99,
-            "fit {} after {} iters",
-            res.final_fit(),
-            res.iters
-        );
+        let res =
+            CpAls::new(CpAlsOptions::new(3).max_iters(60).seed(5)).run(&truth.tensor, &mut backend);
+        assert!(res.final_fit() > 0.99, "fit {} after {} iters", res.final_fit(), res.iters);
     }
 
     #[test]
@@ -299,10 +303,7 @@ mod tests {
         let baseline = fits[0].2;
         for (name, order, fit) in &fits {
             if *order == natural {
-                assert!(
-                    (fit - baseline).abs() < 1e-8,
-                    "{name} fit {fit} differs from {baseline}"
-                );
+                assert!((fit - baseline).abs() < 1e-8, "{name} fit {fit} differs from {baseline}");
             } else {
                 assert!(
                     (fit - baseline).abs() < 0.05,
@@ -356,8 +357,8 @@ mod tests {
     fn timings_cover_phases() {
         let truth = low_rank_tensor(&[25, 25, 25], 3, 2_000, 0.0, 5);
         let mut backend = AdaptiveBackend::plan(&truth.tensor, 3);
-        let res = CpAls::new(CpAlsOptions::new(3).max_iters(5).tol(0.0))
-            .run(&truth.tensor, &mut backend);
+        let res =
+            CpAls::new(CpAlsOptions::new(3).max_iters(5).tol(0.0)).run(&truth.tensor, &mut backend);
         assert!(res.timings.mttkrp > Duration::ZERO);
         assert!(res.timings.dense > Duration::ZERO);
         assert!(res.timings.total() > Duration::ZERO);
@@ -370,8 +371,8 @@ mod tests {
         let mut backend = CooBackend::new(t);
         // Initialize at the ground truth: fit should be ~1 after one sweep.
         let init = truth.factors.clone();
-        let res = CpAls::new(CpAlsOptions::new(2).max_iters(2).tol(0.0))
-            .run_from(t, &mut backend, init);
+        let res =
+            CpAls::new(CpAlsOptions::new(2).max_iters(2).tol(0.0)).run_from(t, &mut backend, init);
         assert!(res.final_fit() > 0.999, "fit {}", res.final_fit());
     }
 

@@ -146,9 +146,8 @@ pub fn cp_opt<B: MttkrpBackend + ?Sized>(
     let mut iters = 0;
 
     for _iter in 0..opts.max_iters {
-        let gnorm2: f64 = grads.iter().map(|g| {
-            g.as_slice().iter().map(|x| x * x).sum::<f64>()
-        }).sum();
+        let gnorm2: f64 =
+            grads.iter().map(|g| g.as_slice().iter().map(|x| x * x).sum::<f64>()).sum();
         if gnorm2 == 0.0 {
             converged = true;
             break;

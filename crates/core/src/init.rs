@@ -18,18 +18,13 @@ use adatm_tensor::mttkrp::mttkrp_seq;
 use adatm_tensor::SparseTensor;
 
 /// How to produce the initial factor matrices.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum InitStrategy {
     /// I.i.d. uniform entries in `(0, 1)`.
+    #[default]
     Random,
     /// Orthonormal range of a random MTTKRP sketch per mode.
     RandomizedRange,
-}
-
-impl Default for InitStrategy {
-    fn default() -> Self {
-        InitStrategy::Random
-    }
 }
 
 /// Materializes initial factors for `tensor` at the given rank.

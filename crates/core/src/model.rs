@@ -281,10 +281,7 @@ mod tests {
     #[test]
     fn inner_with_matches_bruteforce() {
         let m = toy_model();
-        let t = SparseTensor::from_entries(
-            vec![2, 3],
-            &[(vec![0, 1], 2.0), (vec![1, 2], -1.0)],
-        );
+        let t = SparseTensor::from_entries(vec![2, 3], &[(vec![0, 1], 2.0), (vec![1, 2], -1.0)]);
         let want = 2.0 * m.predict(&[0, 1]) - m.predict(&[1, 2]);
         assert!((m.inner_with(&t) - want).abs() < 1e-12);
     }

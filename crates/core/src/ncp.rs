@@ -194,11 +194,8 @@ mod tests {
 
     /// A dense nonnegative low-rank tensor (all cells) for recovery tests.
     fn nonneg_low_rank(dims: &[usize], rank: usize, seed: u64) -> SparseTensor {
-        let factors: Vec<M> = dims
-            .iter()
-            .enumerate()
-            .map(|(d, &n)| M::random(n, rank, seed + d as u64))
-            .collect();
+        let factors: Vec<M> =
+            dims.iter().enumerate().map(|(d, &n)| M::random(n, rank, seed + d as u64)).collect();
         let mut entries = Vec::new();
         let mut coords = vec![0usize; dims.len()];
         let cells: usize = dims.iter().product();

@@ -343,10 +343,7 @@ mod tests {
         let res = hooi(&t, &TuckerOptions::new(vec![3, 2, 3]).max_iters(5).tol(0.0));
         for (d, f) in res.model.factors.iter().enumerate() {
             let g = f.gram();
-            assert!(
-                g.max_abs_diff(&Mat::eye(f.ncols())) < 1e-8,
-                "mode {d} not orthonormal"
-            );
+            assert!(g.max_abs_diff(&Mat::eye(f.ncols())) < 1e-8, "mode {d} not orthonormal");
         }
     }
 

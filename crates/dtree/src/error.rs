@@ -1,0 +1,76 @@
+//! Typed errors for dimension-tree structural invariants.
+//!
+//! The symbolic and numeric passes maintain invariants established by
+//! [`crate::tree::DimTree`]'s construction-time validation (parents
+//! precede children, deltas partition parent mode sets, every mode has a
+//! leaf). Internal helpers report violations as [`DtreeError`] values;
+//! the public panicking entry points convert them into panics at the API
+//! boundary, so a corrupted tree fails with a description of *which*
+//! invariant broke instead of a bare `unwrap` backtrace.
+
+use std::fmt;
+
+/// A violated dimension-tree invariant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DtreeError {
+    /// A non-root node has no parent link.
+    MissingParent {
+        /// The orphaned node id.
+        node: usize,
+    },
+    /// A node's mode does not appear in its parent's mode set.
+    ModeNotInParent {
+        /// The child node id.
+        node: usize,
+        /// The mode missing from the parent.
+        mode: usize,
+    },
+    /// A node's sort key does not cover one of its own modes.
+    ModeNotInKey {
+        /// The node id.
+        node: usize,
+        /// The uncovered mode.
+        mode: usize,
+    },
+    /// A node's value matrix was needed but is not currently computed.
+    NodeNotComputed {
+        /// The invalid node id.
+        node: usize,
+    },
+}
+
+impl fmt::Display for DtreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DtreeError::MissingParent { node } => {
+                write!(f, "non-root node {node} has no parent")
+            }
+            DtreeError::ModeNotInParent { node, mode } => {
+                write!(f, "mode {mode} of node {node} does not appear in its parent's mode set")
+            }
+            DtreeError::ModeNotInKey { node, mode } => {
+                write!(f, "mode {mode} of node {node} is not covered by its sort key")
+            }
+            DtreeError::NodeNotComputed { node } => {
+                write!(f, "node {node} has no computed value matrix")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DtreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_broken_invariant() {
+        assert!(DtreeError::MissingParent { node: 3 }.to_string().contains("node 3"));
+        let e = DtreeError::ModeNotInParent { node: 2, mode: 1 };
+        assert!(e.to_string().contains("parent's mode set"));
+        assert!(DtreeError::ModeNotInKey { node: 1, mode: 0 }.to_string().contains("sort key"));
+        let e = DtreeError::NodeNotComputed { node: 4 };
+        assert!(e.to_string().contains("no computed value matrix"));
+    }
+}

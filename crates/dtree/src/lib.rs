@@ -27,12 +27,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod numeric;
 pub mod shape;
 pub mod stats;
 pub mod symbolic;
 pub mod tree;
 
+pub use error::DtreeError;
 pub use numeric::{DtreeEngine, EngineOptions};
 pub use shape::TreeShape;
 pub use stats::{MemoryStats, OpStats};

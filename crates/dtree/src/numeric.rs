@@ -1,3 +1,4 @@
+// lint: hot-path
 //! Numeric TTMV: the per-iteration kernels of dimension-tree CP-ALS.
 //!
 //! A [`DtreeEngine`] binds a tree's symbolic structure to a rank `R` and
@@ -19,6 +20,7 @@
 //! most one root-to-leaf path of value matrices is live at any instant —
 //! the `O(log N)` memory bound of the balanced binary tree.
 
+use crate::error::DtreeError;
 use crate::shape::TreeShape;
 use crate::stats::{MemoryStats, OpStats};
 use crate::symbolic::SymbolicTree;
@@ -242,13 +244,15 @@ impl DtreeEngine {
         assert_eq!(out.nrows(), tensor.dims()[mode], "output rows mismatch");
         assert_eq!(out.ncols(), self.rank, "output rank mismatch");
         let leaf = self.tree.leaf_of(mode);
-        self.ensure(leaf, tensor, factors);
+        self.ensure(leaf, tensor, factors)
+            .unwrap_or_else(|e| panic!("dimension-tree invariant violated: {e}"));
         out.fill_zero();
         let node = self.sym.node(leaf);
-        let vals = self.vals[leaf].as_ref().expect("leaf just computed");
-        let idx = &node.idx[0];
-        for e in 0..node.len {
-            out.row_mut(idx[e] as usize).copy_from_slice(vals.row(e));
+        let Some(vals) = self.vals[leaf].as_ref() else {
+            unreachable!("leaf {leaf} is valid right after ensure")
+        };
+        for (e, &i) in node.idx[0].iter().enumerate() {
+            out.row_mut(i as usize).copy_from_slice(vals.row(e));
         }
     }
 
@@ -262,20 +266,31 @@ impl DtreeEngine {
     }
 
     /// Makes node `id` and all its ancestors valid.
-    fn ensure(&mut self, id: usize, tensor: &SparseTensor, factors: &[Mat]) {
+    fn ensure(
+        &mut self,
+        id: usize,
+        tensor: &SparseTensor,
+        factors: &[Mat],
+    ) -> Result<(), DtreeError> {
         // Walk up to the closest valid ancestor, then compute downward.
         let path = self.tree.path_to_root(id);
         for &node in path.iter().rev() {
             if node == 0 || self.vals[node].is_some() {
                 continue;
             }
-            self.compute_node(node, tensor, factors);
+            self.compute_node(node, tensor, factors)?;
         }
+        Ok(())
     }
 
     /// Computes one node's value matrix from its (already valid) parent.
-    fn compute_node(&mut self, id: usize, tensor: &SparseTensor, factors: &[Mat]) {
-        let parent = self.tree.node(id).parent.expect("root is never computed");
+    fn compute_node(
+        &mut self,
+        id: usize,
+        tensor: &SparseTensor,
+        factors: &[Mat],
+    ) -> Result<(), DtreeError> {
+        let parent = self.tree.node(id).parent.ok_or(DtreeError::MissingParent { node: id })?;
         debug_assert!(parent == 0 || self.vals[parent].is_some(), "parent must be valid");
         let node = self.sym.node(id);
         let delta = &self.tree.node(id).delta;
@@ -284,7 +299,7 @@ impl DtreeEngine {
             .iter()
             .map(|&d| {
                 if parent == 0 {
-                    tensor.mode_idx(d)
+                    Ok(tensor.mode_idx(d))
                 } else {
                     let pos = self
                         .tree
@@ -292,25 +307,29 @@ impl DtreeEngine {
                         .modes
                         .iter()
                         .position(|&m| m == d)
-                        .expect("delta mode belongs to parent");
-                    self.sym.node(parent).idx[pos].as_slice()
+                        .ok_or(DtreeError::ModeNotInParent { node: id, mode: d })?;
+                    Ok(self.sym.node(parent).idx[pos].as_slice())
                 }
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         let delta_facs: Vec<&Mat> = delta.iter().map(|&d| &factors[d]).collect();
         let parent_vals = if parent == 0 {
             ParentVals::Scalars(tensor.vals())
         } else {
-            ParentVals::Rows(self.vals[parent].as_ref().expect("parent valid"))
+            match self.vals[parent].as_ref() {
+                Some(m) => ParentVals::Rows(m),
+                None => return Err(DtreeError::NodeNotComputed { node: parent }),
+            }
         };
         let mut out = Mat::zeros(node.len, self.rank);
-        if self.opts.thick && node.pmap.is_some() {
+        let pmap = if self.opts.thick { node.pmap.as_deref() } else { None };
+        if let Some(pmap) = pmap {
             // Push schedule: stream the (much larger) parent sequentially
             // and accumulate into the cache-resident child.
             kernel_scatter(
                 &mut out,
                 self.rank,
-                node.pmap.as_deref().expect("checked"),
+                pmap,
                 &delta_cols,
                 &delta_facs,
                 &parent_vals,
@@ -339,6 +358,10 @@ impl DtreeEngine {
                 self.opts.parallel && node.len >= PAR_THRESHOLD,
             );
         }
+        // Stage-boundary audit: a TTMV output contaminated by NaN/Inf
+        // would silently poison every descendant's memoized values.
+        #[cfg(feature = "audit")]
+        audit_finite(&out, id);
         // Exact operation accounting: every parent element is visited
         // once, multiplied by |delta| factor rows, and added once.
         let parent_len = self.sym.node(parent).len as u64;
@@ -348,6 +371,7 @@ impl DtreeEngine {
         self.ops.flops += parent_len * (delta.len() as u64 + 1) * self.rank as u64;
         self.mem.alloc(value_bytes(&out));
         self.vals[id] = Some(out);
+        Ok(())
     }
 
     fn check_factors(&self, tensor: &SparseTensor, factors: &[Mat]) {
@@ -361,6 +385,17 @@ impl DtreeEngine {
 
 fn value_bytes(m: &Mat) -> usize {
     m.nrows() * m.ncols() * std::mem::size_of::<f64>()
+}
+
+/// Audit hook: every entry of a freshly computed value matrix is finite.
+#[cfg(feature = "audit")]
+fn audit_finite(m: &Mat, node: usize) {
+    for (i, &v) in m.as_slice().iter().enumerate() {
+        assert!(
+            v.is_finite(),
+            "audit: node {node}: non-finite value {v} at flat offset {i} of its value matrix"
+        );
+    }
 }
 
 /// The vectorized ("thick") TTMV kernel: per node element, accumulate all
@@ -542,11 +577,7 @@ mod tests {
     use adatm_tensor::mttkrp::mttkrp_seq;
 
     fn factors_for(t: &SparseTensor, rank: usize, seed: u64) -> Vec<Mat> {
-        t.dims()
-            .iter()
-            .enumerate()
-            .map(|(d, &n)| Mat::random(n, rank, seed + d as u64))
-            .collect()
+        t.dims().iter().enumerate().map(|(d, &n)| Mat::random(n, rank, seed + d as u64)).collect()
     }
 
     fn all_shapes(n: usize) -> Vec<TreeShape> {
@@ -705,10 +736,7 @@ mod tests {
 
     #[test]
     fn leaf_values_expose_compact_result() {
-        let t = SparseTensor::from_entries(
-            vec![6, 3],
-            &[(vec![1, 0], 2.0), (vec![4, 2], 3.0)],
-        );
+        let t = SparseTensor::from_entries(vec![6, 3], &[(vec![1, 0], 2.0), (vec![4, 2], 3.0)]);
         let factors = factors_for(&t, 2, 6);
         let mut eng = DtreeEngine::new(&t, &TreeShape::two_level(2), 2);
         assert!(eng.leaf_values(0).is_none());
@@ -729,8 +757,7 @@ mod tests {
         let base = DtreeEngine::new(&t, &shape, 2);
         let sym = base.shared_symbolic();
         let tree = crate::tree::DimTree::from_shape(&shape);
-        let mut eng8 =
-            DtreeEngine::from_parts(tree, sym.clone(), 8, EngineOptions::default());
+        let mut eng8 = DtreeEngine::from_parts(tree, sym.clone(), 8, EngineOptions::default());
         assert!(std::sync::Arc::strong_count(&sym) >= 3);
         let factors = factors_for(&t, 8, 44);
         for mode in 0..4 {

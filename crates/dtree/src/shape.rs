@@ -243,9 +243,8 @@ fn parse_node(tokens: &[(usize, String)], pos: &mut usize) -> Result<TreeShape, 
     if tok == "(" {
         let mut children = Vec::new();
         loop {
-            let (at2, next) = tokens
-                .get(*pos)
-                .ok_or_else(|| ShapeParseError(format!("unclosed '(' at {at}")))?;
+            let (at2, next) =
+                tokens.get(*pos).ok_or_else(|| ShapeParseError(format!("unclosed '(' at {at}")))?;
             if next == ")" {
                 *pos += 1;
                 break;

@@ -15,6 +15,7 @@
 //! reduction sets are disjoint by construction, which is what makes the
 //! per-element parallelism race-free.
 
+use crate::error::DtreeError;
 use crate::tree::DimTree;
 use adatm_tensor::coo::Idx;
 use adatm_tensor::SparseTensor;
@@ -72,6 +73,14 @@ impl SymbolicTree {
     /// large nodes. Duplicate coordinates in `tensor` are tolerated (they
     /// simply form a reduction set of size > 1 at the first level).
     pub fn build(tensor: &SparseTensor, tree: &DimTree) -> Self {
+        Self::try_build(tensor, tree).unwrap_or_else(|e| panic!("symbolic pass failed: {e}"))
+    }
+
+    /// [`SymbolicTree::build`] reporting broken tree invariants as typed
+    /// errors instead of panicking. A [`DimTree`] produced by
+    /// [`DimTree::from_shape`] never triggers them; this is the defensive
+    /// boundary for trees assembled by other means.
+    pub fn try_build(tensor: &SparseTensor, tree: &DimTree) -> Result<Self, DtreeError> {
         assert_eq!(tree.ndim(), tensor.ndim(), "tree and tensor order mismatch");
         let mut nodes: Vec<SymbolicNode> = vec![SymbolicNode::default(); tree.len()];
         nodes[0].len = tensor.nnz();
@@ -86,36 +95,45 @@ impl SymbolicTree {
         // value matrix sequentially — the dominant memory stream of the
         // numeric kernels.
         for id in 1..tree.len() {
-            let parent = tree.node(id).parent.expect("non-root node has a parent");
+            let parent = tree.node(id).parent.ok_or(DtreeError::MissingParent { node: id })?;
             let key_modes = sort_key_modes(tree, id);
             // Resolve the parent's index array for each key mode: the
             // tensor's arrays if the parent is the root, else the parent's
             // own symbolic arrays.
-            let col_of = |m: usize| -> &[Idx] {
+            let col_of = |m: usize| -> Result<&[Idx], DtreeError> {
                 if parent == 0 {
-                    tensor.mode_idx(m)
+                    Ok(tensor.mode_idx(m))
                 } else {
                     let pos = tree
                         .node(parent)
                         .modes
                         .iter()
                         .position(|&pm| pm == m)
-                        .expect("child mode must appear in parent mode set");
-                    nodes[parent].idx[pos].as_slice()
+                        .ok_or(DtreeError::ModeNotInParent { node: id, mode: m })?;
+                    Ok(nodes[parent].idx[pos].as_slice())
                 }
             };
-            let key_cols: Vec<&[Idx]> = key_modes.iter().map(|&m| col_of(m)).collect();
+            let key_cols: Vec<&[Idx]> =
+                key_modes.iter().map(|&m| col_of(m)).collect::<Result<_, _>>()?;
             // idx arrays are stored in ascending mode order regardless of
             // the sort-key order.
             let own_modes = &tree.node(id).modes;
             let own_positions: Vec<usize> = own_modes
                 .iter()
-                .map(|m| key_modes.iter().position(|k| k == m).expect("key covers modes"))
-                .collect();
+                .map(|&m| {
+                    key_modes
+                        .iter()
+                        .position(|&k| k == m)
+                        .ok_or(DtreeError::ModeNotInKey { node: id, mode: m })
+                })
+                .collect::<Result<_, _>>()?;
             let built = build_node(&key_cols, &own_positions, nodes[parent].len);
             nodes[id] = built;
         }
-        SymbolicTree { nodes, fingerprint: (tensor.dims().to_vec(), tensor.nnz()) }
+        let out = SymbolicTree { nodes, fingerprint: (tensor.dims().to_vec(), tensor.nnz()) };
+        #[cfg(feature = "audit")]
+        out.audit_invariants(tree);
+        Ok(out)
     }
 
     /// Borrows the symbolic structure of node `id`.
@@ -159,6 +177,60 @@ impl SymbolicTree {
     pub fn element_counts(&self) -> Vec<usize> {
         self.nodes.iter().map(|n| n.len).collect()
     }
+
+    /// Audits the symbolic invariants every numeric kernel relies on:
+    /// per non-root node, the reduction sets partition the parent's
+    /// elements (CSR shape, strictly increasing boundaries, `rperm` a
+    /// permutation of `0..parent_len`) and the index arrays match the
+    /// element count. Runs automatically at the end of the symbolic phase
+    /// when the `audit` feature is enabled.
+    ///
+    /// # Panics
+    /// Panics with a description of the first broken invariant.
+    #[cfg(feature = "audit")]
+    pub fn audit_invariants(&self, tree: &DimTree) {
+        for id in 1..self.nodes.len() {
+            let node = &self.nodes[id];
+            let parent = tree.node(id).parent.unwrap_or(0);
+            let parent_len = self.nodes[parent].len;
+            let expected_rptr = if node.len == 0 { 1 } else { node.len + 1 };
+            assert_eq!(
+                node.rptr.len(),
+                expected_rptr,
+                "audit: node {id}: rptr length {} for {} elements",
+                node.rptr.len(),
+                node.len
+            );
+            assert_eq!(
+                node.rptr.last().copied(),
+                Some(if node.len == 0 { 0 } else { parent_len }),
+                "audit: node {id}: reduction sets do not cover the parent"
+            );
+            assert!(
+                node.rptr.windows(2).all(|w| w[0] < w[1]),
+                "audit: node {id}: empty reduction set"
+            );
+            assert_eq!(node.rperm.len(), parent_len, "audit: node {id}: rperm length mismatch");
+            let mut seen = vec![false; parent_len];
+            for &j in &node.rperm {
+                assert!(
+                    (j as usize) < parent_len && !seen[j as usize],
+                    "audit: node {id}: rperm is not a permutation of the parent's elements"
+                );
+                seen[j as usize] = true;
+            }
+            for (k, col) in node.idx.iter().enumerate() {
+                assert_eq!(col.len(), node.len, "audit: node {id}: idx array {k} length mismatch");
+            }
+            if let Some(pmap) = &node.pmap {
+                assert_eq!(pmap.len(), parent_len, "audit: node {id}: pmap length mismatch");
+                assert!(
+                    pmap.iter().all(|&e| (e as usize) < node.len),
+                    "audit: node {id}: pmap targets out of range"
+                );
+            }
+        }
+    }
 }
 
 /// The mode order a node's elements are sorted by: first child's key
@@ -182,11 +254,7 @@ fn sort_key_modes(tree: &DimTree, id: usize) -> Vec<usize> {
 /// node's *sort-key* order; `own_positions[k]` locates the node's `k`-th
 /// ascending mode within `key_cols` (for extracting the stored `idx`
 /// arrays).
-fn build_node(
-    key_cols: &[&[Idx]],
-    own_positions: &[usize],
-    parent_len: usize,
-) -> SymbolicNode {
+fn build_node(key_cols: &[&[Idx]], own_positions: &[usize], parent_len: usize) -> SymbolicNode {
     let mut perm: Vec<u32> = (0..parent_len as u32).collect();
     let key_cmp = |a: &u32, b: &u32| {
         for col in key_cols {

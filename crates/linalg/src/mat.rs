@@ -329,11 +329,7 @@ impl Mat {
     /// Maximum absolute difference between two matrices of equal shape.
     pub fn max_abs_diff(&self, other: &Mat) -> f64 {
         assert_eq!((self.nrows, self.ncols), (other.nrows, other.ncols));
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(other.data.iter()).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 }
 
@@ -487,8 +483,7 @@ mod tests {
     }
 
     #[test]
-    fn matmul_parallel_path_matches_small(
-    ) {
+    fn matmul_parallel_path_matches_small() {
         // Cross the row threshold to exercise the rayon branch.
         let a = Mat::random(PAR_ROW_THRESHOLD + 7, 3, 2);
         let b = Mat::random(3, 4, 3);

@@ -106,8 +106,8 @@ proptest! {
         let scales = b.normalize_cols();
         // Rescale back.
         for i in 0..b.nrows() {
-            for j in 0..b.ncols() {
-                let v = b.get(i, j) * scales[j];
+            for (j, &s) in scales.iter().enumerate() {
+                let v = b.get(i, j) * s;
                 b.set(i, j, v);
             }
         }

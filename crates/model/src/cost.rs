@@ -80,13 +80,13 @@ pub fn predict(shape: &TreeShape, rank: usize, cache: &mut EstimatorCache<'_>) -
     let mut symbolic = 0.0;
     let mut value_bytes: Vec<f64> = vec![0.0; tree.len()];
     let mut memo_count = 0usize;
-    for id in 1..tree.len() {
+    for (id, vb) in value_bytes.iter_mut().enumerate().skip(1) {
         let node = tree.node(id);
         let parent = node.parent.expect("non-root");
         let parent_elems = cache.elems(&tree.node(parent).modes);
         let own_elems = cache.elems(&node.modes);
         flops += parent_elems * (node.delta.len() as f64 + 1.0) * r;
-        value_bytes[id] = own_elems * r * VAL_BYTES;
+        *vb = own_elems * r * VAL_BYTES;
         // Stream traffic of computing this node: read the source (the
         // tensor itself for children of the root — value plus the delta
         // modes' index columns — or the parent's R-wide value matrix),
@@ -221,8 +221,7 @@ mod tests {
         let cb = predict(&TreeShape::balanced_binary(4), 8, &mut c);
         assert_eq!(cb.cost_units(0.0), cb.flops_per_iter);
         assert!(
-            (cb.cost_units(2.0) - cb.flops_per_iter - 2.0 * cb.traffic_bytes_per_iter).abs()
-                < 1e-9
+            (cb.cost_units(2.0) - cb.flops_per_iter - 2.0 * cb.traffic_bytes_per_iter).abs() < 1e-9
         );
     }
 

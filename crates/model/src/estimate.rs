@@ -138,10 +138,8 @@ fn sampled_estimate(t: &SparseTensor, modes: &[usize], sample: usize) -> f64 {
     // sample toward the head keys.
     let stride = nnz.div_ceil(sample).max(1);
     let picked: Vec<usize> = (0..nnz).step_by(stride).collect();
-    let mut keys: Vec<Vec<u32>> = picked
-        .iter()
-        .map(|&k| modes.iter().map(|&m| t.mode_idx(m)[k]).collect())
-        .collect();
+    let mut keys: Vec<Vec<u32>> =
+        picked.iter().map(|&k| modes.iter().map(|&m| t.mode_idx(m)[k]).collect()).collect();
     keys.sort_unstable();
     // Distinct keys plus singleton/doubleton counts in one scan.
     let mut d = 0usize;
@@ -167,8 +165,7 @@ fn sampled_estimate(t: &SparseTensor, modes: &[usize], sample: usize) -> f64 {
     }
     // Occupancy inversion: bisect E[d](D) = D (1-(1-q)^(nnz/D)) = d over
     // D in [d, d/q].
-    let expected =
-        |big_d: f64| -> f64 { big_d * -((nnz as f64 / big_d) * (-q).ln_1p()).exp_m1() };
+    let expected = |big_d: f64| -> f64 { big_d * -((nnz as f64 / big_d) * (-q).ln_1p()).exp_m1() };
     let (mut lo, mut hi) = (d, d / q);
     for _ in 0..64 {
         let mid = 0.5 * (lo + hi);
@@ -239,11 +236,9 @@ mod tests {
     #[test]
     fn estimates_respect_hard_bounds() {
         let t = zipf_tensor(&[5, 5, 400], 2_000, &[1.2, 1.2, 0.1], 6);
-        for how in [
-            NnzEstimator::Exact,
-            NnzEstimator::Analytic,
-            NnzEstimator::Sampled { sample: 128 },
-        ] {
+        for how in
+            [NnzEstimator::Exact, NnzEstimator::Analytic, NnzEstimator::Sampled { sample: 128 }]
+        {
             for modes in [vec![0], vec![0, 1], vec![2]] {
                 let e = estimate(&t, &modes, how);
                 let space: f64 = modes.iter().map(|&m| t.dims()[m] as f64).product();

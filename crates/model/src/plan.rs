@@ -7,9 +7,7 @@
 
 use crate::cost::{predict, CostBreakdown};
 use crate::estimate::{EstimatorCache, NnzEstimator};
-use crate::search::{
-    interval_dp_weighted, named_shapes, subset_dp_weighted, OrderHeuristic,
-};
+use crate::search::{interval_dp_weighted, named_shapes, subset_dp_weighted, OrderHeuristic};
 use adatm_dtree::TreeShape;
 use adatm_tensor::SparseTensor;
 
@@ -212,9 +210,7 @@ impl<'a> Planner<'a> {
                 // and the budget filter below picks the cheapest that fits.
                 if self.memory_budget.is_some() {
                     for lambda in [1.0, 8.0, 64.0, 512.0] {
-                        let res = interval_dp_weighted(
-                            &perm, self.rank, &mut cache, beta, lambda,
-                        );
+                        let res = interval_dp_weighted(&perm, self.rank, &mut cache, beta, lambda);
                         push_new(
                             &mut candidates,
                             format!("dp:{h:?}:mem{lambda}"),
@@ -236,8 +232,7 @@ impl<'a> Planner<'a> {
                 c.fits_budget = c.cost.resident_bytes() <= budget as f64;
             }
         }
-        candidates
-            .sort_by(|a, b| a.cost.cost_units(beta).total_cmp(&b.cost.cost_units(beta)));
+        candidates.sort_by(|a, b| a.cost.cost_units(beta).total_cmp(&b.cost.cost_units(beta)));
         let chosen = candidates
             .iter()
             .find(|c| c.fits_budget)
@@ -266,15 +261,10 @@ mod tests {
     #[test]
     fn plan_selects_minimum_predicted_flops_without_budget() {
         let t = zipf_tensor(&[40, 12, 36, 18], 3_000, &[0.9; 4], 5);
-        let plan = Planner::new(&t, 8)
-            .estimator(NnzEstimator::Exact)
-            .objective(Objective::Flops)
-            .plan();
-        let min = plan
-            .candidates
-            .iter()
-            .map(|c| c.cost.flops_per_iter)
-            .fold(f64::INFINITY, f64::min);
+        let plan =
+            Planner::new(&t, 8).estimator(NnzEstimator::Exact).objective(Objective::Flops).plan();
+        let min =
+            plan.candidates.iter().map(|c| c.cost.flops_per_iter).fold(f64::INFINITY, f64::min);
         assert!((plan.predicted.flops_per_iter - min).abs() < 1e-9);
         plan.shape.validate();
     }
@@ -315,13 +305,9 @@ mod tests {
     #[test]
     fn impossible_budget_falls_back_to_min_memory() {
         let t = uniform_tensor(&[30; 4], 2_000, 10);
-        let plan =
-            Planner::new(&t, 8).estimator(NnzEstimator::Exact).memory_budget(1).plan();
-        let min_mem = plan
-            .candidates
-            .iter()
-            .map(|c| c.cost.resident_bytes())
-            .fold(f64::INFINITY, f64::min);
+        let plan = Planner::new(&t, 8).estimator(NnzEstimator::Exact).memory_budget(1).plan();
+        let min_mem =
+            plan.candidates.iter().map(|c| c.cost.resident_bytes()).fold(f64::INFINITY, f64::min);
         assert!((plan.predicted.resident_bytes() - min_mem).abs() < 1e-9);
     }
 
@@ -365,11 +351,8 @@ mod tests {
     fn traffic_objective_selects_minimum_cost_units() {
         let t = zipf_tensor(&[30; 5], 2_500, &[0.5; 5], 16);
         let plan = Planner::new(&t, 16).estimator(NnzEstimator::Exact).plan();
-        let min = plan
-            .candidates
-            .iter()
-            .map(|c| c.cost.cost_units(1.0))
-            .fold(f64::INFINITY, f64::min);
+        let min =
+            plan.candidates.iter().map(|c| c.cost.cost_units(1.0)).fold(f64::INFINITY, f64::min);
         assert!((plan.predicted.cost_units(1.0) - min).abs() < 1e-9);
     }
 
@@ -380,10 +363,8 @@ mod tests {
         // traffic-aware plan must choose fewer memoized nodes than the
         // flop-only plan (which tends to the balanced tree).
         let t = uniform_tensor(&[60; 8], 6_000, 18);
-        let flops_plan = Planner::new(&t, 16)
-            .estimator(NnzEstimator::Exact)
-            .objective(Objective::Flops)
-            .plan();
+        let flops_plan =
+            Planner::new(&t, 16).estimator(NnzEstimator::Exact).objective(Objective::Flops).plan();
         let traffic_plan = Planner::new(&t, 16).estimator(NnzEstimator::Exact).plan();
         assert!(
             traffic_plan.predicted.memo_count <= flops_plan.predicted.memo_count,

@@ -47,9 +47,7 @@ impl OrderHeuristic {
         let mut perm: Vec<usize> = (0..dims.len()).collect();
         match self {
             OrderHeuristic::Natural => {}
-            OrderHeuristic::DimsDescending => {
-                perm.sort_by_key(|&m| std::cmp::Reverse(dims[m]))
-            }
+            OrderHeuristic::DimsDescending => perm.sort_by_key(|&m| std::cmp::Reverse(dims[m])),
             OrderHeuristic::DimsAscending => perm.sort_by_key(|&m| dims[m]),
         }
         perm
@@ -143,11 +141,12 @@ pub fn interval_dp_weighted(
             let b = a + len;
             let flops = elems[a][b] * r * (len as f64 + 2.0);
             // Two children are computed from this node: two reads.
-            let own = flops + beta * 2.0 * read(a, b)
+            let own = flops
+                + beta * 2.0 * read(a, b)
                 + if len == n { 0.0 } else { (beta + lambda_per_byte) * write(a, b) };
             let (mut best, mut best_s) = (f64::INFINITY, a + 1);
-            for s in (a + 1)..b {
-                let c = g[a][s] + g[s][b];
+            for (s, gs) in g.iter().enumerate().take(b).skip(a + 1) {
+                let c = g[a][s] + gs[b];
                 if c < best {
                     best = c;
                     best_s = s;
@@ -173,10 +172,7 @@ pub fn interval_dp_weighted(
 
 /// Lookup closure from a mode interval's *sorted mode set* to its
 /// estimated element count, backed by the DP's interval table.
-fn elems_lookup<'a>(
-    perm: &'a [usize],
-    elems: &'a [Vec<f64>],
-) -> impl Fn(&[usize]) -> f64 + 'a {
+fn elems_lookup<'a>(perm: &'a [usize], elems: &'a [Vec<f64>]) -> impl Fn(&[usize]) -> f64 + 'a {
     move |modes: &[usize]| {
         // Find the contiguous interval of `perm` with this mode set.
         let n = perm.len();
@@ -241,9 +237,7 @@ pub fn subset_dp_weighted(
     assert!(beta >= 0.0, "weight must be nonnegative");
     let r = rank as f64;
     let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
-    let modes_of = |mask: u32| -> Vec<usize> {
-        (0..n).filter(|&m| mask & (1 << m) != 0).collect()
-    };
+    let modes_of = |mask: u32| -> Vec<usize> { (0..n).filter(|&m| mask & (1 << m) != 0).collect() };
     // Masks ordered by popcount so children are solved before parents.
     let mut masks: Vec<u32> = (1..=full).collect();
     masks.sort_by_key(|m| m.count_ones());
@@ -432,15 +426,10 @@ mod tests {
         let perm: Vec<usize> = (0..6).collect();
         let free = interval_dp_penalized(&perm, 16, &mut c, 0.0);
         let tight = interval_dp_penalized(&perm, 16, &mut c, 1e6);
-        let mem = |s: &TreeShape, c: &mut EstimatorCache<'_>| {
-            predict(s, 16, c).peak_value_bytes
-        };
+        let mem = |s: &TreeShape, c: &mut EstimatorCache<'_>| predict(s, 16, c).peak_value_bytes;
         let m_free = mem(&free.shape, &mut c);
         let m_tight = mem(&tight.shape, &mut c);
-        assert!(
-            m_tight <= m_free,
-            "penalty should not increase memory: {m_tight} vs {m_free}"
-        );
+        assert!(m_tight <= m_free, "penalty should not increase memory: {m_tight} vs {m_free}");
         // And the extreme penalty should not cost more memory than flat-
         // equivalent contiguous trees allow... flops may rise instead.
         assert!(tight.flops >= free.flops - 1e-9);

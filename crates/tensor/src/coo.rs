@@ -85,18 +85,40 @@ impl SparseTensor {
     ///
     /// # Panics
     /// Panics if any entry has the wrong arity or an out-of-bounds index.
+    /// [`SparseTensor::try_from_entries`] is the non-panicking form.
     pub fn from_entries(dims: Vec<usize>, entries: &[(Vec<usize>, f64)]) -> Self {
+        Self::try_from_entries(dims, entries).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`SparseTensor::from_entries`] returning a typed error instead of
+    /// panicking on bad arity or coordinates that overflow [`Idx`].
+    ///
+    /// Out-of-bounds (but representable) coordinates still panic in
+    /// [`SparseTensor::new`]; use this to guard the representability of
+    /// externally supplied coordinates.
+    pub fn try_from_entries(
+        dims: Vec<usize>,
+        entries: &[(Vec<usize>, f64)],
+    ) -> Result<Self, crate::error::TensorError> {
         let n = dims.len();
         let mut inds: Vec<Vec<Idx>> = vec![Vec::with_capacity(entries.len()); n];
         let mut vals = Vec::with_capacity(entries.len());
         for (coords, v) in entries {
-            assert_eq!(coords.len(), n, "entry arity must equal tensor order");
-            for (col, &c) in inds.iter_mut().zip(coords.iter()) {
-                col.push(Idx::try_from(c).expect("coordinate exceeds index type"));
+            if coords.len() != n {
+                return Err(crate::error::TensorError::ArityMismatch {
+                    expected: n,
+                    got: coords.len(),
+                });
+            }
+            for (mode, (col, &c)) in inds.iter_mut().zip(coords.iter()).enumerate() {
+                let idx = Idx::try_from(c).map_err(|_| {
+                    crate::error::TensorError::IndexOverflow { mode, coordinate: c }
+                })?;
+                col.push(idx);
             }
             vals.push(*v);
         }
-        SparseTensor::new(dims, inds, vals)
+        Ok(SparseTensor::new(dims, inds, vals))
     }
 
     /// Number of modes (the tensor order, `N`).
@@ -307,6 +329,19 @@ pub(crate) fn gather_f64(src: &[f64], perm: &[u32]) -> Vec<f64> {
 mod tests {
     use super::*;
 
+    #[test]
+    fn try_from_entries_reports_arity_and_overflow() {
+        use crate::error::TensorError;
+        let err = SparseTensor::try_from_entries(vec![2, 2], &[(vec![0], 1.0)]).unwrap_err();
+        assert_eq!(err, TensorError::ArityMismatch { expected: 2, got: 1 });
+        let big = Idx::MAX as usize + 1;
+        let err = SparseTensor::try_from_entries(vec![usize::MAX, 2], &[(vec![big, 0], 1.0)])
+            .unwrap_err();
+        assert_eq!(err, TensorError::IndexOverflow { mode: 0, coordinate: big });
+        let ok = SparseTensor::try_from_entries(vec![2, 2], &[(vec![1, 0], 1.0)]);
+        assert_eq!(ok.map(|t| t.nnz()), Ok(1));
+    }
+
     fn toy() -> SparseTensor {
         // The 4x4x4x4 example shape from the dimension-tree literature.
         SparseTensor::from_entries(
@@ -378,12 +413,7 @@ mod tests {
     fn dedup_sums_duplicates() {
         let mut t = SparseTensor::from_entries(
             vec![3, 3],
-            &[
-                (vec![1, 2], 1.5),
-                (vec![0, 0], 1.0),
-                (vec![1, 2], 2.5),
-                (vec![0, 0], -1.0),
-            ],
+            &[(vec![1, 2], 1.5), (vec![0, 0], 1.0), (vec![1, 2], 2.5), (vec![0, 0], -1.0)],
         );
         t.dedup_sum();
         assert_eq!(t.nnz(), 2);

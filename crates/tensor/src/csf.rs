@@ -1,3 +1,4 @@
+// lint: hot-path
 //! Compressed sparse fiber (CSF) storage and the SPLATT-style MTTKRP.
 //!
 //! CSF stores a sparse tensor as a forest: level 0 holds the distinct
@@ -88,7 +89,8 @@ impl CsfTensor {
         // adjacent after sorting, which they always are; but `first_new ==
         // n` above pushes nothing, so the duplicate's value must be folded
         // into the previous leaf. Handle by compacting here.
-        let mut out = CsfTensor { dims: t.dims().to_vec(), order: order.to_vec(), fids, fptr, vals };
+        let mut out =
+            CsfTensor { dims: t.dims().to_vec(), order: order.to_vec(), fids, fptr, vals };
         out.fold_duplicate_leaves(&perm, t);
         out
     }
@@ -151,10 +153,34 @@ impl CsfTensor {
         self.fids.iter().map(Vec::len).collect()
     }
 
+    /// Mode sizes (in original mode order, not tree-level order).
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The node indices at level `level`: `level_fids(l)[j]` is the
+    /// mode-`order()[l]` index of node `j`. Exposed for structural audits.
+    pub fn level_fids(&self, level: usize) -> &[Idx] {
+        &self.fids[level]
+    }
+
+    /// The CSR child pointers of level `level` (present for levels
+    /// `0..N-1`): node `j`'s children at level `level + 1` are
+    /// `level_fptr(l)[j]..level_fptr(l)[j+1]`. Exposed for structural
+    /// audits.
+    pub fn level_fptr(&self, level: usize) -> &[usize] {
+        &self.fptr[level]
+    }
+
+    /// Leaf values (one per distinct coordinate), aligned with the leaf
+    /// level's nodes.
+    pub fn vals(&self) -> &[f64] {
+        &self.vals
+    }
+
     /// Storage footprint in bytes (fids + fptr + vals), for experiment E5.
     pub fn storage_bytes(&self) -> usize {
-        let fid_bytes: usize =
-            self.fids.iter().map(|v| v.len() * std::mem::size_of::<Idx>()).sum();
+        let fid_bytes: usize = self.fids.iter().map(|v| v.len() * std::mem::size_of::<Idx>()).sum();
         let ptr_bytes: usize =
             self.fptr.iter().map(|v| v.len() * std::mem::size_of::<usize>()).sum();
         fid_bytes + ptr_bytes + self.vals.len() * std::mem::size_of::<f64>()
@@ -199,6 +225,14 @@ impl CsfTensor {
             )
             .collect();
         let mut m = Mat::zeros(self.dims[self.root_mode()], rank);
+        // Prove root slices own distinct output rows (the race-freedom
+        // argument of the parallel iteration above).
+        #[cfg(feature = "audit")]
+        crate::audit::assert_disjoint_rows(
+            rows.iter().map(|&(r, _)| r),
+            m.nrows(),
+            "mttkrp_root_par",
+        );
         for (row, acc) in rows {
             m.row_mut(row).copy_from_slice(&acc);
         }
@@ -303,11 +337,7 @@ mod tests {
     }
 
     fn factors_for(t: &SparseTensor, rank: usize, seed: u64) -> Vec<Mat> {
-        t.dims()
-            .iter()
-            .enumerate()
-            .map(|(d, &n)| Mat::random(n, rank, seed + d as u64))
-            .collect()
+        t.dims().iter().enumerate().map(|(d, &n)| Mat::random(n, rank, seed + d as u64)).collect()
     }
 
     #[test]
@@ -367,8 +397,7 @@ mod tests {
         );
         let c = CsfTensor::build(&t, &[0, 1]);
         assert_eq!(c.node_counts(), vec![2, 2]);
-        let factors =
-            vec![Mat::from_vec(2, 1, vec![1.0; 2]), Mat::from_vec(2, 1, vec![1.0; 2])];
+        let factors = vec![Mat::from_vec(2, 1, vec![1.0; 2]), Mat::from_vec(2, 1, vec![1.0; 2])];
         let m = c.mttkrp_root(&factors);
         assert_eq!(m.get(1, 0), 5.0);
         assert_eq!(m.get(0, 0), 1.0);

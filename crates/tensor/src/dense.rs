@@ -133,12 +133,7 @@ impl DenseTensor {
     /// Frobenius distance to another tensor of the same shape.
     pub fn fro_dist(&self, other: &DenseTensor) -> f64 {
         assert_eq!(self.dims, other.dims);
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt()
+        self.data.iter().zip(other.data.iter()).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
     }
 }
 
@@ -152,7 +147,7 @@ impl Iterator for CoordIter {
     type Item = Vec<usize>;
 
     fn next(&mut self) -> Option<Vec<usize>> {
-        if self.dims.iter().any(|&d| d == 0) {
+        if self.dims.contains(&0) {
             return None;
         }
         let cur = self.next.take()?;

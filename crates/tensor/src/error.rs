@@ -1,0 +1,77 @@
+//! Typed errors for fallible tensor construction and contraction.
+//!
+//! The panicking entry points ([`crate::coo::SparseTensor::from_entries`],
+//! [`crate::semisparse::ttm_semisparse`], ...) delegate to `try_`
+//! counterparts returning these errors, so library users embedding the
+//! kernels can handle malformed inputs without unwinding.
+
+use std::fmt;
+
+/// A structural problem with a tensor operation's inputs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TensorError {
+    /// A coordinate does not fit the compact index type ([`crate::coo::Idx`]).
+    IndexOverflow {
+        /// Mode the coordinate belongs to.
+        mode: usize,
+        /// The offending coordinate.
+        coordinate: usize,
+    },
+    /// An entry's coordinate arity differs from the tensor order.
+    ArityMismatch {
+        /// Expected arity (the tensor order).
+        expected: usize,
+        /// The entry's arity.
+        got: usize,
+    },
+    /// The requested mode is not one of a semi-sparse tensor's sparse modes.
+    ModeNotSparse {
+        /// The requested (original) mode id.
+        mode: usize,
+    },
+    /// The operation needs more modes than the tensor has.
+    TooFewModes {
+        /// Minimum number of modes required.
+        needed: usize,
+        /// Number of modes present.
+        got: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::IndexOverflow { mode, coordinate } => {
+                write!(f, "coordinate {coordinate} in mode {mode} exceeds index type capacity")
+            }
+            TensorError::ArityMismatch { expected, got } => {
+                write!(f, "entry arity {got} does not match tensor order {expected}")
+            }
+            TensorError::ModeNotSparse { mode } => {
+                write!(f, "mode {mode} must be one of the sparse modes")
+            }
+            TensorError::TooFewModes { needed, got } => {
+                write!(f, "operation requires at least {needed} modes, tensor has {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_problem() {
+        let e = TensorError::IndexOverflow { mode: 2, coordinate: 1 << 40 };
+        assert!(e.to_string().contains("mode 2"));
+        let e = TensorError::ModeNotSparse { mode: 1 };
+        assert!(e.to_string().contains("one of the sparse modes"));
+        let e = TensorError::TooFewModes { needed: 2, got: 1 };
+        assert!(e.to_string().contains("at least 2"));
+        let e = TensorError::ArityMismatch { expected: 3, got: 2 };
+        assert!(e.to_string().contains("order 3"));
+    }
+}

@@ -432,10 +432,7 @@ mod tests {
         let clu = clustered_tensor(&dims, 5_000, 4, 0.05, 0.1, 8);
         let cf_uni = crate::stats::collapse_factor(&uni, &[0, 1]);
         let cf_clu = crate::stats::collapse_factor(&clu, &[0, 1]);
-        assert!(
-            cf_clu > cf_uni,
-            "clustered collapse {cf_clu} should exceed uniform {cf_uni}"
-        );
+        assert!(cf_clu > cf_uni, "clustered collapse {cf_clu} should exceed uniform {cf_uni}");
     }
 
     #[test]

@@ -24,14 +24,21 @@
 //!   low-rank-plus-noise) and shape-faithful proxies for the real datasets
 //!   used in the paper's line of work;
 //! * [`stats`] — dataset characteristics and projection-collapse
-//!   statistics used by the planner's experiments.
+//!   statistics used by the planner's experiments;
+//! * [`error`] — typed errors for the fallible construction and
+//!   contraction entry points;
+//! * [`audit`] (feature `audit`) — the runtime write-overlap detector the
+//!   parallel MTTKRP kernels use to prove their row-disjointness claim.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "audit")]
+pub mod audit;
 pub mod coo;
 pub mod csf;
 pub mod dense;
+pub mod error;
 pub mod gen;
 pub mod io;
 pub mod mttkrp;
@@ -43,4 +50,5 @@ pub mod stats;
 pub use coo::SparseTensor;
 pub use csf::CsfTensor;
 pub use dense::DenseTensor;
+pub use error::TensorError;
 pub use sorted::SortedModeView;

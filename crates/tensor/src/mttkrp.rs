@@ -1,3 +1,4 @@
+// lint: hot-path
 //! Element-wise COO MTTKRP — the Tensor-Toolbox-style baseline.
 //!
 //! For every nonzero `x` with coordinate `(i_1, ..., i_N)` and every rank
@@ -36,13 +37,7 @@ pub fn check_factors(t: &SparseTensor, factors: &[Mat]) -> usize {
 /// `row` must hold the running Hadamard product seeded with the entry
 /// value; this multiplies in the factor rows of every mode except `mode`.
 #[inline]
-fn hadamard_rows(
-    row: &mut [f64],
-    factors: &[Mat],
-    t: &SparseTensor,
-    entry: usize,
-    mode: usize,
-) {
+fn hadamard_rows(row: &mut [f64], factors: &[Mat], t: &SparseTensor, entry: usize, mode: usize) {
     for (d, f) in factors.iter().enumerate() {
         if d == mode {
             continue;
@@ -87,19 +82,14 @@ pub fn mttkrp_seq_into(t: &SparseTensor, factors: &[Mat], mode: usize, out: &mut
 ///
 /// # Panics
 /// Panics if `view.mode() != mode` or on factor-shape mismatch.
-pub fn mttkrp_par(
-    t: &SparseTensor,
-    factors: &[Mat],
-    mode: usize,
-    view: &SortedModeView,
-) -> Mat {
+pub fn mttkrp_par(t: &SparseTensor, factors: &[Mat], mode: usize, view: &SortedModeView) -> Mat {
     let rank = check_factors(t, factors);
     assert_eq!(view.mode(), mode, "sorted view is for a different mode");
     let mut m = Mat::zeros(t.dims()[mode], rank);
     // Hand each group its own output row. Group g writes row view.key(g);
     // keys are strictly ascending so the rows are disjoint. We iterate the
     // output by row chunks and look groups up by key order.
-    let groups: Vec<(u32, &[u32])> = view.iter().map(|(k, g)| (k, g)).collect();
+    let groups: Vec<(u32, &[u32])> = view.iter().collect();
     let rows: Vec<(usize, Vec<f64>)> = groups
         .par_iter()
         .map(|&(key, grp)| {
@@ -116,6 +106,9 @@ pub fn mttkrp_par(
             (key as usize, acc)
         })
         .collect();
+    // Prove the "one group per output row" claim the parallelism rests on.
+    #[cfg(feature = "audit")]
+    crate::audit::assert_disjoint_rows(rows.iter().map(|&(r, _)| r), m.nrows(), "mttkrp_par");
     for (row_idx, acc) in rows {
         m.row_mut(row_idx).copy_from_slice(&acc);
     }
@@ -150,11 +143,7 @@ mod tests {
     }
 
     fn factors_for(t: &SparseTensor, rank: usize, seed: u64) -> Vec<Mat> {
-        t.dims()
-            .iter()
-            .enumerate()
-            .map(|(d, &n)| Mat::random(n, rank, seed + d as u64))
-            .collect()
+        t.dims().iter().enumerate().map(|(d, &n)| Mat::random(n, rank, seed + d as u64)).collect()
     }
 
     #[test]
@@ -194,8 +183,7 @@ mod tests {
     #[test]
     fn rank_one_ones_factors_gives_slice_sums() {
         let t = toy4();
-        let ones: Vec<Mat> =
-            t.dims().iter().map(|&n| Mat::from_vec(n, 1, vec![1.0; n])).collect();
+        let ones: Vec<Mat> = t.dims().iter().map(|&n| Mat::from_vec(n, 1, vec![1.0; n])).collect();
         let m = mttkrp_seq(&t, &ones, 0);
         // With all-ones factors, M(i, 0) is the sum of slice i in mode 0.
         assert!((m.get(0, 0) - (1.0 + 5.0 + 0.5)).abs() < 1e-14);

@@ -24,9 +24,8 @@ pub fn ttv(t: &SparseTensor, mode: usize, v: &[f64]) -> SparseTensor {
     let keep: Vec<usize> = (0..t.ndim()).filter(|&d| d != mode).collect();
     let dims: Vec<usize> = keep.iter().map(|&d| t.dims()[d]).collect();
     let mut inds: Vec<Vec<Idx>> = keep.iter().map(|&d| t.mode_idx(d).to_vec()).collect();
-    let mut vals: Vec<f64> = (0..t.nnz())
-        .map(|k| t.vals()[k] * v[t.mode_idx(mode)[k] as usize])
-        .collect();
+    let mut vals: Vec<f64> =
+        (0..t.nnz()).map(|k| t.vals()[k] * v[t.mode_idx(mode)[k] as usize]).collect();
     // Reuse SparseTensor's dedup machinery.
     let mut out = SparseTensor::new(dims, std::mem::take(&mut inds), std::mem::take(&mut vals));
     out.dedup_sum();
@@ -109,11 +108,8 @@ pub fn compact(t: &SparseTensor) -> Compacted {
         used.sort_unstable();
         used.dedup();
         // old -> new lookup by binary search (used is sorted).
-        let col: Vec<Idx> = t
-            .mode_idx(d)
-            .iter()
-            .map(|&i| used.partition_point(|&u| u < i) as Idx)
-            .collect();
+        let col: Vec<Idx> =
+            t.mode_idx(d).iter().map(|&i| used.partition_point(|&u| u < i) as Idx).collect();
         dims.push(used.len().max(1));
         maps.push(used);
         inds.push(col);
@@ -192,10 +188,7 @@ mod tests {
     #[test]
     fn ttv_merges_collapsing_coordinates() {
         // Two entries that differ only in the contracted mode must merge.
-        let t = SparseTensor::from_entries(
-            vec![2, 3],
-            &[(vec![1, 0], 2.0), (vec![1, 2], 5.0)],
-        );
+        let t = SparseTensor::from_entries(vec![2, 3], &[(vec![1, 0], 2.0), (vec![1, 2], 5.0)]);
         let y = ttv(&t, 1, &[1.0, 1.0, 1.0]);
         assert_eq!(y.nnz(), 1);
         assert_eq!(y.get(&[1]), 7.0);
@@ -210,8 +203,7 @@ mod tests {
         let b = ttv_chain(&t, &[(3, &w), (1, &u)]);
         assert_eq!(a.dims(), b.dims());
         for k in 0..a.nnz() {
-            let coords: Vec<usize> =
-                (0..a.ndim()).map(|d| a.mode_idx(d)[k] as usize).collect();
+            let coords: Vec<usize> = (0..a.ndim()).map(|d| a.mode_idx(d)[k] as usize).collect();
             assert!((a.vals()[k] - b.get(&coords)).abs() < 1e-12);
         }
     }
@@ -232,8 +224,7 @@ mod tests {
         let s = add(&a, &a);
         // a + a == 2a entry-wise.
         for k in 0..s.nnz() {
-            let coords: Vec<usize> =
-                (0..s.ndim()).map(|d| s.mode_idx(d)[k] as usize).collect();
+            let coords: Vec<usize> = (0..s.ndim()).map(|d| s.mode_idx(d)[k] as usize).collect();
             assert!((s.vals()[k] - a2.get(&coords)).abs() < 1e-12);
         }
     }
@@ -259,9 +250,8 @@ mod tests {
         assert_eq!(c.tensor.nnz(), 3);
         // Every compacted entry maps back to an original entry.
         for k in 0..c.tensor.nnz() {
-            let orig: Vec<usize> = (0..3)
-                .map(|d| c.maps[d][c.tensor.mode_idx(d)[k] as usize] as usize)
-                .collect();
+            let orig: Vec<usize> =
+                (0..3).map(|d| c.maps[d][c.tensor.mode_idx(d)[k] as usize] as usize).collect();
             assert_eq!(t.get(&orig), c.tensor.vals()[k]);
         }
     }

@@ -11,6 +11,7 @@
 //! building block a Tucker/HOOI extension would chain.
 
 use crate::coo::{Idx, SparseTensor};
+use crate::error::TensorError;
 use adatm_linalg::Mat;
 
 /// A tensor sparse over `sparse_modes` and dense (width `R`) along one
@@ -96,7 +97,7 @@ pub fn ttm(t: &SparseTensor, mode: usize, u: &Mat) -> SemiSparseTensor {
             for (col, &d) in idx.iter_mut().zip(keep.iter()) {
                 col.push(t.mode_idx(d)[k]);
             }
-            rows.extend(std::iter::repeat(0.0).take(rank));
+            rows.extend(std::iter::repeat_n(0.0, rank));
             count += 1;
         }
         let urow = u.row(t.mode_idx(mode)[k] as usize);
@@ -124,15 +125,29 @@ pub fn ttm(t: &SparseTensor, mode: usize, u: &Mat) -> SemiSparseTensor {
 ///
 /// # Panics
 /// Panics if `mode` is not one of the tensor's sparse modes or the matrix
-/// rows do not match that mode's size.
+/// rows do not match that mode's size. [`try_ttm_semisparse`] is the
+/// non-panicking form.
 pub fn ttm_semisparse(t: &SemiSparseTensor, mode: usize, u: &Mat) -> SemiSparseTensor {
+    try_ttm_semisparse(t, mode, u).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`ttm_semisparse`] returning a typed error when `mode` is not one of
+/// the tensor's sparse modes or too few sparse modes remain.
+pub fn try_ttm_semisparse(
+    t: &SemiSparseTensor,
+    mode: usize,
+    u: &Mat,
+) -> Result<SemiSparseTensor, TensorError> {
     let pos = t
         .sparse_modes
         .iter()
         .position(|&m| m == mode)
-        .expect("mode must be one of the sparse modes");
+        .ok_or(TensorError::ModeNotSparse { mode })?;
+    if t.sparse_modes.len() < 2 {
+        // Contracting the last sparse mode would leave no sparse structure.
+        return Err(TensorError::TooFewModes { needed: 2, got: t.sparse_modes.len() });
+    }
     assert_eq!(u.nrows(), t.sparse_dims[pos], "matrix rows must match mode size");
-    assert!(t.sparse_modes.len() >= 2, "contraction would leave no sparse mode");
     let r = t.dense_width();
     let s = u.ncols();
     let keep: Vec<usize> = (0..t.sparse_modes.len()).filter(|&p| p != pos).collect();
@@ -160,7 +175,7 @@ pub fn ttm_semisparse(t: &SemiSparseTensor, mode: usize, u: &Mat) -> SemiSparseT
             for (col, &kp) in idx.iter_mut().zip(keep.iter()) {
                 col.push(t.idx[kp][e]);
             }
-            rows.extend(std::iter::repeat(0.0).take(s * r));
+            rows.extend(std::iter::repeat_n(0.0, s * r));
             count += 1;
         }
         let urow = u.row(t.idx[pos][e] as usize);
@@ -176,12 +191,12 @@ pub fn ttm_semisparse(t: &SemiSparseTensor, mode: usize, u: &Mat) -> SemiSparseT
             }
         }
     }
-    SemiSparseTensor {
+    Ok(SemiSparseTensor {
         sparse_dims: keep.iter().map(|&p| t.sparse_dims[p]).collect(),
         sparse_modes: keep.iter().map(|&p| t.sparse_modes[p]).collect(),
         idx,
         vals: Mat::from_vec(count, s * r, rows),
-    }
+    })
 }
 
 /// Chains TTMs over every mode except `skip`: `Y = X x_{d != skip}
@@ -194,25 +209,34 @@ pub fn ttm_semisparse(t: &SemiSparseTensor, mode: usize, u: &Mat) -> SemiSparseT
 /// d2 > ...` lives at `((r_{d1} * R_{d2} + r_{d2}) * ...)`.
 ///
 /// # Panics
-/// Panics on shape mismatches or `ndim < 2`.
-pub fn ttm_chain_all_but(
+/// Panics on shape mismatches or `ndim < 2`. [`try_ttm_chain_all_but`] is
+/// the non-panicking form.
+pub fn ttm_chain_all_but(t: &SparseTensor, skip: usize, mats: &[&Mat]) -> SemiSparseTensor {
+    try_ttm_chain_all_but(t, skip, mats).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`ttm_chain_all_but`] returning a typed error when the tensor has
+/// fewer than 2 modes (no mode left to contract besides `skip`).
+pub fn try_ttm_chain_all_but(
     t: &SparseTensor,
     skip: usize,
     mats: &[&Mat],
-) -> SemiSparseTensor {
+) -> Result<SemiSparseTensor, TensorError> {
     assert_eq!(mats.len(), t.ndim(), "one matrix per mode required (skip included, unused)");
     // First contraction from COO, then fold the rest in ascending order;
     // contracting ascending modes appends each new rank index on the
     // *left* of the fiber layout, giving the documented descending order.
-    let first = (0..t.ndim()).find(|&d| d != skip).expect("ndim >= 2");
+    let first = (0..t.ndim())
+        .find(|&d| d != skip)
+        .ok_or(TensorError::TooFewModes { needed: 2, got: t.ndim() })?;
     let mut cur = ttm(t, first, mats[first]);
-    for d in 0..t.ndim() {
+    for (d, mat) in mats.iter().enumerate() {
         if d == skip || d == first {
             continue;
         }
-        cur = ttm_semisparse(&cur, d, mats[d]);
+        cur = try_ttm_semisparse(&cur, d, mat)?;
     }
-    cur
+    Ok(cur)
 }
 
 #[cfg(test)]
@@ -332,6 +356,18 @@ mod tests {
         let t = zipf_tensor(&[4, 5, 3], 20, &[0.3; 3], 1);
         let y = ttm(&t, 1, &Mat::random(5, 2, 1));
         let _ = ttm_semisparse(&y, 1, &Mat::random(5, 2, 2));
+    }
+
+    #[test]
+    fn try_ttm_semisparse_returns_typed_errors() {
+        let t = zipf_tensor(&[4, 5, 3], 20, &[0.3; 3], 1);
+        let y = ttm(&t, 1, &Mat::random(5, 2, 1));
+        let err = try_ttm_semisparse(&y, 1, &Mat::random(5, 2, 2)).unwrap_err();
+        assert_eq!(err, TensorError::ModeNotSparse { mode: 1 });
+        // Contract down to one sparse mode, then one more is an error.
+        let z = ttm_semisparse(&y, 0, &Mat::random(4, 2, 3));
+        let err = try_ttm_semisparse(&z, 2, &Mat::random(3, 2, 4)).unwrap_err();
+        assert_eq!(err, TensorError::TooFewModes { needed: 2, got: 1 });
     }
 
     #[test]

@@ -82,9 +82,6 @@ fn main() {
             (0..relations.nrows()).map(|i| (i, relations.get(i, r).abs())).collect();
         weights.sort_by(|a, b| b.1.total_cmp(&a.1));
         let top: Vec<usize> = weights.iter().take(3).map(|&(i, _)| i).collect();
-        println!(
-            "component {r} (lambda {:.3}): top relations {:?}",
-            res.model.lambda[r], top
-        );
+        println!("component {r} (lambda {:.3}): top relations {:?}", res.model.lambda[r], top);
     }
 }

@@ -15,9 +15,8 @@ use adatm::{CpAls, CpAlsOptions, DtreeBackend, NnzEstimator, Planner, SparseTens
 
 fn explore(name: &str, tensor: &SparseTensor, rank: usize) {
     println!("\n=== {name}: dims {:?}, nnz {} ===", tensor.dims(), tensor.nnz());
-    let plan = Planner::new(tensor, rank)
-        .estimator(NnzEstimator::Sampled { sample: 1 << 14 })
-        .plan();
+    let plan =
+        Planner::new(tensor, rank).estimator(NnzEstimator::Sampled { sample: 1 << 14 }).plan();
     println!(
         "{} candidates, {} estimator evaluations",
         plan.candidates.len(),

@@ -14,12 +14,7 @@ fn main() {
     // A 4-mode sparse tensor with heavy-tailed index reuse, the regime
     // where memoized MTTKRP shines.
     let tensor = zipf_tensor(&[2_000, 10_000, 30_000, 5_000], 200_000, &[0.5, 0.9, 0.7, 1.0], 42);
-    println!(
-        "tensor: order {}, dims {:?}, nnz {}",
-        tensor.ndim(),
-        tensor.dims(),
-        tensor.nnz()
-    );
+    println!("tensor: order {}, dims {:?}, nnz {}", tensor.ndim(), tensor.dims(), tensor.nnz());
 
     // One call: plan the memoization strategy, then run rank-16 CP-ALS.
     let opts = CpAlsOptions::new(16).max_iters(20).tol(1e-5).seed(0);

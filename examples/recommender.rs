@@ -20,8 +20,7 @@
 use adatm::tensor::coo::Idx;
 use adatm::tensor::gen::low_rank_tensor;
 use adatm::{
-    complete, decompose_with, CompletionOptions, CooBackend, CpAlsOptions, CsfBackend,
-    DtreeBackend,
+    complete, decompose_with, CompletionOptions, CooBackend, CpAlsOptions, CsfBackend, DtreeBackend,
 };
 use adatm::{MttkrpBackend, SparseTensor};
 
@@ -44,12 +43,7 @@ fn main() {
         }
     }
     let train = SparseTensor::from_entries(dims.to_vec(), &train_entries);
-    println!(
-        "train nnz {}, test nnz {}, dims {:?}",
-        train.nnz(),
-        test_entries.len(),
-        dims
-    );
+    println!("train nnz {}, test nnz {}, dims {:?}", train.nnz(), test_entries.len(), dims);
 
     // Compare backends end-to-end on the same seed; all must produce
     // identical trajectories (they compute the same math).
@@ -74,10 +68,8 @@ fn main() {
 
     // Missing-as-unknown: fit only the observed ratings with the
     // completion solver, then score the held-out set.
-    let comp = complete(
-        &train,
-        &CompletionOptions::new(4).max_iters(25).reg(1e-3).tol(1e-7).seed(7),
-    );
+    let comp =
+        complete(&train, &CompletionOptions::new(4).max_iters(25).reg(1e-3).tol(1e-7).seed(7));
     let model = &comp.model;
     let mut se = 0.0;
     let mut baseline_se = 0.0;
@@ -101,8 +93,5 @@ fn main() {
         .map(|item| (item, model.predict(&[user, item as usize, week])))
         .collect();
     scores.sort_by(|a, b| b.1.total_cmp(&a.1));
-    println!(
-        "top items for user {user} in week {week}: {:?}",
-        &scores[..3.min(scores.len())]
-    );
+    println!("top items for user {user} in week {week}: {:?}", &scores[..3.min(scores.len())]);
 }

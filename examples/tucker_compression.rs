@@ -46,16 +46,18 @@ fn main() {
 
     // Energy captured per leading core slice of mode 0.
     let total = res.model.core_norm();
-    println!("core norm {:.4} (captures {:.1}% of tensor energy)",
-        total, 100.0 * (total / tensor.fro_norm()).powi(2));
+    println!(
+        "core norm {:.4} (captures {:.1}% of tensor energy)",
+        total,
+        100.0 * (total / tensor.fro_norm()).powi(2)
+    );
 
     // Reconstruct a few entries to show the model is usable pointwise.
     for k in [0usize, 1000, 200_000] {
         if k >= tensor.nnz() {
             continue;
         }
-        let coords: Vec<usize> =
-            (0..4).map(|d| tensor.mode_idx(d)[k] as usize).collect();
+        let coords: Vec<usize> = (0..4).map(|d| tensor.mode_idx(d)[k] as usize).collect();
         println!(
             "  x{coords:?} = {:.4}, model = {:.4}",
             tensor.vals()[k],

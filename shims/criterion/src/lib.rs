@@ -1,0 +1,204 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build container has no network access and no vendored registry, so
+//! the workspace replaces its `criterion` dev-dependency with this shim
+//! (see `[workspace.dependencies]` in the root manifest). It keeps the
+//! bench targets compiling and producing useful wall-clock numbers:
+//! `Criterion::benchmark_group`, `BenchmarkGroup::{sample_size,
+//! bench_function, finish}`, `Bencher::iter`, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — per sample, the closure runs in a
+//! timed batch whose iteration count targets ~20 ms, and the report gives
+//! min / median / mean per-iteration time over the samples. There is no
+//! statistical regression machinery, plotting, or result persistence.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver (subset of upstream's `Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Creates a driver with default settings.
+    pub fn new() -> Self {
+        Criterion::default()
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup { _criterion: self, sample_size: 100 }
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark (min 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            iters_per_sample: 0,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    /// Ends the group. (No cross-benchmark analysis in this shim.)
+    pub fn finish(&mut self) {}
+}
+
+/// Times a closure over repeated batches (subset of upstream's
+/// `Bencher`).
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `routine`: calibrates a batch size targeting ~20 ms, then
+    /// records `sample_size` timed batches.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Calibration: grow the batch until it takes long enough to time.
+        let target = Duration::from_millis(20);
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= target || iters >= 1 << 20 {
+                break;
+            }
+            iters = if took.is_zero() {
+                iters * 16
+            } else {
+                // Aim straight at the target, padded 20%, at least doubling.
+                let scale = target.as_secs_f64() / took.as_secs_f64() * 1.2;
+                (iters * 2).max((iters as f64 * scale) as u64)
+            };
+        }
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() || self.iters_per_sample == 0 {
+            println!("  {id}: no samples (Bencher::iter never called)");
+            return;
+        }
+        let per_iter: Vec<f64> =
+            self.samples.iter().map(|d| d.as_secs_f64() / self.iters_per_sample as f64).collect();
+        let mut sorted = per_iter.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "  {id}: min {} / median {} / mean {}  ({} samples x {} iters)",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean),
+            self.samples.len(),
+            self.iters_per_sample
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Re-export point used by upstream-style bench code; the shim's
+/// `black_box` is just [`std::hint::black_box`].
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into one runner function, as upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::new();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` invoking each [`criterion_group!`] runner.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_trivial(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_selftest");
+        group.sample_size(2);
+        group.bench_function("add", |b| b.iter(|| std::hint::black_box(1u64 + 1)));
+        group.finish();
+    }
+
+    criterion_group!(selftest, bench_trivial);
+
+    #[test]
+    fn group_runs_and_reports() {
+        selftest();
+    }
+
+    #[test]
+    fn time_formatting_picks_units() {
+        assert_eq!(fmt_time(2.5), "2.500 s");
+        assert_eq!(fmt_time(2.5e-3), "2.500 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.500 us");
+        assert_eq!(fmt_time(2.5e-9), "2.5 ns");
+    }
+}

@@ -1,0 +1,307 @@
+//! Offline drop-in subset of the `rand` crate API.
+//!
+//! The build container has no network access and no vendored registry, so
+//! the workspace replaces its `rand` dependency with this shim (see
+//! `[workspace.dependencies]` in the root manifest). Only the API surface
+//! the workspace actually uses is provided:
+//!
+//! * [`SeedableRng::seed_from_u64`] + [`rngs::StdRng`] — a deterministic
+//!   xoshiro256++ generator seeded via SplitMix64 (the same construction
+//!   real `rand` uses for small-seed expansion);
+//! * [`Rng::gen`] / [`Rng::gen_range`] for `f64` and the integer ranges the
+//!   generators draw from;
+//! * [`distributions::Uniform`] over `f64` and the [`distributions::Distribution`]
+//!   trait object the samplers implement.
+//!
+//! Streams are deterministic per seed but intentionally **not** bit-equal
+//! to upstream `rand`; nothing in the workspace depends on the exact
+//! stream, only on seeded reproducibility and reasonable uniformity.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random `u64`s (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from seed material (subset of
+/// `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed, expanding it with
+    /// SplitMix64 as upstream does.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// SplitMix64 step: the standard seed-expansion generator.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Values drawable with [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Rejection-free bounded integer draw (Lemire-style multiply-shift is
+/// overkill here; modulo bias at 2^64 scale is far below every use).
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0, "empty range");
+    // Widening multiply keeps the draw uniform to within 2^-64.
+    ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add(bounded_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = hi.wrapping_sub(lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(bounded_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32, i64);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::draw(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + f64::draw(rng) * (hi - lo)
+    }
+}
+
+/// Convenience draws on any [`RngCore`] (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from its standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Draws uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// The generators (subset of `rand::rngs`).
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator standing in for `rand`'s
+    /// `StdRng`. Not cryptographic; statistically strong enough for the
+    /// synthetic-tensor generators and randomized initializations here.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // An all-zero state would be a fixed point; SplitMix64 cannot
+            // produce four zeros from any seed, but keep the guard explicit.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Distributions (subset of `rand::distributions`).
+pub mod distributions {
+    /// A distribution over values of type `T` (same shape as upstream).
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: super::Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over a half-open `f64` interval.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Uniform<X> {
+        lo: X,
+        hi: X,
+    }
+
+    impl Uniform<f64> {
+        /// Uniform over `[lo, hi)`.
+        pub fn new(lo: f64, hi: f64) -> Self {
+            assert!(lo < hi, "Uniform::new requires lo < hi");
+            Uniform { lo, hi }
+        }
+
+        /// Uniform over `[lo, hi]`.
+        pub fn new_inclusive(lo: f64, hi: f64) -> Self {
+            assert!(lo <= hi, "Uniform::new_inclusive requires lo <= hi");
+            Uniform { lo, hi }
+        }
+    }
+
+    impl Distribution<f64> for Uniform<f64> {
+        fn sample<R: super::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.lo + u * (self.hi - self.lo)
+        }
+    }
+}
+
+/// Prelude matching `rand::prelude` closely enough for `use rand::prelude::*`.
+pub mod prelude {
+    pub use super::distributions::Distribution;
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<f64>(), b.gen::<f64>());
+        }
+    }
+
+    #[test]
+    fn seeds_give_distinct_streams() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn unit_draws_in_range_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = rng.gen_range(5usize..17);
+            assert!((5..17).contains(&x));
+            let y = rng.gen_range(0usize..=4);
+            assert!(y <= 4);
+            let z = rng.gen_range(1.0f64..2.0);
+            assert!((1.0..2.0).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domain() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn uniform_distribution_in_interval() {
+        let d = Uniform::new(f64::MIN_POSITIVE, 1.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!(x > 0.0 && x < 1.0);
+        }
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_works() {
+        let mut rng = StdRng::seed_from_u64(13);
+        // Must not overflow the span computation.
+        let _ = rng.gen_range(0u64..=u64::MAX);
+    }
+}

@@ -12,14 +12,12 @@
 
 use adatm::planner::estimate::NnzEstimator;
 use adatm::tensor::gen::{uniform_tensor, zipf_tensor};
-use adatm::tensor::io::{
-    read_binary_file, read_tns_file, write_binary_file, write_tns_file,
-};
+use adatm::tensor::io::{read_binary_file, read_tns_file, write_binary_file, write_tns_file};
 use adatm::tensor::stats::TensorStats;
 use adatm::{
-    complete, cp_opt, decompose_with, hooi, ncp, AdaptiveBackend, CompletionOptions,
-    CooBackend, CpAlsOptions, CpOptOptions, CsfBackend, DtreeBackend, MttkrpBackend,
-    NcpOptions, Planner, SparseTensor, TreeShape, TuckerOptions,
+    complete, cp_opt, decompose_with, hooi, ncp, AdaptiveBackend, CompletionOptions, CooBackend,
+    CpAlsOptions, CpOptOptions, CsfBackend, DtreeBackend, MttkrpBackend, NcpOptions, Planner,
+    SparseTensor, TreeShape, TuckerOptions,
 };
 use std::collections::HashMap;
 use std::path::Path;
@@ -339,11 +337,7 @@ fn cmd_decompose(args: &[String]) -> Result<(), String> {
         }
         Some("complete") => {
             let reg = opt_parse(&opts, "reg", 0.1f64)?;
-            let o = CompletionOptions::new(rank)
-                .max_iters(iters)
-                .tol(tol)
-                .reg(reg)
-                .seed(seed);
+            let o = CompletionOptions::new(rank).max_iters(iters).tol(tol).reg(reg).seed(seed);
             let res = complete(&t, &o);
             println!(
                 "complete: {} iters, train RMSE {:.5}, converged {}",

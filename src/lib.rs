@@ -12,13 +12,14 @@
 //!
 //! See `examples/quickstart.rs` for a five-line decomposition.
 
+#![forbid(unsafe_code)]
+
 pub use adatm_core::backend::all_backends;
 pub use adatm_core::{
     complete, cp_opt, decompose, decompose_with, factor_match_score, hooi, ncp, AdaptiveBackend,
-    CompletionOptions, CompletionResult, CooBackend, CpAls, CpAlsOptions, CpModel,
-    CpOptOptions, CpOptResult, CpResult, CsfBackend, DtreeBackend, InitStrategy,
-    MttkrpBackend, NcpOptions, NcpResult, PhaseTimings, TuckerModel, TuckerOptions,
-    TuckerResult,
+    CompletionOptions, CompletionResult, CooBackend, CpAls, CpAlsOptions, CpModel, CpOptOptions,
+    CpOptResult, CpResult, CsfBackend, DtreeBackend, InitStrategy, MttkrpBackend, NcpOptions,
+    NcpResult, PhaseTimings, TuckerModel, TuckerOptions, TuckerResult,
 };
 pub use adatm_dtree::TreeShape;
 pub use adatm_linalg::Mat;
@@ -43,4 +44,13 @@ pub mod dtree {
 /// The model-driven memoization planner.
 pub mod planner {
     pub use adatm_model::*;
+}
+
+/// Invariant audits (`--features audit`): the [`audit::Validate`] trait,
+/// structural validators for every kernel data structure, and — via
+/// [`tensor::audit`](adatm_tensor::audit) — the parallel-MTTKRP
+/// write-overlap detector.
+#[cfg(feature = "audit")]
+pub mod audit {
+    pub use adatm_audit::*;
 }

@@ -3,8 +3,8 @@
 
 use adatm::tensor::gen::zipf_tensor;
 use adatm::{
-    all_backends, cp_opt, ncp, CpAlsOptions, CpOptOptions, CsfBackend, DtreeBackend,
-    InitStrategy, NcpOptions,
+    all_backends, cp_opt, ncp, CpAlsOptions, CpOptOptions, CsfBackend, DtreeBackend, InitStrategy,
+    NcpOptions,
 };
 
 #[test]
@@ -57,11 +57,8 @@ fn cpopt_objective_consistent_across_backends() {
 fn als_with_range_init_runs_on_adaptive_backend() {
     let t = zipf_tensor(&[40, 30, 25], 2_500, &[0.6; 3], 11);
     let mut b = adatm::AdaptiveBackend::plan(&t, 5);
-    let opts = CpAlsOptions::new(5)
-        .max_iters(8)
-        .tol(0.0)
-        .seed(3)
-        .init(InitStrategy::RandomizedRange);
+    let opts =
+        CpAlsOptions::new(5).max_iters(8).tol(0.0).seed(3).init(InitStrategy::RandomizedRange);
     let res = adatm::decompose_with(&t, &opts, &mut b);
     assert_eq!(res.iters, 8);
     assert!(res.final_fit().is_finite());
@@ -75,11 +72,8 @@ fn three_algorithms_reduce_residual_on_same_data() {
     let xnorm = t.fro_norm();
 
     let mut b1 = adatm::CooBackend::new(&t);
-    let als = adatm::decompose_with(
-        &t,
-        &CpAlsOptions::new(4).max_iters(20).tol(0.0).seed(1),
-        &mut b1,
-    );
+    let als =
+        adatm::decompose_with(&t, &CpAlsOptions::new(4).max_iters(20).tol(0.0).seed(1), &mut b1);
     assert!(als.final_fit() > 0.1, "als fit {}", als.final_fit());
 
     let mut b2 = adatm::CooBackend::new(&t);

@@ -39,8 +39,7 @@ fn generate_info_convert_round_trip() {
 
     let out = adatm()
         .args([
-            "generate", "--dims", "40x50x30", "--nnz", "2000", "--skew", "0.7", "--seed", "3",
-            "-o",
+            "generate", "--dims", "40x50x30", "--nnz", "2000", "--skew", "0.7", "--seed", "3", "-o",
         ])
         .arg(&tns)
         .output()
@@ -148,11 +147,7 @@ fn decompose_ncp_and_cpopt_run() {
             .args(["--rank", "3", "--iters", "5", "--algo", algo, "--backend", "coo"])
             .output()
             .unwrap();
-        assert!(
-            out.status.success(),
-            "{algo}: {}",
-            String::from_utf8_lossy(&out.stderr)
-        );
+        assert!(out.status.success(), "{algo}: {}", String::from_utf8_lossy(&out.stderr));
         assert!(String::from_utf8_lossy(&out.stdout).contains(algo));
     }
     let _ = std::fs::remove_dir_all(&dir);

@@ -4,8 +4,7 @@
 use adatm::tensor::gen::{dense_low_rank, zipf_tensor};
 use adatm::tensor::io::{read_binary, read_tns, write_binary, write_tns};
 use adatm::{
-    all_backends, decompose, decompose_with, CooBackend, CpAlsOptions, CsfBackend,
-    DtreeBackend,
+    all_backends, decompose, decompose_with, CooBackend, CpAlsOptions, CsfBackend, DtreeBackend,
 };
 
 #[test]
@@ -95,8 +94,7 @@ fn io_round_trip_preserves_decomposition() {
 fn rank_one_decomposition_works() {
     let truth = dense_low_rank(&[8, 10, 6], 1, 0.0, 3);
     let mut b = CsfBackend::new(&truth.tensor);
-    let res =
-        decompose_with(&truth.tensor, &CpAlsOptions::new(1).max_iters(30).seed(6), &mut b);
+    let res = decompose_with(&truth.tensor, &CpAlsOptions::new(1).max_iters(30).seed(6), &mut b);
     assert!(res.final_fit() > 0.999, "rank-1 exact fit, got {}", res.final_fit());
 }
 
@@ -106,11 +104,8 @@ fn overcomplete_rank_still_converges() {
     // pseudoinverse handles the singular normal equations).
     let truth = dense_low_rank(&[8, 9, 7], 2, 0.0, 8);
     let mut b = DtreeBackend::balanced_binary(&truth.tensor, 6);
-    let res = decompose_with(
-        &truth.tensor,
-        &CpAlsOptions::new(6).max_iters(40).tol(0.0).seed(9),
-        &mut b,
-    );
+    let res =
+        decompose_with(&truth.tensor, &CpAlsOptions::new(6).max_iters(40).tol(0.0).seed(9), &mut b);
     assert!(res.final_fit() > 0.99, "fit {}", res.final_fit());
     assert!(res.fit_history.iter().all(|f| f.is_finite()));
 }
@@ -133,10 +128,7 @@ fn mode_permutation_invariance() {
     // Different random inits see different mode sizes, so allow loose
     // agreement (the optimum is permutation-invariant; trajectories are
     // close at 10 iterations on this well-conditioned problem).
-    assert!(
-        (fit_a - fit_b).abs() < 0.05,
-        "permuted fit {fit_b} far from original {fit_a}"
-    );
+    assert!((fit_a - fit_b).abs() < 0.05, "permuted fit {fit_b} far from original {fit_a}");
 }
 
 #[test]

@@ -14,18 +14,10 @@ use adatm::{Objective, Planner, SparseTensor};
 /// Counted flops of one full CP-ALS iteration's MTTKRPs under the
 /// dimension-tree protocol for a given shape.
 fn iteration_flops(t: &SparseTensor, shape: &adatm::TreeShape, rank: usize) -> u64 {
-    let factors: Vec<adatm::Mat> = t
-        .dims()
-        .iter()
-        .enumerate()
-        .map(|(d, &n)| adatm::Mat::random(n, rank, d as u64))
-        .collect();
-    let mut eng = DtreeEngine::with_options(
-        t,
-        shape,
-        rank,
-        EngineOptions { parallel: false, thick: true },
-    );
+    let factors: Vec<adatm::Mat> =
+        t.dims().iter().enumerate().map(|(d, &n)| adatm::Mat::random(n, rank, d as u64)).collect();
+    let mut eng =
+        DtreeEngine::with_options(t, shape, rank, EngineOptions { parallel: false, thick: true });
     // Subiterations must follow the tree's leaf order (what the CP-ALS
     // driver does via MttkrpBackend::mode_order) so that every node is
     // computed exactly once per iteration.
@@ -62,11 +54,7 @@ fn exact_model_matches_counted_flops_for_every_candidate() {
             let counted = iteration_flops(&t, &c.shape, rank);
             let predicted = c.cost.flops_per_iter;
             let rel = (predicted - counted as f64).abs() / counted as f64;
-            assert!(
-                rel < 1e-9,
-                "{name}/{}: predicted {predicted} vs counted {counted}",
-                c.label
-            );
+            assert!(rel < 1e-9, "{name}/{}: predicted {predicted} vs counted {counted}", c.label);
         }
     }
 }
@@ -106,10 +94,7 @@ fn sampled_planner_choice_is_near_optimal() {
             .iter()
             .map(|c| iteration_flops(&t, &c.shape, rank) as f64)
             .fold(f64::INFINITY, f64::min);
-        assert!(
-            chosen <= oracle * 1.5,
-            "{name}: sampled choice {chosen} vs oracle {oracle}"
-        );
+        assert!(chosen <= oracle * 1.5, "{name}: sampled choice {chosen} vs oracle {oracle}");
     }
 }
 
@@ -117,10 +102,8 @@ fn sampled_planner_choice_is_near_optimal() {
 fn memoizing_plans_beat_flat_on_higher_orders() {
     let rank = 8;
     let t = uniform_tensor(&[25; 8], 4_000, 2);
-    let plan = Planner::new(&t, rank)
-        .estimator(NnzEstimator::Exact)
-        .objective(Objective::Flops)
-        .plan();
+    let plan =
+        Planner::new(&t, rank).estimator(NnzEstimator::Exact).objective(Objective::Flops).plan();
     let chosen = iteration_flops(&t, &plan.shape, rank);
     let flat = iteration_flops(&t, &adatm::TreeShape::two_level(8), rank);
     assert!(

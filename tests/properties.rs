@@ -33,10 +33,7 @@ fn arb_tensor() -> impl Strategy<Value = SparseTensor> {
                         c
                     })
                 };
-                (
-                    Just(dims.clone()),
-                    proptest::collection::vec((entry, -5.0f64..5.0), 1..=max_nnz),
-                )
+                (Just(dims.clone()), proptest::collection::vec((entry, -5.0f64..5.0), 1..=max_nnz))
             })
         })
         .prop_map(|(dims, entries)| {
@@ -74,11 +71,7 @@ fn random_shape(modes: &[usize], seed: u64) -> TreeShape {
 }
 
 fn factors_for(t: &SparseTensor, rank: usize, seed: u64) -> Vec<Mat> {
-    t.dims()
-        .iter()
-        .enumerate()
-        .map(|(d, &n)| Mat::random(n, rank, seed + d as u64))
-        .collect()
+    t.dims().iter().enumerate().map(|(d, &n)| Mat::random(n, rank, seed + d as u64)).collect()
 }
 
 proptest! {
@@ -120,6 +113,22 @@ proptest! {
             let m = eng.mttkrp(&t, &factors, mode);
             let want = dense.mttkrp_ref(&factors, mode);
             prop_assert!(m.max_abs_diff(&want) < 1e-9, "shape {shape} mode {mode}");
+        }
+    }
+
+    #[test]
+    fn arb_shapes_are_valid_partitions(shape in arb_shape(4)) {
+        shape.validate();
+        let tree = DimTree::from_shape(&shape);
+        // The root covers every mode exactly once (sorted by construction),
+        // and each node's delta partitions its parent's mode set.
+        prop_assert_eq!(tree.node(0).modes.clone(), (0..4).collect::<Vec<_>>());
+        for id in 1..tree.len() {
+            let parent = tree.node(id).parent.unwrap();
+            let mut rebuilt = tree.node(id).modes.clone();
+            rebuilt.extend_from_slice(&tree.node(id).delta);
+            rebuilt.sort_unstable();
+            prop_assert_eq!(rebuilt, tree.node(parent).modes.clone());
         }
     }
 

@@ -1,0 +1,221 @@
+//! Workspace automation entry point (`cargo xtask <command>`).
+//!
+//! The one command so far is `lint`: the static-analysis driver run in CI
+//! and before every merge. It chains
+//!
+//! 1. `cargo fmt --all -- --check` against the committed `rustfmt.toml`,
+//! 2. `cargo clippy --workspace --all-targets` with a curated deny-list,
+//! 3. the source-scan rules in [`lints`] — no `.unwrap()`/`.expect(` in
+//!    the kernel crates, `#![forbid(unsafe_code)]` in every crate root,
+//!    and an advisory unchecked-indexing count for hot-path files.
+//!
+//! Exits non-zero if any enforced step fails.
+
+#![forbid(unsafe_code)]
+
+mod lints;
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+/// Crates whose non-test sources must stay free of `.unwrap()`/`.expect(`:
+/// the kernels that run inside parallel regions and report failures as
+/// typed errors instead of panicking.
+const KERNEL_CRATES: &[&str] = &["crates/tensor", "crates/dtree", "crates/linalg"];
+
+/// Extra clippy lints denied on top of `-D warnings`.
+const CLIPPY_DENY: &[&str] =
+    &["clippy::dbg_macro", "clippy::todo", "clippy::unimplemented", "clippy::mem_forget"];
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint(),
+        None | Some("help") | Some("--help") => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown command `{other}`\n");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage: cargo xtask <command>\n\ncommands:\n  lint    run the static-analysis suite (rustfmt, clippy, source scans)");
+}
+
+/// The workspace root: the parent of this crate's manifest directory.
+fn workspace_root() -> PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().unwrap_or(manifest).to_path_buf()
+}
+
+fn cargo_bin() -> String {
+    std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string())
+}
+
+/// Runs one external step, echoing a pass/fail line. Returns `true` on
+/// success.
+fn run_step(name: &str, cmd: &mut Command) -> bool {
+    println!("xtask lint: running {name} ...");
+    match cmd.status() {
+        Ok(status) if status.success() => {
+            println!("xtask lint: {name} ok");
+            true
+        }
+        Ok(status) => {
+            eprintln!("xtask lint: {name} FAILED ({status})");
+            false
+        }
+        Err(err) => {
+            eprintln!("xtask lint: {name} FAILED to start: {err}");
+            false
+        }
+    }
+}
+
+/// Collects every `.rs` file under `dir`, recursively, sorted for
+/// deterministic output.
+fn rust_sources(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let entries = match std::fs::read_dir(&d) {
+            Ok(e) => e,
+            Err(_) => continue,
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Crate roots that must declare `#![forbid(unsafe_code)]`: every member
+/// crate's `lib.rs` (or `main.rs` for this binary), including the shims.
+fn crate_roots(root: &Path) -> Vec<PathBuf> {
+    let mut roots = vec![root.join("src/lib.rs"), root.join("xtask/src/main.rs")];
+    for group in ["crates", "shims"] {
+        let dir = root.join(group);
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(_) => continue,
+        };
+        for entry in entries.flatten() {
+            let lib = entry.path().join("src/lib.rs");
+            if lib.is_file() {
+                roots.push(lib);
+            }
+        }
+    }
+    roots.sort();
+    roots
+}
+
+fn display_rel(path: &Path, root: &Path) -> String {
+    path.strip_prefix(root).unwrap_or(path).display().to_string()
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let cargo = cargo_bin();
+    let mut ok = true;
+
+    ok &= run_step(
+        "rustfmt",
+        Command::new(&cargo).current_dir(&root).args(["fmt", "--all", "--", "--check"]),
+    );
+
+    let mut clippy = Command::new(&cargo);
+    clippy.current_dir(&root).args([
+        "clippy",
+        "--workspace",
+        "--all-targets",
+        "--quiet",
+        "--",
+        "-D",
+        "warnings",
+    ]);
+    for lint in CLIPPY_DENY {
+        clippy.args(["-D", lint]);
+    }
+    ok &= run_step("clippy", &mut clippy);
+
+    ok &= run_source_scans(&root);
+
+    if ok {
+        println!("xtask lint: all checks passed");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask lint: FAILED");
+        ExitCode::FAILURE
+    }
+}
+
+/// The in-process scans: panicky calls in kernel crates, missing
+/// `#![forbid(unsafe_code)]`, and the hot-path indexing advisory.
+fn run_source_scans(root: &Path) -> bool {
+    let mut findings = Vec::new();
+
+    println!("xtask lint: scanning kernel crates for `.unwrap()` / `.expect(` ...");
+    for krate in KERNEL_CRATES {
+        for path in rust_sources(&root.join(krate).join("src")) {
+            let rel = display_rel(&path, root);
+            match std::fs::read_to_string(&path) {
+                Ok(src) => findings.extend(lints::scan_panicky_calls(&rel, &src)),
+                Err(err) => findings.push(lints::Finding {
+                    file: rel,
+                    line: 0,
+                    message: format!("unreadable source file: {err}"),
+                }),
+            }
+        }
+    }
+
+    println!("xtask lint: checking crate roots for `#![forbid(unsafe_code)]` ...");
+    for path in crate_roots(root) {
+        let rel = display_rel(&path, root);
+        match std::fs::read_to_string(&path) {
+            Ok(src) => findings.extend(lints::scan_forbid_unsafe(&rel, &src)),
+            Err(err) => findings.push(lints::Finding {
+                file: rel,
+                line: 0,
+                message: format!("unreadable crate root: {err}"),
+            }),
+        }
+    }
+
+    println!("xtask lint: hot-path indexing advisory ...");
+    for krate in KERNEL_CRATES {
+        for path in rust_sources(&root.join(krate).join("src")) {
+            let Ok(src) = std::fs::read_to_string(&path) else { continue };
+            if lints::is_hot_path_tagged(&src) {
+                let n = lints::scan_hot_path_indexing(&src);
+                println!(
+                    "xtask lint:   {}: {n} direct slice-indexing site(s) (advisory)",
+                    display_rel(&path, root)
+                );
+            }
+        }
+    }
+
+    if findings.is_empty() {
+        println!("xtask lint: source scans ok");
+        true
+    } else {
+        for f in &findings {
+            eprintln!("xtask lint: {f}");
+        }
+        eprintln!("xtask lint: source scans FAILED ({} finding(s))", findings.len());
+        false
+    }
+}
