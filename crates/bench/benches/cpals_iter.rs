@@ -14,7 +14,7 @@ fn bench_cpals_iter(c: &mut Criterion) {
         let name = backend.name();
         let solver = CpAls::new(CpAlsOptions::new(rank).max_iters(1).tol(0.0).seed(1));
         group.bench_function(name, |b| {
-            b.iter(|| std::hint::black_box(solver.run(&t, &mut backend)))
+            b.iter(|| std::hint::black_box(solver.run(&t, &mut backend).map(|r| r.iters)))
         });
     }
     group.finish();

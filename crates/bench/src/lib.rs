@@ -165,7 +165,9 @@ pub fn run_cpals<B: adatm_core::MttkrpBackend + ?Sized>(
     iterations: usize,
 ) -> adatm_core::CpResult {
     let opts = adatm_core::CpAlsOptions::new(rank).max_iters(iterations).tol(0.0).seed(0);
-    adatm_core::CpAls::new(opts).run(tensor, backend)
+    adatm_core::CpAls::new(opts)
+        .run(tensor, backend)
+        .unwrap_or_else(|e| panic!("benchmark CP-ALS run rejected its input: {e}"))
 }
 
 /// Average per-iteration wall time of a run (sum of measured phases).

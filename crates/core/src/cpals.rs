@@ -15,11 +15,40 @@
 //! The fit `1 - ||X - M|| / ||X||` is computed per iteration at
 //! `O(I_N R + R²)` extra cost using the last subiteration's MTTKRP
 //! result — no extra pass over the tensor.
+//!
+//! # Resilience
+//!
+//! The driver never panics, spins, or returns a NaN-poisoned model on
+//! hostile input. Malformed caller input is rejected up front with a
+//! typed [`CpAlsError`]; numeric breakdowns mid-run are detected after
+//! every mode update and repaired by an escalating sequence of recovery
+//! policies:
+//!
+//! 1. **Tikhonov ridge re-solve** when the Gram system is numerically
+//!    singular (condition estimate from the Jacobi eigenvalues the
+//!    pseudoinverse already computed) or the dense solve fails;
+//! 2. **rollback** to the last-good factor set plus seeded
+//!    re-randomization of the offending factor, with all memoized
+//!    backend intermediates invalidated (a NaN that reached a
+//!    dimension-tree node would otherwise poison every later MTTKRP);
+//! 3. **graceful degradation** once the rollback budget is exhausted:
+//!    the best-so-far model is returned with `converged = false` and a
+//!    diagnostic explaining why.
+//!
+//! An optional wall-clock budget ([`CpAlsOptions::time_budget`]) is
+//! checked at every mode boundary so callers serving traffic get
+//! best-so-far results instead of unbounded runs. Everything a detector
+//! saw and every recovery taken is recorded in
+//! [`CpResult::diagnostics`].
 
 use crate::backend::MttkrpBackend;
+use crate::diagnostics::{
+    BreakdownEvent, BreakdownKind, RecoveryAction, RunDiagnostics, StopReason,
+};
+use crate::error::CpAlsError;
 use crate::init::{init_factors, InitStrategy};
 use crate::model::CpModel;
-use adatm_linalg::{pinv::solve_gram, Mat};
+use adatm_linalg::{pinv::ridge_solve_gram, pinv::try_solve_gram, Mat};
 use adatm_tensor::SparseTensor;
 use std::time::{Duration, Instant};
 
@@ -31,6 +60,30 @@ fn audit_stage(stage: &str, v: &dyn adatm_audit::Validate) {
         panic!("audit: {stage}: {e}");
     }
 }
+
+/// Condition-estimate threshold above which a Gram system is treated as
+/// degenerate and re-solved with a ridge.
+const COND_LIMIT: f64 = 1e12;
+
+/// Relative ridge applied to a degenerate Gram system (scaled by the
+/// largest eigenvalue magnitude, floored at `RIDGE_FLOOR`).
+const RIDGE_REL: f64 = 1e-8;
+
+/// Absolute floor for the Tikhonov ridge.
+const RIDGE_FLOOR: f64 = 1e-12;
+
+/// Absolute fit drop between consecutive iterations treated as
+/// divergence. Healthy ALS sweeps are monotone to rounding; a drop this
+/// large means the trajectory has been corrupted.
+const DIVERGENCE_DROP: f64 = 0.25;
+
+/// Iterations of fit change below `STALL_EPS` before a stall event is
+/// recorded (detection only — with `tol = 0` the caller asked for every
+/// iteration to run).
+const STALL_WINDOW: usize = 8;
+
+/// Fit-change threshold for stall detection.
+const STALL_EPS: f64 = 1e-13;
 
 /// Options for a CP-ALS run.
 #[derive(Clone, Debug)]
@@ -45,13 +98,32 @@ pub struct CpAlsOptions {
     pub seed: u64,
     /// Factor initialization strategy.
     pub init: InitStrategy,
+    /// Optional wall-clock budget, checked at mode boundaries; on expiry
+    /// the best-so-far model is returned with
+    /// [`StopReason::TimeBudget`].
+    pub time_budget: Option<Duration>,
+    /// Maximum number of rollback recoveries before the run degrades
+    /// gracefully (ridge re-solves are not counted — they are cheap,
+    /// deterministic repairs that cannot loop).
+    pub recovery_budget: usize,
 }
 
 impl CpAlsOptions {
-    /// Defaults: 50 iterations, tolerance `1e-5`, seed 0, random init.
+    /// Defaults: 50 iterations, tolerance `1e-5`, seed 0, random init, no
+    /// time budget, 8 rollback recoveries.
+    ///
+    /// A rank of 0 is rejected with [`CpAlsError::ZeroRank`] when the
+    /// solver runs.
     pub fn new(rank: usize) -> Self {
-        assert!(rank > 0, "rank must be positive");
-        CpAlsOptions { rank, max_iters: 50, tol: 1e-5, seed: 0, init: InitStrategy::Random }
+        CpAlsOptions {
+            rank,
+            max_iters: 50,
+            tol: 1e-5,
+            seed: 0,
+            init: InitStrategy::Random,
+            time_budget: None,
+            recovery_budget: 8,
+        }
     }
 
     /// Sets the iteration cap.
@@ -75,6 +147,19 @@ impl CpAlsOptions {
     /// Sets the initialization strategy.
     pub fn init(mut self, init: InitStrategy) -> Self {
         self.init = init;
+        self
+    }
+
+    /// Sets the wall-clock budget (the watchdog checked at mode
+    /// boundaries).
+    pub fn time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// Sets the rollback recovery budget.
+    pub fn recovery_budget(mut self, budget: usize) -> Self {
+        self.recovery_budget = budget;
         self
     }
 }
@@ -111,6 +196,8 @@ pub struct CpResult {
     pub converged: bool,
     /// Phase timings over the whole run.
     pub timings: PhaseTimings,
+    /// Breakdown events, recoveries taken, and the stop reason.
+    pub diagnostics: RunDiagnostics,
 }
 
 impl CpResult {
@@ -118,6 +205,13 @@ impl CpResult {
     pub fn final_fit(&self) -> f64 {
         self.fit_history.last().copied().unwrap_or(0.0)
     }
+}
+
+/// Last-known-good solver state for rollback recoveries.
+struct Snapshot {
+    factors: Vec<Mat>,
+    grams: Vec<Mat>,
+    lambda: Vec<f64>,
 }
 
 /// The CP-ALS solver.
@@ -134,37 +228,64 @@ impl CpAls {
 
     /// Runs CP-ALS on `tensor` with `backend`, starting from a seeded
     /// random initialization.
+    ///
+    /// Returns [`CpAlsError`] for malformed input (zero rank, too few
+    /// modes, non-finite tensor values); numeric breakdowns during the
+    /// run are recovered or degrade gracefully and are reported in
+    /// [`CpResult::diagnostics`] instead.
     pub fn run<B: MttkrpBackend + ?Sized>(
         &self,
         tensor: &SparseTensor,
         backend: &mut B,
-    ) -> CpResult {
+    ) -> Result<CpResult, CpAlsError> {
         let factors = init_factors(tensor, self.opts.rank, self.opts.seed, self.opts.init);
         self.run_from(tensor, backend, factors)
     }
 
     /// Runs CP-ALS from explicit initial factors (each `I_n x R`).
     ///
-    /// # Panics
-    /// Panics on factor-shape mismatches.
+    /// Factor-shape mismatches and non-finite initial factors are
+    /// rejected with a typed error; this entry point never panics on
+    /// caller input.
     pub fn run_from<B: MttkrpBackend + ?Sized>(
         &self,
         tensor: &SparseTensor,
         backend: &mut B,
         mut factors: Vec<Mat>,
-    ) -> CpResult {
+    ) -> Result<CpResult, CpAlsError> {
         let n = tensor.ndim();
         let rank = self.opts.rank;
-        assert!(n >= 2, "CP-ALS needs at least 2 modes");
-        assert_eq!(factors.len(), n, "one initial factor per mode");
+        if rank == 0 {
+            return Err(CpAlsError::ZeroRank);
+        }
+        if n < 2 {
+            return Err(CpAlsError::TooFewModes { ndim: n });
+        }
+        if factors.len() != n {
+            return Err(CpAlsError::FactorCountMismatch { expected: n, found: factors.len() });
+        }
         for (d, f) in factors.iter().enumerate() {
-            assert_eq!(f.nrows(), tensor.dims()[d], "factor {d} rows mismatch");
-            assert_eq!(f.ncols(), rank, "factor {d} rank mismatch");
+            if f.nrows() != tensor.dims()[d] || f.ncols() != rank {
+                return Err(CpAlsError::FactorShapeMismatch {
+                    mode: d,
+                    expected: (tensor.dims()[d], rank),
+                    found: (f.nrows(), f.ncols()),
+                });
+            }
+            if !f.is_finite() {
+                return Err(CpAlsError::NonFiniteInit { mode: d });
+            }
+        }
+        if !tensor.vals().iter().all(|v| v.is_finite()) {
+            return Err(CpAlsError::NonFiniteTensor);
         }
         #[cfg(feature = "audit")]
         audit_stage("cp-als input tensor", tensor);
         backend.reset();
+        let start = Instant::now();
         let mut timings = PhaseTimings::default();
+        let mut diag = RunDiagnostics::default();
+        let mut rollbacks_left = self.opts.recovery_budget;
         let xnorm2 = tensor.fro_norm_sq();
         let mut lambda = vec![1.0; rank];
         // Cached Gram matrices W^(d) = U^(d)^T U^(d).
@@ -173,6 +294,9 @@ impl CpAls {
         let mut fit_history = Vec::new();
         let mut converged = false;
         let mut iters = 0;
+        let mut last_good: Option<Snapshot> = None;
+        let mut best_fit = f64::NEG_INFINITY;
+        let mut stall_recorded = false;
         // Visit modes in the backend's preferred order (for memoizing
         // backends: the tree's leaf order, so every intermediate is
         // computed exactly once per iteration). Any per-iteration
@@ -183,10 +307,26 @@ impl CpAls {
             o.sort_unstable();
             o == (0..n).collect::<Vec<_>>()
         });
-        let last = *order.last().expect("at least one mode");
+        let last = order[order.len() - 1];
 
-        for iter in 0..self.opts.max_iters {
+        'run: for iter in 0..self.opts.max_iters {
+            let mut iteration_aborted = false;
             for &mode in &order {
+                // Watchdog: callers serving traffic get best-so-far
+                // results instead of unbounded runs.
+                if let Some(budget) = self.opts.time_budget {
+                    if start.elapsed() >= budget {
+                        diag.record(BreakdownEvent {
+                            iter,
+                            mode: Some(mode),
+                            kind: BreakdownKind::TimeBudgetExpired,
+                            recovery: RecoveryAction::None,
+                            recovery_time: Duration::ZERO,
+                        });
+                        diag.stop = StopReason::TimeBudget;
+                        break 'run;
+                    }
+                }
                 let t0 = Instant::now();
                 backend.begin_mode(mode);
                 if m_buf.nrows() != tensor.dims()[mode] || m_buf.ncols() != rank {
@@ -194,6 +334,32 @@ impl CpAls {
                 }
                 backend.mttkrp_into(tensor, &factors, mode, &mut m_buf);
                 timings.mttkrp += t0.elapsed();
+
+                // Detector: a poisoned MTTKRP output. Nothing downstream
+                // of a NaN here is salvageable for this mode — roll back.
+                // (Runs before the audit hook: a non-finite output is a
+                // recoverable breakdown here, not an invariant violation.)
+                if !m_buf.is_finite() {
+                    match self.rollback(
+                        BreakdownKind::NonFiniteMttkrp,
+                        iter,
+                        mode,
+                        tensor,
+                        backend,
+                        &mut factors,
+                        &mut grams,
+                        &mut lambda,
+                        &mut last_good,
+                        &mut rollbacks_left,
+                        &mut diag,
+                    ) {
+                        true => {
+                            iteration_aborted = true;
+                            break;
+                        }
+                        false => break 'run,
+                    }
+                }
                 #[cfg(feature = "audit")]
                 audit_stage("mttkrp output", &m_buf);
 
@@ -204,16 +370,146 @@ impl CpAls {
                         h.hadamard_assign(w);
                     }
                 }
-                let mut u = solve_gram(&m_buf, &h);
+                // Detector: a poisoned Gram system (possible only if a
+                // non-finite factor slipped past an earlier detector or
+                // the Hadamard product overflowed).
+                if !h.is_finite() {
+                    timings.dense += t1.elapsed();
+                    match self.rollback(
+                        BreakdownKind::NonFiniteGram,
+                        iter,
+                        mode,
+                        tensor,
+                        backend,
+                        &mut factors,
+                        &mut grams,
+                        &mut lambda,
+                        &mut last_good,
+                        &mut rollbacks_left,
+                        &mut diag,
+                    ) {
+                        true => {
+                            iteration_aborted = true;
+                            break;
+                        }
+                        false => break 'run,
+                    }
+                }
+
+                let mut u = match try_solve_gram(&m_buf, &h) {
+                    Ok((u, info)) => {
+                        if info.rank_deficient() || info.cond() > COND_LIMIT {
+                            // Detector: degenerate Gram system, condition
+                            // estimate read straight off the Jacobi
+                            // eigenvalues the pseudoinverse computed.
+                            // Recovery: Tikhonov ridge re-solve.
+                            let rt = Instant::now();
+                            let ridge = (info.max_abs_eig * RIDGE_REL).max(RIDGE_FLOOR);
+                            let repaired = ridge_solve_gram(&m_buf, &h, ridge).ok();
+                            let recovered = repaired.is_some();
+                            diag.record(BreakdownEvent {
+                                iter,
+                                mode: Some(mode),
+                                kind: BreakdownKind::SingularGram,
+                                recovery: if recovered {
+                                    RecoveryAction::RidgeResolve { ridge }
+                                } else {
+                                    RecoveryAction::None
+                                },
+                                recovery_time: rt.elapsed(),
+                            });
+                            repaired.unwrap_or(u)
+                        } else {
+                            u
+                        }
+                    }
+                    Err(_) => {
+                        // Detector: the dense solve itself failed.
+                        // Recovery: ridge re-solve; if even that fails,
+                        // roll back.
+                        let rt = Instant::now();
+                        let scale = (0..rank).map(|r| h.get(r, r).abs()).fold(0.0_f64, f64::max);
+                        let ridge = (scale * RIDGE_REL).max(RIDGE_FLOOR);
+                        match ridge_solve_gram(&m_buf, &h, ridge) {
+                            Ok(u) => {
+                                diag.record(BreakdownEvent {
+                                    iter,
+                                    mode: Some(mode),
+                                    kind: BreakdownKind::SolveFailed,
+                                    recovery: RecoveryAction::RidgeResolve { ridge },
+                                    recovery_time: rt.elapsed(),
+                                });
+                                u
+                            }
+                            Err(_) => {
+                                timings.dense += t1.elapsed();
+                                match self.rollback(
+                                    BreakdownKind::SolveFailed,
+                                    iter,
+                                    mode,
+                                    tensor,
+                                    backend,
+                                    &mut factors,
+                                    &mut grams,
+                                    &mut lambda,
+                                    &mut last_good,
+                                    &mut rollbacks_left,
+                                    &mut diag,
+                                ) {
+                                    true => {
+                                        iteration_aborted = true;
+                                        break;
+                                    }
+                                    false => break 'run,
+                                }
+                            }
+                        }
+                    }
+                };
                 lambda = if iter == 0 { u.normalize_cols() } else { u.normalize_cols_max() };
                 // Guard: a zero column (rank deficiency) would poison the
                 // model; re-seed it with noise so ALS can recover.
+                let mut reseeded = 0;
                 for (r, &l) in lambda.iter().enumerate() {
                     if l == 0.0 {
                         let noise = Mat::random(u.nrows(), 1, self.opts.seed ^ 0xdead ^ r as u64);
                         for i in 0..u.nrows() {
                             u.set(i, r, noise.get(i, 0));
                         }
+                        reseeded += 1;
+                    }
+                }
+                if reseeded > 0 {
+                    diag.record(BreakdownEvent {
+                        iter,
+                        mode: Some(mode),
+                        kind: BreakdownKind::ZeroColumns,
+                        recovery: RecoveryAction::ReseedColumns { reseeded_cols: reseeded },
+                        recovery_time: Duration::ZERO,
+                    });
+                }
+                // Detector: the updated factor or its scales went
+                // non-finite despite a finite system (overflow).
+                if !u.is_finite() || !lambda.iter().all(|l| l.is_finite()) {
+                    timings.dense += t1.elapsed();
+                    match self.rollback(
+                        BreakdownKind::NonFiniteFactor,
+                        iter,
+                        mode,
+                        tensor,
+                        backend,
+                        &mut factors,
+                        &mut grams,
+                        &mut lambda,
+                        &mut last_good,
+                        &mut rollbacks_left,
+                        &mut diag,
+                    ) {
+                        true => {
+                            iteration_aborted = true;
+                            break;
+                        }
+                        false => break 'run,
                     }
                 }
                 grams[mode] = u.gram();
@@ -221,6 +517,11 @@ impl CpAls {
                 timings.dense += t1.elapsed();
                 #[cfg(feature = "audit")]
                 audit_stage("updated factor", &factors[mode]);
+            }
+            if iteration_aborted {
+                // The recovery consumed this iteration slot; restart the
+                // sweep from the repaired state.
+                continue;
             }
 
             // Efficient fit from the last subiteration: with every factor
@@ -241,21 +542,162 @@ impl CpAls {
             let fit = if xnorm2 > 0.0 { 1.0 - (resid2 / xnorm2).sqrt() } else { 0.0 };
             timings.fit += t2.elapsed();
 
-            iters = iter + 1;
             let prev = fit_history.last().copied();
+            // Detector: fit divergence. Healthy sweeps are monotone to
+            // rounding; a sharp drop or a non-finite fit means the state
+            // is corrupted beyond local repair. Restore the best earlier
+            // state and stop.
+            let diverged =
+                !fit.is_finite() || prev.map(|p| fit < p - DIVERGENCE_DROP).unwrap_or(false);
+            if diverged {
+                let rt = Instant::now();
+                if let Some(snap) = &last_good {
+                    factors.clone_from(&snap.factors);
+                    lambda.clone_from(&snap.lambda);
+                }
+                diag.record(BreakdownEvent {
+                    iter,
+                    mode: None,
+                    kind: BreakdownKind::FitDivergence,
+                    recovery: RecoveryAction::Degrade,
+                    recovery_time: rt.elapsed(),
+                });
+                diag.stop = StopReason::Diverged;
+                diag.degraded = true;
+                break;
+            }
+
+            iters = iter + 1;
             fit_history.push(fit);
+            // Detector: a stalled run with early stopping disabled.
+            // Detection only — the caller asked for every iteration.
+            if !stall_recorded && self.opts.tol == 0.0 && fit_history.len() >= STALL_WINDOW {
+                let win = &fit_history[fit_history.len() - STALL_WINDOW..];
+                let spread = win.iter().fold(f64::NEG_INFINITY, |m, &f| m.max(f))
+                    - win.iter().fold(f64::INFINITY, |m, &f| m.min(f));
+                if spread < STALL_EPS {
+                    stall_recorded = true;
+                    diag.record(BreakdownEvent {
+                        iter,
+                        mode: None,
+                        kind: BreakdownKind::FitStall,
+                        recovery: RecoveryAction::None,
+                        recovery_time: Duration::ZERO,
+                    });
+                }
+            }
+            if fit >= best_fit {
+                best_fit = fit;
+                last_good = Some(Snapshot {
+                    factors: factors.clone(),
+                    grams: grams.clone(),
+                    lambda: lambda.clone(),
+                });
+            }
             if let Some(p) = prev {
                 if self.opts.tol > 0.0 && (fit - p).abs() < self.opts.tol {
                     converged = true;
+                    diag.stop = StopReason::Converged;
                     break;
                 }
             }
         }
 
+        // A degraded run may still hold non-finite working state if no
+        // last-good snapshot existed; the rollback path guarantees the
+        // factors it leaves behind are finite, so this is belt and
+        // braces for the model we hand back.
+        debug_assert!(factors.iter().all(Mat::is_finite));
+        diag.elapsed = start.elapsed();
         #[cfg(feature = "audit")]
         adatm_audit::validate_factors(&factors, tensor.dims(), rank)
             .unwrap_or_else(|e| panic!("audit: final factor set: {e}"));
-        CpResult { model: CpModel { lambda, factors }, iters, fit_history, converged, timings }
+        Ok(CpResult {
+            model: CpModel { lambda, factors },
+            iters,
+            fit_history,
+            converged,
+            timings,
+            diagnostics: diag,
+        })
+    }
+
+    /// Rollback recovery: restore the last-good factor set (or reseed
+    /// everything if no good state exists yet), re-randomize the
+    /// offending mode, and invalidate all memoized backend state.
+    ///
+    /// Returns `true` if the run should continue with the repaired state
+    /// and `false` when the rollback budget is exhausted — in which case
+    /// the state has been restored to the best-so-far model and the run
+    /// must degrade gracefully.
+    #[allow(clippy::too_many_arguments)]
+    fn rollback<B: MttkrpBackend + ?Sized>(
+        &self,
+        kind: BreakdownKind,
+        iter: usize,
+        mode: usize,
+        tensor: &SparseTensor,
+        backend: &mut B,
+        factors: &mut Vec<Mat>,
+        grams: &mut Vec<Mat>,
+        lambda: &mut Vec<f64>,
+        last_good: &mut Option<Snapshot>,
+        rollbacks_left: &mut usize,
+        diag: &mut RunDiagnostics,
+    ) -> bool {
+        let rt = Instant::now();
+        let rank = self.opts.rank;
+        let attempt = diag.recoveries as u64;
+        let restore = |factors: &mut Vec<Mat>, grams: &mut Vec<Mat>, lambda: &mut Vec<f64>| {
+            if let Some(snap) = last_good.as_ref() {
+                factors.clone_from(&snap.factors);
+                grams.clone_from(&snap.grams);
+                lambda.clone_from(&snap.lambda);
+            } else {
+                // No good state yet: reseed every factor from a
+                // recovery-derived seed so the restart is deterministic
+                // but different from the poisoned trajectory.
+                let seed = self.opts.seed ^ 0x5eed_0000 ^ (attempt + 1);
+                for (d, f) in factors.iter_mut().enumerate() {
+                    *f = Mat::random(tensor.dims()[d], rank, seed ^ ((d as u64) << 16));
+                }
+                *grams = factors.iter().map(Mat::gram).collect();
+                *lambda = vec![1.0; rank];
+            }
+        };
+        if *rollbacks_left == 0 {
+            restore(factors, grams, lambda);
+            diag.record(BreakdownEvent {
+                iter,
+                mode: Some(mode),
+                kind,
+                recovery: RecoveryAction::Degrade,
+                recovery_time: rt.elapsed(),
+            });
+            diag.stop = StopReason::Degraded;
+            diag.degraded = true;
+            backend.reset();
+            return false;
+        }
+        *rollbacks_left -= 1;
+        restore(factors, grams, lambda);
+        // Re-randomize the offending mode so the deterministic re-sweep
+        // does not just reproduce the breakdown.
+        let reseed =
+            self.opts.seed ^ 0xbad0_0000 ^ ((iter as u64) << 24) ^ ((mode as u64) << 8) ^ attempt;
+        factors[mode] = Mat::random(tensor.dims()[mode], rank, reseed);
+        grams[mode] = factors[mode].gram();
+        // Memoized intermediates may hold the poisoned values; flush
+        // everything.
+        backend.reset();
+        diag.record(BreakdownEvent {
+            iter,
+            mode: Some(mode),
+            kind,
+            recovery: RecoveryAction::Rollback { reseeded_cols: rank },
+            recovery_time: rt.elapsed(),
+        });
+        true
     }
 }
 
@@ -269,8 +711,9 @@ mod tests {
     fn recovers_noiseless_low_rank_tensor() {
         let truth = dense_low_rank(&[12, 14, 10], 3, 0.0, 11);
         let mut backend = CooBackend::new(&truth.tensor);
-        let res =
-            CpAls::new(CpAlsOptions::new(3).max_iters(60).seed(5)).run(&truth.tensor, &mut backend);
+        let res = CpAls::new(CpAlsOptions::new(3).max_iters(60).seed(5))
+            .run(&truth.tensor, &mut backend)
+            .unwrap();
         assert!(res.final_fit() > 0.99, "fit {} after {} iters", res.final_fit(), res.iters);
     }
 
@@ -279,7 +722,8 @@ mod tests {
         let truth = low_rank_tensor(&[20, 25, 15, 18], 4, 2_000, 0.05, 3);
         let mut backend = DtreeBackend::balanced_binary(&truth.tensor, 4);
         let res = CpAls::new(CpAlsOptions::new(4).max_iters(25).tol(0.0).seed(1))
-            .run(&truth.tensor, &mut backend);
+            .run(&truth.tensor, &mut backend)
+            .unwrap();
         assert_eq!(res.iters, 25);
         for w in res.fit_history.windows(2) {
             assert!(w[1] >= w[0] - 1e-6, "fit regressed: {} -> {}", w[0], w[1]);
@@ -293,7 +737,7 @@ mod tests {
         let opts = CpAlsOptions::new(3).max_iters(15).tol(0.0).seed(42);
         let mut fits = Vec::new();
         for mut b in all_backends(t, 3) {
-            let res = CpAls::new(opts.clone()).run(t, &mut b);
+            let res = CpAls::new(opts.clone()).run(t, &mut b).unwrap();
             fits.push((b.name(), b.mode_order(4), res.final_fit()));
         }
         // Backends sharing the natural mode order must match to rounding;
@@ -318,7 +762,8 @@ mod tests {
         let truth = low_rank_tensor(&[15, 20, 12], 2, 800, 0.1, 9);
         let mut backend = CsfBackend::new(&truth.tensor);
         let res = CpAls::new(CpAlsOptions::new(2).max_iters(10).tol(0.0).seed(7))
-            .run(&truth.tensor, &mut backend);
+            .run(&truth.tensor, &mut backend)
+            .unwrap();
         let direct = res.model.fit_to(&truth.tensor);
         assert!(
             (res.final_fit() - direct).abs() < 1e-8,
@@ -333,9 +778,11 @@ mod tests {
         let truth = dense_low_rank(&[10, 10, 10], 2, 0.0, 2);
         let mut backend = CooBackend::new(&truth.tensor);
         let res = CpAls::new(CpAlsOptions::new(2).max_iters(200).tol(1e-7).seed(3))
-            .run(&truth.tensor, &mut backend);
+            .run(&truth.tensor, &mut backend)
+            .unwrap();
         assert!(res.converged, "should converge well before 200 iterations");
         assert!(res.iters < 200);
+        assert_eq!(res.diagnostics.stop, StopReason::Converged);
     }
 
     #[test]
@@ -344,8 +791,8 @@ mod tests {
         let opts = CpAlsOptions::new(3).max_iters(5).tol(0.0).seed(77);
         let mut b1 = CooBackend::new(&t);
         let mut b2 = CooBackend::with_parallel(&t, false);
-        let r1 = CpAls::new(opts.clone()).run(&t, &mut b1);
-        let r2 = CpAls::new(opts).run(&t, &mut b2);
+        let r1 = CpAls::new(opts.clone()).run(&t, &mut b1).unwrap();
+        let r2 = CpAls::new(opts).run(&t, &mut b2).unwrap();
         // Parallel and sequential COO sum in different orders, so allow
         // floating-point slack but require the same trajectory.
         for (a, b) in r1.fit_history.iter().zip(r2.fit_history.iter()) {
@@ -357,8 +804,9 @@ mod tests {
     fn timings_cover_phases() {
         let truth = low_rank_tensor(&[25, 25, 25], 3, 2_000, 0.0, 5);
         let mut backend = AdaptiveBackend::plan(&truth.tensor, 3);
-        let res =
-            CpAls::new(CpAlsOptions::new(3).max_iters(5).tol(0.0)).run(&truth.tensor, &mut backend);
+        let res = CpAls::new(CpAlsOptions::new(3).max_iters(5).tol(0.0))
+            .run(&truth.tensor, &mut backend)
+            .unwrap();
         assert!(res.timings.mttkrp > Duration::ZERO);
         assert!(res.timings.dense > Duration::ZERO);
         assert!(res.timings.total() > Duration::ZERO);
@@ -371,17 +819,86 @@ mod tests {
         let mut backend = CooBackend::new(t);
         // Initialize at the ground truth: fit should be ~1 after one sweep.
         let init = truth.factors.clone();
-        let res =
-            CpAls::new(CpAlsOptions::new(2).max_iters(2).tol(0.0)).run_from(t, &mut backend, init);
+        let res = CpAls::new(CpAlsOptions::new(2).max_iters(2).tol(0.0))
+            .run_from(t, &mut backend, init)
+            .unwrap();
         assert!(res.final_fit() > 0.999, "fit {}", res.final_fit());
     }
 
     #[test]
-    #[should_panic(expected = "rank mismatch")]
     fn run_from_rejects_bad_rank() {
         let t = zipf_tensor(&[10, 10], 50, &[0.0; 2], 1);
         let mut backend = CooBackend::new(&t);
         let bad = vec![Mat::zeros(10, 3), Mat::zeros(10, 3)];
-        let _ = CpAls::new(CpAlsOptions::new(2)).run_from(&t, &mut backend, bad);
+        let err = CpAls::new(CpAlsOptions::new(2)).run_from(&t, &mut backend, bad).unwrap_err();
+        assert!(matches!(err, CpAlsError::FactorShapeMismatch { mode: 0, .. }));
+    }
+
+    #[test]
+    fn run_rejects_malformed_input_without_panicking() {
+        let t = zipf_tensor(&[10, 12], 50, &[0.0; 2], 1);
+        let mut backend = CooBackend::new(&t);
+        // Zero rank.
+        let err = CpAls::new(CpAlsOptions::new(0)).run(&t, &mut backend).unwrap_err();
+        assert_eq!(err, CpAlsError::ZeroRank);
+        // Wrong factor count.
+        let err = CpAls::new(CpAlsOptions::new(2))
+            .run_from(&t, &mut backend, vec![Mat::zeros(10, 2)])
+            .unwrap_err();
+        assert_eq!(err, CpAlsError::FactorCountMismatch { expected: 2, found: 1 });
+        // Non-finite initial factor.
+        let mut bad = Mat::zeros(10, 2);
+        bad.set(3, 1, f64::NAN);
+        let err = CpAls::new(CpAlsOptions::new(2))
+            .run_from(&t, &mut backend, vec![bad, Mat::zeros(12, 2)])
+            .unwrap_err();
+        assert_eq!(err, CpAlsError::NonFiniteInit { mode: 0 });
+    }
+
+    #[test]
+    fn run_rejects_non_finite_tensor() {
+        let mut t = zipf_tensor(&[8, 9], 40, &[0.0; 2], 2);
+        t.vals_mut()[7] = f64::NAN;
+        let mut backend = CooBackend::new(&t);
+        let err = CpAls::new(CpAlsOptions::new(2)).run(&t, &mut backend).unwrap_err();
+        assert_eq!(err, CpAlsError::NonFiniteTensor);
+    }
+
+    #[test]
+    fn clean_run_reports_clean_diagnostics() {
+        let truth = dense_low_rank(&[10, 11, 9], 2, 0.0, 3);
+        let mut backend = CooBackend::new(&truth.tensor);
+        let res = CpAls::new(CpAlsOptions::new(2).max_iters(10).seed(1))
+            .run(&truth.tensor, &mut backend)
+            .unwrap();
+        assert_eq!(res.diagnostics.recoveries, 0);
+        assert!(!res.diagnostics.degraded);
+        assert!(res.diagnostics.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn zero_max_iters_returns_finite_empty_run() {
+        let t = zipf_tensor(&[10, 10, 10], 100, &[0.0; 3], 4);
+        let mut backend = CooBackend::new(&t);
+        let res = CpAls::new(CpAlsOptions::new(3).max_iters(0)).run(&t, &mut backend).unwrap();
+        assert_eq!(res.iters, 0);
+        assert!(res.fit_history.is_empty());
+        assert!(!res.converged);
+        assert!(res.model.factors.iter().all(Mat::is_finite));
+        assert_eq!(res.diagnostics.stop, StopReason::MaxIters);
+    }
+
+    #[test]
+    fn zero_time_budget_expires_on_iteration_zero() {
+        let t = zipf_tensor(&[10, 10, 10], 100, &[0.0; 3], 4);
+        let mut backend = CooBackend::new(&t);
+        let res = CpAls::new(CpAlsOptions::new(3).max_iters(50).time_budget(Duration::ZERO))
+            .run(&t, &mut backend)
+            .unwrap();
+        assert_eq!(res.iters, 0);
+        assert!(!res.converged);
+        assert_eq!(res.diagnostics.stop, StopReason::TimeBudget);
+        assert_eq!(res.diagnostics.count_of(BreakdownKind::TimeBudgetExpired), 1);
+        assert!(res.model.factors.iter().all(Mat::is_finite));
     }
 }

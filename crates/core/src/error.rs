@@ -1,0 +1,90 @@
+//! The typed failure surface of the CP-ALS driver.
+//!
+//! [`CpAls::run`](crate::CpAls::run) and
+//! [`CpAls::run_from`](crate::CpAls::run_from) return [`CpAlsError`] for
+//! malformed caller input instead of panicking, so a service embedding the
+//! solver can translate every failure into a response instead of crashing
+//! a worker. Numeric breakdowns *during* a run are not errors: the solver
+//! recovers or degrades gracefully and reports what happened in
+//! [`RunDiagnostics`](crate::RunDiagnostics).
+
+use adatm_linalg::LinalgError;
+
+/// Why a CP-ALS run could not start (or, in the unrecoverable case, could
+/// not produce even a degraded model).
+#[derive(Clone, Debug, PartialEq)]
+pub enum CpAlsError {
+    /// The requested decomposition rank is zero.
+    ZeroRank,
+    /// CP decomposition needs at least two modes.
+    TooFewModes {
+        /// Number of modes of the input tensor.
+        ndim: usize,
+    },
+    /// `run_from` was given the wrong number of initial factors.
+    FactorCountMismatch {
+        /// Modes in the tensor.
+        expected: usize,
+        /// Factors supplied.
+        found: usize,
+    },
+    /// An initial factor has the wrong shape.
+    FactorShapeMismatch {
+        /// Which mode's factor is wrong.
+        mode: usize,
+        /// `(rows, cols)` the solver expected (`I_mode x R`).
+        expected: (usize, usize),
+        /// `(rows, cols)` actually supplied.
+        found: (usize, usize),
+    },
+    /// The input tensor contains NaN or infinite values.
+    NonFiniteTensor,
+    /// An initial factor contains NaN or infinite values.
+    NonFiniteInit {
+        /// Which mode's factor is non-finite.
+        mode: usize,
+    },
+    /// A dense kernel failed in a way no recovery policy could absorb.
+    Linalg(LinalgError),
+}
+
+impl std::fmt::Display for CpAlsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CpAlsError::ZeroRank => write!(f, "decomposition rank must be at least 1"),
+            CpAlsError::TooFewModes { ndim } => {
+                write!(f, "CP-ALS needs a tensor with at least 2 modes, got {ndim}")
+            }
+            CpAlsError::FactorCountMismatch { expected, found } => {
+                write!(f, "expected {expected} initial factors (one per mode), found {found}")
+            }
+            CpAlsError::FactorShapeMismatch { mode, expected, found } => write!(
+                f,
+                "initial factor for mode {mode} is {} x {}, expected {} x {}",
+                found.0, found.1, expected.0, expected.1
+            ),
+            CpAlsError::NonFiniteTensor => {
+                write!(f, "input tensor contains non-finite (NaN/Inf) values")
+            }
+            CpAlsError::NonFiniteInit { mode } => {
+                write!(f, "initial factor for mode {mode} contains non-finite (NaN/Inf) values")
+            }
+            CpAlsError::Linalg(e) => write!(f, "unrecoverable dense-kernel failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CpAlsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CpAlsError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for CpAlsError {
+    fn from(e: LinalgError) -> Self {
+        CpAlsError::Linalg(e)
+    }
+}

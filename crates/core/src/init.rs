@@ -105,7 +105,7 @@ mod tests {
         let factors = init_factors(t, 3, 21, InitStrategy::RandomizedRange);
         let mut backend = crate::CooBackend::new(t);
         let solver = crate::CpAls::new(crate::CpAlsOptions::new(3).max_iters(60).tol(0.0));
-        let fit = solver.run_from(t, &mut backend, factors).final_fit();
+        let fit = solver.run_from(t, &mut backend, factors).unwrap().final_fit();
         assert!(fit > 0.99, "fit {fit}");
     }
 }

@@ -21,8 +21,9 @@
 //! use adatm_tensor::gen::dense_low_rank;
 //!
 //! let truth = dense_low_rank(&[8, 9, 7, 6], 4, 0.0, 7);
-//! let result = decompose(&truth.tensor, &CpAlsOptions::new(4).max_iters(60));
+//! let result = decompose(&truth.tensor, &CpAlsOptions::new(4).max_iters(60)).unwrap();
 //! assert!(result.final_fit() > 0.98); // noiseless low-rank data fits
+//! assert!(result.diagnostics.clean()); // no breakdowns, no recoveries
 //! ```
 
 #![forbid(unsafe_code)]
@@ -32,6 +33,10 @@ pub mod backend;
 pub mod completion;
 pub mod cpals;
 pub mod cpopt;
+pub mod diagnostics;
+pub mod error;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod init;
 pub mod model;
 pub mod ncp;
@@ -43,6 +48,10 @@ pub use backend::{
 pub use completion::{complete, CompletionOptions, CompletionResult};
 pub use cpals::{CpAls, CpAlsOptions, CpResult, PhaseTimings};
 pub use cpopt::{cp_opt, CpOptOptions, CpOptResult};
+pub use diagnostics::{BreakdownEvent, BreakdownKind, RecoveryAction, RunDiagnostics, StopReason};
+pub use error::CpAlsError;
+#[cfg(feature = "fault-inject")]
+pub use fault::{FaultInjectingBackend, FaultKind, FaultSchedule};
 pub use init::InitStrategy;
 pub use model::{factor_match_score, CpModel};
 pub use ncp::{ncp, NcpOptions, NcpResult};
@@ -52,7 +61,7 @@ use adatm_tensor::SparseTensor;
 
 /// Decomposes `tensor` with the model-driven adaptive backend (plan the
 /// memoization strategy, then run CP-ALS).
-pub fn decompose(tensor: &SparseTensor, opts: &CpAlsOptions) -> CpResult {
+pub fn decompose(tensor: &SparseTensor, opts: &CpAlsOptions) -> Result<CpResult, CpAlsError> {
     let mut backend = AdaptiveBackend::plan(tensor, opts.rank);
     CpAls::new(opts.clone()).run(tensor, &mut backend)
 }
@@ -62,6 +71,6 @@ pub fn decompose_with<B: MttkrpBackend>(
     tensor: &SparseTensor,
     opts: &CpAlsOptions,
     backend: &mut B,
-) -> CpResult {
+) -> Result<CpResult, CpAlsError> {
     CpAls::new(opts.clone()).run(tensor, backend)
 }

@@ -272,7 +272,8 @@ mod tests {
         let truth = dense_low_rank(&[14, 12, 10], 3, 0.0, 21);
         let mut backend = crate::CooBackend::new(&truth.tensor);
         let res = crate::CpAls::new(crate::CpAlsOptions::new(3).max_iters(200).tol(1e-12).seed(2))
-            .run(&truth.tensor, &mut backend);
+            .run(&truth.tensor, &mut backend)
+            .unwrap();
         let truth_model = CpModel { lambda: vec![1.0; 3], factors: truth.factors.clone() };
         let score = factor_match_score(&res.model, &truth_model);
         assert!(score > 0.95, "FMS {score} (fit was {})", res.final_fit());

@@ -8,6 +8,7 @@
 //! the MTTKRP.
 
 use crate::mat::Mat;
+use crate::LinalgError;
 
 /// Result of a symmetric eigendecomposition `A = V diag(w) V^T`.
 #[derive(Clone, Debug)]
@@ -19,6 +20,11 @@ pub struct EigH {
 }
 
 /// Maximum number of full Jacobi sweeps before giving up.
+///
+/// Cyclic Jacobi on the `R x R` matrices CP-ALS produces converges in a
+/// handful of sweeps; the cap exists so hostile input (or a bug upstream)
+/// can never spin the solver — hitting it is surfaced as
+/// [`LinalgError::NoConvergence`] by [`try_jacobi_eigh`].
 const MAX_SWEEPS: usize = 64;
 
 /// Computes the eigendecomposition of a symmetric matrix by cyclic Jacobi
@@ -28,28 +34,52 @@ const MAX_SWEEPS: usize = 64;
 /// `1e-14` times the matrix Frobenius norm. Symmetry is taken on trust: only
 /// the upper triangle is read when choosing rotations.
 ///
+/// This is the infallible wrapper kept for callers that control their
+/// input (benchmarks, tests); solver drivers should prefer
+/// [`try_jacobi_eigh`], which reports non-finite input and sweep-cap
+/// exhaustion as typed errors instead of panicking.
+///
 /// # Panics
-/// Panics if `a` is not square.
+/// Panics if `a` is not square, contains non-finite entries, or the sweep
+/// cap is exhausted.
 pub fn jacobi_eigh(a: &Mat) -> EigH {
-    assert_eq!(a.nrows(), a.ncols(), "jacobi_eigh requires a square matrix");
+    try_jacobi_eigh(a).unwrap_or_else(|e| panic!("jacobi_eigh: {e}"))
+}
+
+/// Fallible [`jacobi_eigh`]: rejects non-square and non-finite input and
+/// surfaces sweep-cap exhaustion instead of returning silent garbage.
+///
+/// The non-finite pre-check matters: NaN anywhere in the input makes every
+/// rotation angle NaN, so without it the solver would burn all
+/// [`MAX_SWEEPS`] sweeps and hand back an all-NaN "decomposition" that
+/// poisons everything downstream.
+pub fn try_jacobi_eigh(a: &Mat) -> Result<EigH, LinalgError> {
+    if a.nrows() != a.ncols() {
+        return Err(LinalgError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+    }
+    if !a.is_finite() {
+        return Err(LinalgError::NonFinite { what: "eigensolver input matrix" });
+    }
     let n = a.nrows();
     let mut m = a.clone();
     let mut v = Mat::eye(n);
     if n <= 1 {
-        return EigH { values: (0..n).map(|i| m.get(i, i)).collect(), vectors: v };
+        return Ok(EigH { values: (0..n).map(|i| m.get(i, i)).collect(), vectors: v });
     }
     let total_norm = m.fro_norm().max(f64::MIN_POSITIVE);
     let tol = 1e-14 * total_norm;
+    let mut off_norm = 0.0;
 
-    for _sweep in 0..MAX_SWEEPS {
+    for _sweep in 0..=MAX_SWEEPS {
         let mut off = 0.0;
         for p in 0..n {
             for q in (p + 1)..n {
                 off += m.get(p, q).powi(2);
             }
         }
-        if (2.0 * off).sqrt() <= tol {
-            break;
+        off_norm = (2.0 * off).sqrt();
+        if off_norm <= tol {
+            return Ok(EigH { values: (0..n).map(|i| m.get(i, i)).collect(), vectors: v });
         }
         for p in 0..n {
             for q in (p + 1)..n {
@@ -87,7 +117,7 @@ pub fn jacobi_eigh(a: &Mat) -> EigH {
         }
     }
 
-    EigH { values: (0..n).map(|i| m.get(i, i)).collect(), vectors: v }
+    Err(LinalgError::NoConvergence { sweeps: MAX_SWEEPS, off_norm })
 }
 
 #[cfg(test)]
@@ -169,6 +199,31 @@ mod tests {
         let z = Mat::zeros(0, 0);
         let e = jacobi_eigh(&z);
         assert!(e.values.is_empty());
+    }
+
+    #[test]
+    fn try_eigh_rejects_non_finite_input() {
+        let mut a = Mat::eye(3);
+        a.set(1, 2, f64::NAN);
+        a.set(2, 1, f64::NAN);
+        assert!(matches!(try_jacobi_eigh(&a), Err(LinalgError::NonFinite { .. })));
+        a.set(1, 2, f64::INFINITY);
+        a.set(2, 1, f64::INFINITY);
+        assert!(matches!(try_jacobi_eigh(&a), Err(LinalgError::NonFinite { .. })));
+    }
+
+    #[test]
+    fn try_eigh_rejects_non_square() {
+        let a = Mat::zeros(2, 3);
+        assert!(matches!(try_jacobi_eigh(&a), Err(LinalgError::NotSquare { nrows: 2, ncols: 3 })));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn infallible_eigh_panics_loudly_on_nan() {
+        let mut a = Mat::eye(2);
+        a.set(0, 0, f64::NAN);
+        let _ = jacobi_eigh(&a);
     }
 
     #[test]

@@ -24,11 +24,64 @@ pub mod mat;
 pub mod pinv;
 pub mod qr;
 
-pub use eig::{jacobi_eigh, EigH};
+pub use eig::{jacobi_eigh, try_jacobi_eigh, EigH};
 pub use mat::Mat;
-pub use pinv::{pinv_sym, solve_gram};
+pub use pinv::{pinv_sym, ridge_solve_gram, solve_gram, try_solve_gram, GramSolveInfo};
 pub use qr::{thin_qr, ThinQr};
 
 /// Machine-epsilon-scale tolerance used when truncating near-zero
 /// eigenvalues in pseudoinverse computations.
 pub const PINV_RCOND: f64 = 1e-12;
+
+/// Typed failures of the dense kernels.
+///
+/// The `try_`-prefixed entry points ([`try_jacobi_eigh`],
+/// [`try_solve_gram`], [`ridge_solve_gram`]) return these instead of
+/// panicking or silently producing NaN, so solver drivers can detect a
+/// numeric breakdown and apply a recovery policy.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LinalgError {
+    /// The input contained NaN or infinite entries.
+    NonFinite {
+        /// Which operand was non-finite.
+        what: &'static str,
+    },
+    /// The operation requires a square matrix.
+    NotSquare {
+        /// Row count of the offending matrix.
+        nrows: usize,
+        /// Column count of the offending matrix.
+        ncols: usize,
+    },
+    /// Operand shapes are incompatible.
+    ShapeMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// The iterative eigensolver did not converge within its sweep cap.
+    NoConvergence {
+        /// Number of full Jacobi sweeps performed before giving up.
+        sweeps: usize,
+        /// Remaining off-diagonal Frobenius norm when the cap was hit.
+        off_norm: f64,
+    },
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::NonFinite { what } => {
+                write!(f, "non-finite entries (NaN/Inf) in {what}")
+            }
+            LinalgError::NotSquare { nrows, ncols } => {
+                write!(f, "expected a square matrix, got {nrows} x {ncols}")
+            }
+            LinalgError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
+            LinalgError::NoConvergence { sweeps, off_norm } => {
+                write!(f, "eigensolver failed to converge after {sweeps} sweeps (off-diagonal norm {off_norm:.3e})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

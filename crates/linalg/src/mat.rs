@@ -326,6 +326,15 @@ impl Mat {
         total
     }
 
+    /// Whether every entry is finite (no NaN or infinity).
+    ///
+    /// Breakdown detectors scan factor matrices and MTTKRP outputs with
+    /// this after every update; it is a single pass over the data and
+    /// short-circuits on the first bad entry.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
     /// Maximum absolute difference between two matrices of equal shape.
     pub fn max_abs_diff(&self, other: &Mat) -> f64 {
         assert_eq!((self.nrows, self.ncols), (other.nrows, other.ncols));

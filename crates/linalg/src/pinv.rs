@@ -7,9 +7,79 @@
 //! `U^(n) = M^(n) * pinv(H^(n))`, which this module provides via the Jacobi
 //! eigendecomposition.
 
-use crate::eig::jacobi_eigh;
+use crate::eig::{jacobi_eigh, try_jacobi_eigh, EigH};
 use crate::mat::Mat;
-use crate::PINV_RCOND;
+use crate::{LinalgError, PINV_RCOND};
+
+/// Spectral diagnostics of a Gram solve, derived for free from the Jacobi
+/// eigenvalues already computed for the pseudoinverse.
+///
+/// CP-ALS breakdown detectors read this after every normal-equations
+/// solve: a truncated eigenvalue or an extreme condition number means the
+/// factor columns have gone (numerically) collinear and the solve is a
+/// candidate for a ridge re-solve.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct GramSolveInfo {
+    /// Largest eigenvalue magnitude of `H`.
+    pub max_abs_eig: f64,
+    /// Smallest eigenvalue magnitude of `H`.
+    pub min_abs_eig: f64,
+    /// Eigenvalues truncated to zero by the `rcond` cutoff (the numeric
+    /// rank deficiency of `H`).
+    pub truncated: usize,
+}
+
+impl GramSolveInfo {
+    /// Spectral condition estimate `max|w| / min|w|`.
+    ///
+    /// Infinite when `H` is exactly singular; 1 for the empty/zero matrix
+    /// (nothing to be ill-conditioned about).
+    pub fn cond(&self) -> f64 {
+        if self.max_abs_eig == 0.0 {
+            1.0
+        } else if self.min_abs_eig == 0.0 {
+            f64::INFINITY
+        } else {
+            self.max_abs_eig / self.min_abs_eig
+        }
+    }
+
+    /// Whether the pseudoinverse had to discard directions (numeric rank
+    /// deficiency).
+    pub fn rank_deficient(&self) -> bool {
+        self.truncated > 0
+    }
+}
+
+fn spectral_info(e: &EigH, cutoff: f64) -> GramSolveInfo {
+    let mut info = GramSolveInfo { max_abs_eig: 0.0, min_abs_eig: f64::INFINITY, truncated: 0 };
+    for &w in &e.values {
+        let a = w.abs();
+        info.max_abs_eig = info.max_abs_eig.max(a);
+        info.min_abs_eig = info.min_abs_eig.min(a);
+        if a <= cutoff {
+            info.truncated += 1;
+        }
+    }
+    if e.values.is_empty() {
+        info.min_abs_eig = 0.0;
+    }
+    info
+}
+
+/// `V diag(f(w_i)) V^T` for an eigendecomposition and a spectral map `f`.
+fn spectral_apply(e: &EigH, f: impl Fn(f64) -> f64) -> Mat {
+    let n = e.values.len();
+    let mut scaled = e.vectors.clone(); // columns scaled by f(eigenvalue)
+    for (j, &w) in e.values.iter().enumerate() {
+        let fw = f(w);
+        for i in 0..n {
+            let v = scaled.get(i, j) * fw;
+            scaled.set(i, j, v);
+        }
+    }
+    scaled.matmul(&e.vectors.transpose())
+}
 
 /// Computes the pseudoinverse of a symmetric matrix.
 ///
@@ -17,22 +87,13 @@ use crate::PINV_RCOND;
 /// as zero and excluded from the inverse, matching LAPACK `pinv` semantics.
 ///
 /// # Panics
-/// Panics if `h` is not square.
+/// Panics if `h` is not square, contains non-finite entries, or the
+/// eigensolver fails; fallible callers should use [`try_solve_gram`].
 pub fn pinv_sym(h: &Mat, rcond: f64) -> Mat {
     let e = jacobi_eigh(h);
-    let n = h.nrows();
     let wmax = e.values.iter().fold(0.0_f64, |m, &w| m.max(w.abs()));
     let cutoff = rcond * wmax;
-    // pinv = V diag(1/w_i or 0) V^T
-    let mut scaled = e.vectors.clone(); // columns scaled by inverse eigenvalues
-    for (j, &w) in e.values.iter().enumerate() {
-        let inv = if w.abs() > cutoff { 1.0 / w } else { 0.0 };
-        for i in 0..n {
-            let v = scaled.get(i, j) * inv;
-            scaled.set(i, j, v);
-        }
-    }
-    scaled.matmul(&e.vectors.transpose())
+    spectral_apply(&e, |w| if w.abs() > cutoff { 1.0 / w } else { 0.0 })
 }
 
 /// Solves the CP-ALS normal equations `U = M * pinv(H)` with the default
@@ -40,8 +101,75 @@ pub fn pinv_sym(h: &Mat, rcond: f64) -> Mat {
 ///
 /// `m` is the tall-skinny MTTKRP result (`I_n x R`), `h` the `R x R`
 /// Hadamard-of-Grams matrix. The returned matrix has the shape of `m`.
+///
+/// # Panics
+/// Panics on non-finite or non-square `h` (see [`pinv_sym`]); resilient
+/// drivers use [`try_solve_gram`] instead.
 pub fn solve_gram(m: &Mat, h: &Mat) -> Mat {
     m.matmul(&pinv_sym(h, PINV_RCOND))
+}
+
+/// Fallible [`solve_gram`] returning spectral diagnostics alongside the
+/// solution.
+///
+/// Fails (instead of panicking or emitting NaN) when `h` is non-square or
+/// non-finite, when `m` is non-finite, or when the eigensolver exhausts
+/// its sweep cap. The [`GramSolveInfo`] comes from the eigenvalues the
+/// pseudoinverse computed anyway, so the condition estimate costs nothing
+/// extra.
+pub fn try_solve_gram(m: &Mat, h: &Mat) -> Result<(Mat, GramSolveInfo), LinalgError> {
+    if m.ncols() != h.nrows() {
+        return Err(LinalgError::ShapeMismatch {
+            detail: format!(
+                "MTTKRP result is {} x {}, Gram is {} x {}",
+                m.nrows(),
+                m.ncols(),
+                h.nrows(),
+                h.ncols()
+            ),
+        });
+    }
+    if !m.is_finite() {
+        return Err(LinalgError::NonFinite { what: "normal-equations right-hand side" });
+    }
+    let e = try_jacobi_eigh(h)?;
+    let wmax = e.values.iter().fold(0.0_f64, |mx, &w| mx.max(w.abs()));
+    let cutoff = PINV_RCOND * wmax;
+    let info = spectral_info(&e, cutoff);
+    let pinv = spectral_apply(&e, |w| if w.abs() > cutoff { 1.0 / w } else { 0.0 });
+    Ok((m.matmul(&pinv), info))
+}
+
+/// Tikhonov-regularized Gram solve: `U = M * (H + ridge I)^-1`.
+///
+/// The recovery policy for a degenerate Gram system: adding `ridge > 0`
+/// to the diagonal moves every eigenvalue away from zero, so the solve is
+/// well-posed even when `H` is exactly singular. Implemented on the same
+/// eigendecomposition as the pseudoinverse (`H + ridge I` shares `H`'s
+/// eigenvectors, with eigenvalues `w_i + ridge`).
+pub fn ridge_solve_gram(m: &Mat, h: &Mat, ridge: f64) -> Result<Mat, LinalgError> {
+    if m.ncols() != h.nrows() {
+        return Err(LinalgError::ShapeMismatch {
+            detail: format!(
+                "MTTKRP result is {} x {}, Gram is {} x {}",
+                m.nrows(),
+                m.ncols(),
+                h.nrows(),
+                h.ncols()
+            ),
+        });
+    }
+    if !m.is_finite() {
+        return Err(LinalgError::NonFinite { what: "normal-equations right-hand side" });
+    }
+    if !ridge.is_finite() || ridge <= 0.0 {
+        return Err(LinalgError::NonFinite { what: "ridge parameter (must be finite and > 0)" });
+    }
+    let e = try_jacobi_eigh(h)?;
+    // H is PSD in exact arithmetic; clamp tiny negative rounding so the
+    // shifted eigenvalue can never cancel to zero.
+    let inv = spectral_apply(&e, |w| 1.0 / (w.max(0.0) + ridge));
+    Ok(m.matmul(&inv))
 }
 
 #[cfg(test)]
@@ -110,5 +238,90 @@ mod tests {
         let z = Mat::zeros(3, 3);
         let p = pinv_sym(&z, PINV_RCOND);
         assert!(p.max_abs_diff(&z) < 1e-15);
+    }
+
+    #[test]
+    fn try_solve_matches_infallible_solve_and_reports_full_rank() {
+        let h = random_spd(5, 21);
+        let m = Mat::random(30, 5, 22);
+        let (u, info) = try_solve_gram(&m, &h).unwrap();
+        assert!(u.max_abs_diff(&solve_gram(&m, &h)) < 1e-14);
+        assert_eq!(info.truncated, 0);
+        assert!(!info.rank_deficient());
+        assert!(info.cond().is_finite() && info.cond() >= 1.0);
+    }
+
+    #[test]
+    fn try_solve_flags_singular_gram() {
+        // Rank-1 Gram: two of three eigenvalues truncated.
+        let u = [1.0, -2.0, 0.5];
+        let mut h = Mat::zeros(3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                h.set(i, j, u[i] * u[j]);
+            }
+        }
+        let m = Mat::random(10, 3, 4);
+        let (_, info) = try_solve_gram(&m, &h).unwrap();
+        assert_eq!(info.truncated, 2);
+        assert!(info.rank_deficient());
+        assert!(info.cond().is_infinite() || info.cond() > 1e12);
+    }
+
+    #[test]
+    fn try_solve_rejects_non_finite_operands() {
+        let h = random_spd(3, 1);
+        let mut m = Mat::random(5, 3, 2);
+        m.set(4, 1, f64::NAN);
+        assert!(matches!(try_solve_gram(&m, &h), Err(LinalgError::NonFinite { .. })));
+        let m = Mat::random(5, 3, 2);
+        let mut bad_h = h.clone();
+        bad_h.set(0, 2, f64::INFINITY);
+        bad_h.set(2, 0, f64::INFINITY);
+        assert!(matches!(try_solve_gram(&m, &bad_h), Err(LinalgError::NonFinite { .. })));
+        assert!(matches!(
+            try_solve_gram(&Mat::random(5, 4, 3), &h),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn ridge_solve_handles_exactly_singular_gram() {
+        // H = u u^T is singular; the ridge solve must still return finite
+        // factors close to the least-squares solution.
+        let u = [2.0, 1.0, -1.0];
+        let mut h = Mat::zeros(3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                h.set(i, j, u[i] * u[j]);
+            }
+        }
+        let m = Mat::random(12, 3, 8);
+        let sol = ridge_solve_gram(&m, &h, 1e-6).unwrap();
+        assert!(sol.is_finite());
+        // On a consistent system (RHS in the range of H) the ridge
+        // solution approaches the pseudoinverse solution as ridge -> 0.
+        let consistent = Mat::random(12, 3, 9).matmul(&h);
+        let pinv_sol = solve_gram(&consistent, &h);
+        let tight = ridge_solve_gram(&consistent, &h, 1e-8).unwrap();
+        assert!(tight.max_abs_diff(&pinv_sol) < 1e-4);
+    }
+
+    #[test]
+    fn ridge_solve_matches_plain_solve_when_well_conditioned() {
+        let h = random_spd(4, 31);
+        let m = Mat::random(20, 4, 32);
+        let plain = solve_gram(&m, &h);
+        let ridged = ridge_solve_gram(&m, &h, 1e-14).unwrap();
+        assert!(ridged.max_abs_diff(&plain) < 1e-8);
+    }
+
+    #[test]
+    fn ridge_solve_rejects_bad_ridge() {
+        let h = random_spd(3, 5);
+        let m = Mat::random(6, 3, 6);
+        assert!(ridge_solve_gram(&m, &h, 0.0).is_err());
+        assert!(ridge_solve_gram(&m, &h, f64::NAN).is_err());
+        assert!(ridge_solve_gram(&m, &h, -1.0).is_err());
     }
 }

@@ -14,6 +14,17 @@ use std::path::Path;
 /// Magic bytes opening the binary format.
 const MAGIC: &[u8; 8] = b"ADTMTNS1";
 
+/// Upper bound on the nonzero count a binary header may claim. Headers
+/// are untrusted input; anything past this is a corrupt or hostile file,
+/// not a dataset this library could process.
+const MAX_NNZ: u64 = 1 << 40;
+
+/// Cap on speculative `Vec::with_capacity` reservations while reading
+/// length-prefixed sections. A lying header must not be able to trigger
+/// a multi-GiB allocation before a single data byte is read; vectors
+/// still grow to the true size as data actually arrives.
+const MAX_PREALLOC: usize = 1 << 22;
+
 /// Errors produced by tensor I/O.
 #[derive(Debug)]
 pub enum IoError {
@@ -21,6 +32,9 @@ pub enum IoError {
     Io(io::Error),
     /// The input could not be parsed; the message describes where.
     Parse(String),
+    /// The input parsed but carries a NaN or infinite value; the message
+    /// names the offending line or entry.
+    NonFinite(String),
 }
 
 impl std::fmt::Display for IoError {
@@ -28,6 +42,7 @@ impl std::fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "i/o error: {e}"),
             IoError::Parse(m) => write!(f, "parse error: {m}"),
+            IoError::NonFinite(m) => write!(f, "non-finite data: {m}"),
         }
     }
 }
@@ -91,6 +106,13 @@ pub fn read_tns<R: Read>(reader: R) -> Result<SparseTensor, IoError> {
         let v: f64 = fields[n]
             .parse()
             .map_err(|_| IoError::Parse(format!("line {}: bad value", lineno + 1)))?;
+        if !v.is_finite() {
+            return Err(IoError::NonFinite(format!(
+                "line {}: value '{}' is not finite",
+                lineno + 1,
+                fields[n]
+            )));
+        }
         vals.push(v);
     }
     if inds.is_empty() {
@@ -161,21 +183,39 @@ pub fn read_binary<R: Read>(reader: R) -> Result<SparseTensor, IoError> {
         return Err(IoError::Parse(format!("implausible order {ndim}")));
     }
     let mut dims = Vec::with_capacity(ndim);
-    for _ in 0..ndim {
-        dims.push(read_u64(&mut r)? as usize);
+    for d in 0..ndim {
+        let dim = read_u64(&mut r)?;
+        if dim == 0 || dim > Idx::MAX as u64 + 1 {
+            return Err(IoError::Parse(format!("mode {d}: dimension {dim} out of range")));
+        }
+        dims.push(dim as usize);
     }
-    let nnz = read_u64(&mut r)? as usize;
+    let nnz64 = read_u64(&mut r)?;
+    if nnz64 > MAX_NNZ {
+        return Err(IoError::Parse(format!("implausible nonzero count {nnz64}")));
+    }
+    let nnz = nnz64 as usize;
     let mut inds = Vec::with_capacity(ndim);
-    for _ in 0..ndim {
-        let mut col = Vec::with_capacity(nnz);
-        for _ in 0..nnz {
-            col.push(read_u32(&mut r)?);
+    for (d, &dim) in dims.iter().enumerate() {
+        let mut col = Vec::with_capacity(nnz.min(MAX_PREALLOC));
+        for k in 0..nnz {
+            let i = read_u32(&mut r)?;
+            if i as u64 >= dim as u64 {
+                return Err(IoError::Parse(format!(
+                    "mode {d} entry {k}: index {i} exceeds dimension {dim}"
+                )));
+            }
+            col.push(i);
         }
         inds.push(col);
     }
-    let mut vals = Vec::with_capacity(nnz);
-    for _ in 0..nnz {
-        vals.push(f64::from_le_bytes(read_arr::<8, _>(&mut r)?));
+    let mut vals = Vec::with_capacity(nnz.min(MAX_PREALLOC));
+    for k in 0..nnz {
+        let v = f64::from_le_bytes(read_arr::<8, _>(&mut r)?);
+        if !v.is_finite() {
+            return Err(IoError::NonFinite(format!("entry {k}: value {v} is not finite")));
+        }
+        vals.push(v);
     }
     Ok(SparseTensor::new(dims, inds, vals))
 }
@@ -265,6 +305,81 @@ mod tests {
         t.dedup_sum();
         assert_eq!(t.nnz(), 1);
         assert_eq!(t.get(&[0, 0]), 5.0);
+    }
+
+    #[test]
+    fn tns_rejects_non_finite_values_naming_the_line() {
+        for bad in ["nan", "NaN", "inf", "-inf", "Infinity"] {
+            let text = format!("1 1 2.0\n2 2 {bad}\n");
+            let err = read_tns(text.as_bytes()).unwrap_err();
+            match err {
+                IoError::NonFinite(m) => assert!(m.contains("line 2"), "{bad}: {m}"),
+                other => panic!("{bad}: expected NonFinite, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn binary_rejects_non_finite_values_naming_the_entry() {
+        let t =
+            SparseTensor::from_entries(vec![2, 2], &[(vec![0, 0], 1.0), (vec![1, 1], f64::NAN)]);
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        match read_binary(&buf[..]).unwrap_err() {
+            IoError::NonFinite(m) => assert!(m.contains("entry 1"), "{m}"),
+            other => panic!("expected NonFinite, got {other}"),
+        }
+    }
+
+    #[test]
+    fn binary_rejects_giant_nnz_header_without_allocating() {
+        // A header claiming u64::MAX nonzeros must fail fast on the
+        // sanity cap, not attempt a multi-GiB reservation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&4u64.to_le_bytes());
+        buf.extend_from_slice(&4u64.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert!(matches!(err, IoError::Parse(ref m) if m.contains("nonzero count")), "{err}");
+    }
+
+    #[test]
+    fn binary_rejects_out_of_range_dimension() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert!(matches!(err, IoError::Parse(ref m) if m.contains("dimension")), "{err}");
+    }
+
+    #[test]
+    fn binary_rejects_index_beyond_declared_dimension() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&3u64.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&7u32.to_le_bytes()); // index 7 in a dim-3 mode
+        buf.extend_from_slice(&1.0f64.to_le_bytes());
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert!(matches!(err, IoError::Parse(ref m) if m.contains("exceeds")), "{err}");
+    }
+
+    #[test]
+    fn binary_lying_nnz_with_truncated_body_errors_cleanly() {
+        // Plausible-but-wrong nnz (1000) with only one entry's worth of
+        // data: the reader must surface a clean I/O error, not panic.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&10u64.to_le_bytes());
+        buf.extend_from_slice(&1000u64.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert!(matches!(err, IoError::Io(_)), "{err}");
     }
 
     #[test]

@@ -55,7 +55,7 @@ fn main() {
     }
 
     let opts = CpAlsOptions::new(rank).max_iters(15).tol(1e-5).seed(3);
-    let res = decompose_with(&tensor, &opts, &mut adaptive);
+    let res = decompose_with(&tensor, &opts, &mut adaptive).expect("adaptive run failed");
     println!(
         "adaptive: {} iters, fit {:.4}, mttkrp {:.3}s",
         res.iters,
@@ -65,7 +65,7 @@ fn main() {
 
     // Reference run with the non-memoized flat tree, to show the gap.
     let mut flat = DtreeBackend::two_level(&tensor, rank);
-    let flat_res = decompose_with(&tensor, &opts, &mut flat);
+    let flat_res = decompose_with(&tensor, &opts, &mut flat).expect("flat run failed");
     println!(
         "{}: {} iters, fit {:.4}, mttkrp {:.3}s ({:.2}x slower)",
         flat.name(),

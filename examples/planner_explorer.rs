@@ -47,7 +47,7 @@ fn explore(name: &str, tensor: &SparseTensor, rank: usize) {
         ("bdt", adatm::TreeShape::balanced_binary(tensor.ndim())),
     ] {
         let mut backend = DtreeBackend::new(tensor, &shape, rank);
-        let res = solver.run(tensor, &mut backend);
+        let res = solver.run(tensor, &mut backend).expect("timing run failed");
         println!(
             "  measured {label:<8} mttkrp {:.4}s/iter",
             res.timings.mttkrp.as_secs_f64() / res.iters.max(1) as f64

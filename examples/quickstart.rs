@@ -18,7 +18,7 @@ fn main() {
 
     // One call: plan the memoization strategy, then run rank-16 CP-ALS.
     let opts = CpAlsOptions::new(16).max_iters(20).tol(1e-5).seed(0);
-    let result = decompose(&tensor, &opts);
+    let result = decompose(&tensor, &opts).expect("decomposition failed");
 
     println!(
         "CP-ALS: {} iterations, fit {:.4}, converged: {}",

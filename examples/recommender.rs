@@ -50,12 +50,12 @@ fn main() {
     let opts = CpAlsOptions::new(4).max_iters(25).tol(1e-6).seed(7);
     let mut results = Vec::new();
     let mut coo = CooBackend::new(&train);
-    results.push(("coo", decompose_with(&train, &opts, &mut coo)));
+    results.push(("coo", decompose_with(&train, &opts, &mut coo).expect("coo run failed")));
     let mut csf = CsfBackend::new(&train);
-    results.push(("splatt-csf", decompose_with(&train, &opts, &mut csf)));
+    results.push(("splatt-csf", decompose_with(&train, &opts, &mut csf).expect("csf run failed")));
     let mut bdt = DtreeBackend::balanced_binary(&train, 4);
     let bdt_name = bdt.name();
-    results.push((bdt_name, decompose_with(&train, &opts, &mut bdt)));
+    results.push((bdt_name, decompose_with(&train, &opts, &mut bdt).expect("bdt run failed")));
 
     for (name, res) in &results {
         println!(

@@ -12,16 +12,71 @@
 
 use adatm::planner::estimate::NnzEstimator;
 use adatm::tensor::gen::{uniform_tensor, zipf_tensor};
-use adatm::tensor::io::{read_binary_file, read_tns_file, write_binary_file, write_tns_file};
+use adatm::tensor::io::{
+    read_binary_file, read_tns_file, write_binary_file, write_tns_file, IoError,
+};
 use adatm::tensor::stats::TensorStats;
 use adatm::{
     complete, cp_opt, decompose_with, hooi, ncp, AdaptiveBackend, CompletionOptions, CooBackend,
-    CpAlsOptions, CpOptOptions, CsfBackend, DtreeBackend, MttkrpBackend, NcpOptions, Planner,
-    SparseTensor, TreeShape, TuckerOptions,
+    CpAlsError, CpAlsOptions, CpOptOptions, CsfBackend, DtreeBackend, MttkrpBackend, NcpOptions,
+    Planner, SparseTensor, TreeShape, TuckerOptions,
 };
 use std::collections::HashMap;
 use std::path::Path;
 use std::process::ExitCode;
+
+/// A CLI failure: a one-line message plus the process exit code that
+/// classifies it (see `print_usage` for the code table).
+struct CliError {
+    code: u8,
+    msg: String,
+}
+
+/// Usage errors: bad flags, missing arguments, unknown subcommands.
+const EXIT_USAGE: u8 = 2;
+/// The tensor file could not be read or written (filesystem level).
+const EXIT_IO: u8 = 3;
+/// The tensor file is malformed (bad syntax, implausible header).
+const EXIT_PARSE: u8 = 4;
+/// The tensor file parsed but carries NaN or infinite values.
+const EXIT_NONFINITE: u8 = 5;
+/// The solver rejected its input (rank/shape/finiteness validation).
+const EXIT_SOLVER_INPUT: u8 = 6;
+/// The solver hit an unrecoverable numerical failure.
+const EXIT_NUMERICAL: u8 = 7;
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError { code: EXIT_USAGE, msg }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError { code: EXIT_USAGE, msg: msg.to_string() }
+    }
+}
+
+impl From<IoError> for CliError {
+    fn from(e: IoError) -> Self {
+        let code = match &e {
+            IoError::Io(_) => EXIT_IO,
+            IoError::Parse(_) => EXIT_PARSE,
+            IoError::NonFinite(_) => EXIT_NONFINITE,
+        };
+        CliError { code, msg: e.to_string() }
+    }
+}
+
+impl From<CpAlsError> for CliError {
+    fn from(e: CpAlsError) -> Self {
+        let code = match &e {
+            CpAlsError::Linalg(_) => EXIT_NUMERICAL,
+            _ => EXIT_SOLVER_INPUT,
+        };
+        CliError { code, msg: e.to_string() }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,13 +90,13 @@ fn main() -> ExitCode {
             print_usage();
             Ok(())
         }
-        Some(other) => Err(format!("unknown subcommand '{other}' (try --help)")),
+        Some(other) => Err(CliError::from(format!("unknown subcommand '{other}' (try --help)"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.msg);
+            ExitCode::from(e.code)
         }
     }
 }
@@ -56,7 +111,15 @@ fn print_usage() {
          [--backend adaptive|coo|csf|tree2|tree3|bdt] [--shape '(0 (1 2))']\n      \
          [--algo als|ncp|cpopt|complete|tucker] [--reg R (complete)]\n      \
          [--ranks AxBxC (tucker)] [--out DIR]\n\n\
-         Tensor files: FROSTT text (.tns) or adatm binary (.adtm), chosen by extension."
+         Tensor files: FROSTT text (.tns) or adatm binary (.adtm), chosen by extension.\n\n\
+         EXIT CODES:\n  \
+         0  success\n  \
+         2  usage error (bad flag, missing argument, unknown subcommand)\n  \
+         3  file i/o error\n  \
+         4  malformed tensor file\n  \
+         5  tensor file contains non-finite values\n  \
+         6  solver rejected its input (rank/shape/finiteness validation)\n  \
+         7  unrecoverable numerical failure during the solve"
     );
 }
 
@@ -101,27 +164,33 @@ fn opt_parse<T: std::str::FromStr>(
     }
 }
 
-fn load(path: &str) -> Result<SparseTensor, String> {
+/// Wraps a filesystem-level failure as [`EXIT_IO`].
+fn fs_err(e: std::io::Error) -> CliError {
+    CliError { code: EXIT_IO, msg: e.to_string() }
+}
+
+fn load(path: &str) -> Result<SparseTensor, CliError> {
     let p = Path::new(path);
     let ext = p.extension().and_then(|e| e.to_str()).unwrap_or("");
     let mut t = match ext {
-        "adtm" => read_binary_file(p).map_err(|e| e.to_string())?,
-        _ => read_tns_file(p).map_err(|e| e.to_string())?,
+        "adtm" => read_binary_file(p)?,
+        _ => read_tns_file(p)?,
     };
     t.dedup_sum();
     Ok(t)
 }
 
-fn store(t: &SparseTensor, path: &str) -> Result<(), String> {
+fn store(t: &SparseTensor, path: &str) -> Result<(), CliError> {
     let p = Path::new(path);
     let ext = p.extension().and_then(|e| e.to_str()).unwrap_or("");
     match ext {
-        "adtm" => write_binary_file(t, p).map_err(|e| e.to_string()),
-        _ => write_tns_file(t, p).map_err(|e| e.to_string()),
+        "adtm" => write_binary_file(t, p)?,
+        _ => write_tns_file(t, p)?,
     }
+    Ok(())
 }
 
-fn cmd_info(args: &[String]) -> Result<(), String> {
+fn cmd_info(args: &[String]) -> Result<(), CliError> {
     let (pos, _) = parse_args(args)?;
     let path = pos.first().ok_or("info requires a tensor file")?;
     let t = load(path)?;
@@ -142,7 +211,7 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_convert(args: &[String]) -> Result<(), String> {
+fn cmd_convert(args: &[String]) -> Result<(), CliError> {
     let (pos, _) = parse_args(args)?;
     if pos.len() != 2 {
         return Err("convert requires <in> and <out>".into());
@@ -153,7 +222,7 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_generate(args: &[String]) -> Result<(), String> {
+fn cmd_generate(args: &[String]) -> Result<(), CliError> {
     let (_, opts) = parse_args(args)?;
     let dims_s = opts.get("dims").ok_or("generate requires --dims AxBxC")?;
     let dims: Vec<usize> = dims_s
@@ -196,7 +265,7 @@ fn parse_estimator(opts: &HashMap<String, String>) -> Result<NnzEstimator, Strin
     }
 }
 
-fn cmd_plan(args: &[String]) -> Result<(), String> {
+fn cmd_plan(args: &[String]) -> Result<(), CliError> {
     let (pos, opts) = parse_args(args)?;
     let path = pos.first().ok_or("plan requires a tensor file")?;
     let t = load(path)?;
@@ -253,27 +322,27 @@ fn make_backend(
     })
 }
 
-fn write_factors(dir: &str, model: &adatm::CpModel) -> Result<(), String> {
-    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+fn write_factors(dir: &str, model: &adatm::CpModel) -> Result<(), CliError> {
+    std::fs::create_dir_all(dir).map_err(fs_err)?;
     use std::io::Write;
     let lpath = format!("{dir}/lambda.txt");
-    let mut lf = std::fs::File::create(&lpath).map_err(|e| e.to_string())?;
+    let mut lf = std::fs::File::create(&lpath).map_err(fs_err)?;
     for l in &model.lambda {
-        writeln!(lf, "{l}").map_err(|e| e.to_string())?;
+        writeln!(lf, "{l}").map_err(fs_err)?;
     }
     for (d, f) in model.factors.iter().enumerate() {
         let path = format!("{dir}/factor_{d}.txt");
-        let mut file = std::fs::File::create(&path).map_err(|e| e.to_string())?;
+        let mut file = std::fs::File::create(&path).map_err(fs_err)?;
         for i in 0..f.nrows() {
             let row: Vec<String> = f.row(i).iter().map(|x| format!("{x}")).collect();
-            writeln!(file, "{}", row.join(" ")).map_err(|e| e.to_string())?;
+            writeln!(file, "{}", row.join(" ")).map_err(fs_err)?;
         }
     }
     println!("wrote lambda + {} factors under {dir}/", model.factors.len());
     Ok(())
 }
 
-fn cmd_decompose(args: &[String]) -> Result<(), String> {
+fn cmd_decompose(args: &[String]) -> Result<(), CliError> {
     let (pos, opts) = parse_args(args)?;
     let path = pos.first().ok_or("decompose requires a tensor file")?;
     let t = load(path)?;
@@ -308,7 +377,7 @@ fn cmd_decompose(args: &[String]) -> Result<(), String> {
     match opts.get("algo").map(String::as_str) {
         None | Some("als") => {
             let o = CpAlsOptions::new(rank).max_iters(iters).tol(tol).seed(seed);
-            let res = decompose_with(&t, &o, &mut backend);
+            let res = decompose_with(&t, &o, &mut backend)?;
             println!(
                 "als: {} iters, fit {:.5}, converged {}, mttkrp {:.3}s dense {:.3}s fit {:.3}s",
                 res.iters,
@@ -318,6 +387,14 @@ fn cmd_decompose(args: &[String]) -> Result<(), String> {
                 res.timings.dense.as_secs_f64(),
                 res.timings.fit.as_secs_f64()
             );
+            if res.diagnostics.recoveries > 0 || res.diagnostics.degraded {
+                println!(
+                    "resilience: {} breakdown event(s), {} recover(ies), stop: {:?}",
+                    res.diagnostics.events.len(),
+                    res.diagnostics.recoveries,
+                    res.diagnostics.stop
+                );
+            }
             if let Some(dir) = opts.get("out") {
                 write_factors(dir, &res.model)?;
             }
@@ -362,7 +439,7 @@ fn cmd_decompose(args: &[String]) -> Result<(), String> {
                 write_factors(dir, &res.model)?;
             }
         }
-        Some(other) => return Err(format!("unknown algorithm '{other}'")),
+        Some(other) => return Err(format!("unknown algorithm '{other}'").into()),
     }
     Ok(())
 }

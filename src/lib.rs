@@ -17,10 +17,13 @@
 pub use adatm_core::backend::all_backends;
 pub use adatm_core::{
     complete, cp_opt, decompose, decompose_with, factor_match_score, hooi, ncp, AdaptiveBackend,
-    CompletionOptions, CompletionResult, CooBackend, CpAls, CpAlsOptions, CpModel, CpOptOptions,
-    CpOptResult, CpResult, CsfBackend, DtreeBackend, InitStrategy, MttkrpBackend, NcpOptions,
-    NcpResult, PhaseTimings, TuckerModel, TuckerOptions, TuckerResult,
+    BreakdownEvent, BreakdownKind, CompletionOptions, CompletionResult, CooBackend, CpAls,
+    CpAlsError, CpAlsOptions, CpModel, CpOptOptions, CpOptResult, CpResult, CsfBackend,
+    DtreeBackend, InitStrategy, MttkrpBackend, NcpOptions, NcpResult, PhaseTimings, RecoveryAction,
+    RunDiagnostics, StopReason, TuckerModel, TuckerOptions, TuckerResult,
 };
+#[cfg(feature = "fault-inject")]
+pub use adatm_core::{FaultInjectingBackend, FaultKind, FaultSchedule};
 pub use adatm_dtree::TreeShape;
 pub use adatm_linalg::Mat;
 pub use adatm_model::{MemoPlan, NnzEstimator, Objective, Planner, SearchStrategy};

@@ -59,7 +59,7 @@ fn als_with_range_init_runs_on_adaptive_backend() {
     let mut b = adatm::AdaptiveBackend::plan(&t, 5);
     let opts =
         CpAlsOptions::new(5).max_iters(8).tol(0.0).seed(3).init(InitStrategy::RandomizedRange);
-    let res = adatm::decompose_with(&t, &opts, &mut b);
+    let res = adatm::decompose_with(&t, &opts, &mut b).unwrap();
     assert_eq!(res.iters, 8);
     assert!(res.final_fit().is_finite());
     assert!(res.fit_history.windows(2).all(|w| w[1] >= w[0] - 1e-6));
@@ -73,7 +73,8 @@ fn three_algorithms_reduce_residual_on_same_data() {
 
     let mut b1 = adatm::CooBackend::new(&t);
     let als =
-        adatm::decompose_with(&t, &CpAlsOptions::new(4).max_iters(20).tol(0.0).seed(1), &mut b1);
+        adatm::decompose_with(&t, &CpAlsOptions::new(4).max_iters(20).tol(0.0).seed(1), &mut b1)
+            .unwrap();
     assert!(als.final_fit() > 0.1, "als fit {}", als.final_fit());
 
     let mut b2 = adatm::CooBackend::new(&t);

@@ -23,7 +23,7 @@ fn cpals_runs_fully_audited_on_every_backend() {
     reset_overlap_stats();
     let opts = CpAlsOptions::new(3).max_iters(8).tol(0.0).seed(42);
     for mut backend in all_backends(t, 3) {
-        let res = CpAls::new(opts.clone()).run(t, &mut backend);
+        let res = CpAls::new(opts.clone()).run(t, &mut backend).unwrap();
         assert_eq!(res.iters, 8, "{}", backend.name());
         assert!(
             res.final_fit().is_finite() && res.final_fit() > 0.0,

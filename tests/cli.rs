@@ -22,13 +22,61 @@ fn help_prints_usage() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("decompose"));
     assert!(text.contains("generate"));
+    assert!(text.contains("EXIT CODES"), "--help must document the exit-code table");
 }
 
 #[test]
-fn unknown_subcommand_fails() {
+fn unknown_subcommand_exits_with_usage_code() {
     let out = adatm().arg("frobnicate").output().unwrap();
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+}
+
+#[test]
+fn missing_file_exits_with_io_code() {
+    let out = adatm().args(["info", "/nonexistent/adatm_no_such_file.tns"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn malformed_tensor_exits_with_parse_code() {
+    let dir = tmpdir("parse_err");
+    let tns = dir.join("bad.tns");
+    std::fs::write(&tns, "1 1 2.0\nnot a data line\n").unwrap();
+    let out = adatm().arg("info").arg(&tns).output().unwrap();
+    assert_eq!(out.status.code(), Some(4), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 2"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn non_finite_tensor_exits_with_nonfinite_code() {
+    let dir = tmpdir("nonfinite");
+    let tns = dir.join("nan.tns");
+    std::fs::write(&tns, "1 1 2.0\n2 2 nan\n").unwrap();
+    let out = adatm().arg("info").arg(&tns).output().unwrap();
+    assert_eq!(out.status.code(), Some(5), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 2"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn zero_rank_decompose_exits_with_solver_input_code() {
+    let dir = tmpdir("zerorank");
+    let tns = dir.join("t.tns");
+    adatm()
+        .args(["generate", "--dims", "10x10x10", "--nnz", "100", "-o"])
+        .arg(&tns)
+        .status()
+        .unwrap();
+    let out = adatm()
+        .arg("decompose")
+        .arg(&tns)
+        .args(["--rank", "0", "--iters", "2", "--backend", "coo"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(6), "{}", String::from_utf8_lossy(&out.stderr));
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -10,7 +10,8 @@ use adatm::{
 #[test]
 fn adaptive_decompose_recovers_dense_low_rank() {
     let truth = dense_low_rank(&[10, 12, 8, 9], 3, 0.0, 31);
-    let res = decompose(&truth.tensor, &CpAlsOptions::new(3).max_iters(80).tol(1e-9).seed(4));
+    let res =
+        decompose(&truth.tensor, &CpAlsOptions::new(3).max_iters(80).tol(1e-9).seed(4)).unwrap();
     assert!(res.final_fit() > 0.99, "fit {}", res.final_fit());
 }
 
@@ -21,7 +22,7 @@ fn all_backends_agree_on_final_model_4d() {
     let natural: Vec<usize> = (0..4).collect();
     let mut reference: Option<Vec<f64>> = None;
     for mut b in all_backends(&t, 5) {
-        let res = decompose_with(&t, &opts, &mut b);
+        let res = decompose_with(&t, &opts, &mut b).unwrap();
         if b.mode_order(4) != natural {
             // A permuted sweep order (the adaptive planner may reorder)
             // follows a different but valid ALS trajectory.
@@ -45,7 +46,7 @@ fn five_and_six_mode_end_to_end() {
     for n in [5usize, 6] {
         let dims: Vec<usize> = (0..n).map(|d| 15 + 5 * d).collect();
         let t = zipf_tensor(&dims, 3_000, &vec![0.6; n], 77 + n as u64);
-        let res = decompose(&t, &CpAlsOptions::new(4).max_iters(6).tol(0.0).seed(2));
+        let res = decompose(&t, &CpAlsOptions::new(4).max_iters(6).tol(0.0).seed(2)).unwrap();
         assert_eq!(res.iters, 6);
         assert!(res.final_fit().is_finite());
         // Factors keep their shapes and normalized columns.
@@ -72,11 +73,11 @@ fn io_round_trip_preserves_decomposition() {
     let opts = CpAlsOptions::new(3).max_iters(5).tol(0.0).seed(1);
     let f1 = {
         let mut b = CooBackend::new(&t);
-        decompose_with(&t, &opts, &mut b).final_fit()
+        decompose_with(&t, &opts, &mut b).unwrap().final_fit()
     };
     let f3 = {
         let mut b = CooBackend::new(&t3);
-        decompose_with(&t3, &opts, &mut b).final_fit()
+        decompose_with(&t3, &opts, &mut b).unwrap().final_fit()
     };
     assert!((f1 - f3).abs() < 1e-12, "binary round trip changed the data");
     // Text re-read may reorder entries (dims inferred identically since no
@@ -84,7 +85,7 @@ fn io_round_trip_preserves_decomposition() {
     if t2.dims() == t.dims() {
         let f2 = {
             let mut b = CooBackend::new(&t2);
-            decompose_with(&t2, &opts, &mut b).final_fit()
+            decompose_with(&t2, &opts, &mut b).unwrap().final_fit()
         };
         assert!((f1 - f2).abs() < 1e-7, "text round trip changed the result");
     }
@@ -94,7 +95,8 @@ fn io_round_trip_preserves_decomposition() {
 fn rank_one_decomposition_works() {
     let truth = dense_low_rank(&[8, 10, 6], 1, 0.0, 3);
     let mut b = CsfBackend::new(&truth.tensor);
-    let res = decompose_with(&truth.tensor, &CpAlsOptions::new(1).max_iters(30).seed(6), &mut b);
+    let res =
+        decompose_with(&truth.tensor, &CpAlsOptions::new(1).max_iters(30).seed(6), &mut b).unwrap();
     assert!(res.final_fit() > 0.999, "rank-1 exact fit, got {}", res.final_fit());
 }
 
@@ -105,7 +107,8 @@ fn overcomplete_rank_still_converges() {
     let truth = dense_low_rank(&[8, 9, 7], 2, 0.0, 8);
     let mut b = DtreeBackend::balanced_binary(&truth.tensor, 6);
     let res =
-        decompose_with(&truth.tensor, &CpAlsOptions::new(6).max_iters(40).tol(0.0).seed(9), &mut b);
+        decompose_with(&truth.tensor, &CpAlsOptions::new(6).max_iters(40).tol(0.0).seed(9), &mut b)
+            .unwrap();
     assert!(res.final_fit() > 0.99, "fit {}", res.final_fit());
     assert!(res.fit_history.iter().all(|f| f.is_finite()));
 }
@@ -119,11 +122,11 @@ fn mode_permutation_invariance() {
     let opts = CpAlsOptions::new(4).max_iters(10).tol(0.0).seed(33);
     let fit_a = {
         let mut b = DtreeBackend::balanced_binary(&t, 4);
-        decompose_with(&t, &opts, &mut b).final_fit()
+        decompose_with(&t, &opts, &mut b).unwrap().final_fit()
     };
     let fit_b = {
         let mut b = DtreeBackend::balanced_binary(&tp, 4);
-        decompose_with(&tp, &opts, &mut b).final_fit()
+        decompose_with(&tp, &opts, &mut b).unwrap().final_fit()
     };
     // Different random inits see different mode sizes, so allow loose
     // agreement (the optimum is permutation-invariant; trajectories are
@@ -144,6 +147,6 @@ fn empty_slices_do_not_break_anything() {
             (vec![20, 4, 5], 5.0),
         ],
     );
-    let res = decompose(&t, &CpAlsOptions::new(2).max_iters(5).tol(0.0).seed(1));
+    let res = decompose(&t, &CpAlsOptions::new(2).max_iters(5).tol(0.0).seed(1)).unwrap();
     assert!(res.final_fit().is_finite());
 }

@@ -14,7 +14,7 @@ fn tucker_fits_clustered_data_better_than_matched_size_cp() {
     let tucker = hooi(&t, &TuckerOptions::new(vec![6, 6, 6]).max_iters(12).tol(0.0).seed(1));
     // CP with a similar parameter count: 3 * 60 * 6 ~ Tucker's factor
     // params; use the same rank 6.
-    let cp = decompose(&t, &CpAlsOptions::new(6).max_iters(12).tol(0.0).seed(1));
+    let cp = decompose(&t, &CpAlsOptions::new(6).max_iters(12).tol(0.0).seed(1)).unwrap();
     assert!(
         tucker.final_fit() > cp.final_fit() - 0.05,
         "tucker fit {} vs cp fit {}",
