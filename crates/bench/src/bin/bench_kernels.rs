@@ -1,0 +1,386 @@
+//! Bench-regression kernel driver (`cargo xtask bench`).
+//!
+//! Measures the hot MTTKRP kernels and an end-to-end CP-ALS iteration in
+//! a pinned thread pool, counts steady-state heap allocations with a
+//! counting global allocator, and writes a `BENCH_<date>.json` snapshot
+//! that `cargo xtask bench` diffs against the previous snapshot.
+//!
+//! Knobs:
+//!
+//! * `ADATM_BENCH_SMOKE=1` — tiny tensors / few reps (CI smoke job);
+//! * `ADATM_BENCH_THREADS` — pinned pool size (default 8);
+//! * `ADATM_RANK` — decomposition rank (default 16);
+//! * argv[1] — output JSON path (default `BENCH_<date>.json`).
+//!
+//! The headline record is the scheduled COO kernel vs the legacy
+//! group-per-task kernel (`mttkrp_par_grouped`) on the 8-thread
+//! Zipf-0.9 E3-class tensor: the `summary.coo_sched_speedup` field is
+//! the regression gate for the scheduling work.
+
+// The counting allocator is the one permitted unsafe block in the
+// workspace: a GlobalAlloc shim must be `unsafe impl` by definition.
+#![allow(unsafe_code)]
+
+use adatm_bench::{env_usize, time_best, with_threads, Table};
+use adatm_core::{all_backends, CpAls, CpAlsOptions};
+use adatm_linalg::Mat;
+use adatm_tensor::csf::CsfTensor;
+use adatm_tensor::gen::proxy_datasets;
+use adatm_tensor::mttkrp::{mttkrp_par_grouped, mttkrp_par_into, schedule_for_view};
+use adatm_tensor::schedule::Workspace;
+use adatm_tensor::{SortedModeView, SparseTensor};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// Global allocator that counts allocation events (not bytes): the
+/// steady-state kernels claim *zero* allocations per call, so an event
+/// count is the sharpest possible check.
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_events() -> u64 {
+    ALLOC_EVENTS.load(Ordering::Relaxed)
+}
+
+/// One benchmark measurement.
+struct Record {
+    kernel: &'static str,
+    backend: String,
+    tensor: &'static str,
+    threads: usize,
+    ns_per_call: u64,
+    /// Allocation events during one steady-state call (u64::MAX = not
+    /// measured for this record).
+    allocs_per_call: u64,
+}
+
+/// Times one steady-state call of `f` (best of `reps`) and counts the
+/// allocation events of a single post-warmup call.
+fn measure<F: FnMut()>(reps: usize, mut f: F) -> (u64, u64) {
+    f(); // warmup: builds schedules, grows workspaces
+    let a0 = alloc_events();
+    f();
+    let allocs = alloc_events() - a0;
+    let best = time_best(reps, &mut f);
+    (best.as_nanos() as u64, allocs)
+}
+
+/// Gregorian civil date from days since 1970-01-01 (Hinnant's algorithm).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn today_utc() -> String {
+    let secs =
+        SystemTime::now().duration_since(UNIX_EPOCH).unwrap_or(Duration::ZERO).as_secs() as i64;
+    let (y, m, d) = civil_from_days(secs.div_euclid(86_400));
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn factors_for(t: &SparseTensor, rank: usize, seed: u64) -> Vec<Mat> {
+    t.dims().iter().enumerate().map(|(d, &n)| Mat::random(n, rank, seed + d as u64)).collect()
+}
+
+/// The Zipf-0.9 E3-class gate tensor: `deli4d`, the first proxy dataset
+/// of the standard experiment suite (Delicious-like, user-mode skew
+/// 0.9), at the default E3 harness scale. Smoke mode shrinks it 10x.
+fn gate_tensor(smoke: bool) -> SparseTensor {
+    let scale = if smoke { 0.01 } else { 0.1 };
+    let spec = &proxy_datasets(scale)[0];
+    assert_eq!(spec.name, "deli4d", "suite order changed; update the gate");
+    spec.build()
+}
+
+/// COO kernel sweep: scheduled vs legacy grouped, all modes, summed.
+/// Returns (records, scheduled_total_ns, grouped_total_ns).
+fn bench_coo(
+    t: &SparseTensor,
+    rank: usize,
+    threads: usize,
+    reps: usize,
+) -> (Vec<Record>, u64, u64) {
+    let factors = factors_for(t, rank, 11);
+    let views: Vec<SortedModeView> = (0..t.ndim()).map(|m| SortedModeView::build(t, m)).collect();
+    let mut records = Vec::new();
+    let (mut sched_total, mut grouped_total) = (0u64, 0u64);
+    with_threads(threads, || {
+        let mut ws = Workspace::new();
+        for (mode, view) in views.iter().enumerate() {
+            let sched = schedule_for_view(view, threads);
+            let mut out = Mat::zeros(t.dims()[mode], rank);
+            let mut run_sched = || {
+                mttkrp_par_into(t, &factors, mode, view, &sched, &mut ws, &mut out);
+            };
+            let mut legacy_out = Mat::zeros(t.dims()[mode], rank);
+            // The legacy per-iteration path: grouped kernel into a fresh
+            // matrix, then the backend's copy into the driver's buffer.
+            let mut run_grouped = || {
+                let m = mttkrp_par_grouped(t, &factors, mode, view);
+                legacy_out.as_mut_slice().copy_from_slice(m.as_slice());
+                std::hint::black_box(&legacy_out);
+            };
+            // Warmup both, then count steady-state allocation events.
+            run_sched();
+            let a0 = alloc_events();
+            run_sched();
+            let sched_allocs = alloc_events() - a0;
+            run_grouped();
+            let a0 = alloc_events();
+            run_grouped();
+            let grouped_allocs = alloc_events() - a0;
+            // Interleave timing rounds so machine noise drifts across
+            // both kernels equally; keep the per-kernel minimum.
+            let (mut sched_ns, mut grouped_ns) = (u64::MAX, u64::MAX);
+            for _ in 0..reps {
+                sched_ns = sched_ns.min(time_best(1, &mut run_sched).as_nanos() as u64);
+                grouped_ns = grouped_ns.min(time_best(1, &mut run_grouped).as_nanos() as u64);
+            }
+            std::hint::black_box(&out);
+            sched_total += sched_ns;
+            grouped_total += grouped_ns;
+            records.push(Record {
+                kernel: "mttkrp",
+                backend: format!("coo-sched-m{mode}"),
+                tensor: "deli4d",
+                threads,
+                ns_per_call: sched_ns,
+                allocs_per_call: sched_allocs,
+            });
+            records.push(Record {
+                kernel: "mttkrp",
+                backend: format!("coo-grouped-m{mode}"),
+                tensor: "deli4d",
+                threads,
+                ns_per_call: grouped_ns,
+                allocs_per_call: grouped_allocs,
+            });
+        }
+    });
+    (records, sched_total, grouped_total)
+}
+
+/// CSF root-mode kernel, every mode's forest.
+fn bench_csf(t: &SparseTensor, rank: usize, threads: usize, reps: usize) -> Vec<Record> {
+    let factors = factors_for(t, rank, 13);
+    let mut records = Vec::new();
+    with_threads(threads, || {
+        let mut ws = Workspace::new();
+        for mode in 0..t.ndim() {
+            let csf = CsfTensor::for_mode(t, mode);
+            let sched = csf.root_schedule(threads);
+            let mut out = Mat::zeros(t.dims()[mode], rank);
+            let (ns, allocs) = measure(reps, || {
+                csf.mttkrp_root_into(&factors, &sched, &mut ws, &mut out);
+                std::hint::black_box(&out);
+            });
+            records.push(Record {
+                kernel: "mttkrp",
+                backend: format!("csf-sched-m{mode}"),
+                tensor: "deli4d",
+                threads,
+                ns_per_call: ns,
+                allocs_per_call: allocs,
+            });
+        }
+    });
+    records
+}
+
+/// Zero-allocation gate: the scheduled kernels in a 1-thread pool
+/// (sequential schedule) must not allocate at all in steady state.
+fn bench_alloc_gate(t: &SparseTensor, rank: usize) -> Vec<Record> {
+    let factors = factors_for(t, rank, 17);
+    let view = SortedModeView::build(t, 1);
+    let csf = CsfTensor::for_mode(t, 1);
+    let mut records = Vec::new();
+    with_threads(1, || {
+        let mut ws = Workspace::new();
+        let sched = schedule_for_view(&view, 1);
+        let mut out = Mat::zeros(t.dims()[1], rank);
+        let (ns, allocs) = measure(2, || {
+            mttkrp_par_into(t, &factors, 1, &view, &sched, &mut ws, &mut out);
+        });
+        records.push(Record {
+            kernel: "alloc-gate",
+            backend: "coo-sched-seq".to_string(),
+            tensor: "deli4d",
+            threads: 1,
+            ns_per_call: ns,
+            allocs_per_call: allocs,
+        });
+        let rsched = csf.root_schedule(1);
+        let (ns, allocs) = measure(2, || {
+            csf.mttkrp_root_into(&factors, &rsched, &mut ws, &mut out);
+        });
+        records.push(Record {
+            kernel: "alloc-gate",
+            backend: "csf-sched-seq".to_string(),
+            tensor: "deli4d",
+            threads: 1,
+            ns_per_call: ns,
+            allocs_per_call: allocs,
+        });
+    });
+    records
+}
+
+/// End-to-end CP-ALS per-iteration time for every backend.
+fn bench_cpals(t: &SparseTensor, rank: usize, threads: usize, iters: usize) -> Vec<Record> {
+    let mut records = Vec::new();
+    with_threads(threads, || {
+        for mut b in all_backends(t, rank) {
+            let opts = CpAlsOptions::new(rank).max_iters(iters).tol(0.0).seed(0);
+            let res = CpAls::new(opts)
+                .run(t, &mut b)
+                .unwrap_or_else(|e| panic!("bench CP-ALS rejected input: {e}"));
+            let per_iter = if res.iters == 0 {
+                0
+            } else {
+                (res.timings.total().as_nanos() / res.iters as u128) as u64
+            };
+            records.push(Record {
+                kernel: "cpals-iter",
+                backend: b.name().to_string(),
+                tensor: "deli4d",
+                threads,
+                ns_per_call: per_iter,
+                allocs_per_call: u64::MAX,
+            });
+        }
+    });
+    records
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(
+    path: &str,
+    date: &str,
+    smoke: bool,
+    threads: usize,
+    rank: usize,
+    records: &[Record],
+    speedup: f64,
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": 1,\n  \"date\": \"{date}\",\n"));
+    out.push_str(&format!("  \"smoke\": {smoke},\n  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"rank\": {rank},\n"));
+    out.push_str(&format!(
+        "  \"summary\": {{ \"coo_sched_speedup\": {speedup:.3} }},\n  \"records\": [\n"
+    ));
+    for (i, r) in records.iter().enumerate() {
+        let allocs = if r.allocs_per_call == u64::MAX {
+            "null".to_string()
+        } else {
+            r.allocs_per_call.to_string()
+        };
+        out.push_str(&format!(
+            "    {{ \"kernel\": \"{}\", \"backend\": \"{}\", \"tensor\": \"{}\", \
+             \"threads\": {}, \"ns_per_call\": {}, \"allocs_per_call\": {} }}{}\n",
+            json_escape(r.kernel),
+            json_escape(&r.backend),
+            json_escape(r.tensor),
+            r.threads,
+            r.ns_per_call,
+            allocs,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+fn main() {
+    let smoke = std::env::var("ADATM_BENCH_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let threads = env_usize("ADATM_BENCH_THREADS", 8);
+    let rank = env_usize("ADATM_RANK", 16);
+    let reps = env_usize("ADATM_BENCH_REPS", if smoke { 2 } else { 25 });
+    let e2e_iters = if smoke { 1 } else { 3 };
+    let date = today_utc();
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| format!("BENCH_{date}.json"));
+
+    println!("== bench_kernels: threads={threads} rank={rank} smoke={smoke}");
+    let t = gate_tensor(smoke);
+    println!("   gate tensor: dims={:?} nnz={}", t.dims(), t.nnz());
+
+    let (mut records, sched_ns, grouped_ns) = bench_coo(&t, rank, threads, reps);
+    records.extend(bench_csf(&t, rank, threads, reps));
+    records.extend(bench_alloc_gate(&t, rank));
+    records.extend(bench_cpals(&t, rank, threads, e2e_iters));
+
+    let speedup = if sched_ns > 0 { grouped_ns as f64 / sched_ns as f64 } else { 0.0 };
+
+    let mut table = Table::new(&["kernel", "backend", "threads", "ns/call", "allocs/call"]);
+    for r in &records {
+        table.row(&[
+            r.kernel.to_string(),
+            r.backend.clone(),
+            r.threads.to_string(),
+            r.ns_per_call.to_string(),
+            if r.allocs_per_call == u64::MAX { "-".into() } else { r.allocs_per_call.to_string() },
+        ]);
+    }
+    table.print();
+    println!(
+        "   COO full-sweep: scheduled {sched_ns} ns vs grouped {grouped_ns} ns -> {speedup:.2}x"
+    );
+
+    // Hard gates mirrored from the test-suite so a bench run can't
+    // silently record a broken configuration.
+    let gate_failures: Vec<String> = records
+        .iter()
+        .filter(|r| r.kernel == "alloc-gate" && r.allocs_per_call != 0)
+        .map(|r| format!("{} allocated {} time(s) in steady state", r.backend, r.allocs_per_call))
+        .collect();
+    for f in &gate_failures {
+        eprintln!("bench_kernels: ALLOC GATE FAILED: {f}");
+    }
+
+    if let Err(e) = write_json(&out_path, &date, smoke, threads, rank, &records, speedup) {
+        eprintln!("bench_kernels: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("   wrote {out_path}");
+    if !gate_failures.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,128 @@
+//! Parity and determinism for the scheduled parallel MTTKRP kernels.
+//!
+//! The load-balanced schedules reorder work (Owned row spans, privatized
+//! split sub-tasks merged per row) but must compute the same MTTKRP as
+//! the sequential reference on every mode, including the two adversarial
+//! shapes the scheduler exists for: Zipf-skewed tensors and a tensor
+//! whose nonzeros pile into a single hot row (forcing `Task::Split`).
+//! Determinism is also part of the contract — the merge order is fixed
+//! by the schedule, so repeated calls are bitwise identical.
+
+use adatm_bench::with_threads;
+use adatm_core::all_backends;
+use adatm_linalg::Mat;
+use adatm_tensor::csf::CsfTensor;
+use adatm_tensor::gen::zipf_tensor;
+use adatm_tensor::mttkrp::{mttkrp_par_into, mttkrp_seq, schedule_for_view};
+use adatm_tensor::schedule::{Task, Workspace};
+use adatm_tensor::{SortedModeView, SparseTensor};
+use proptest::prelude::*;
+
+fn factors_for(t: &SparseTensor, rank: usize, seed: u64) -> Vec<Mat> {
+    t.dims().iter().enumerate().map(|(d, &n)| Mat::random(n, rank, seed + d as u64)).collect()
+}
+
+/// A tensor whose mode-1 fiber index collapses onto row 0 for almost
+/// every nonzero: one group holds ~95% of the work, so any balanced
+/// schedule with `threads >= 2` must split it.
+fn single_hot_row_tensor(seed: u64) -> SparseTensor {
+    let dims = vec![40usize, 6, 30];
+    let nnz = 3200usize;
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut inds: Vec<Vec<u32>> = vec![Vec::new(); 3];
+    let mut vals = Vec::new();
+    for k in 0..nnz {
+        inds[0].push((next() % 40) as u32);
+        inds[1].push(if k % 20 == 0 { (1 + next() % 5) as u32 } else { 0 });
+        inds[2].push((next() % 30) as u32);
+        vals.push((next() % 1000) as f64 / 500.0 - 1.0);
+    }
+    SparseTensor::new(dims, inds, vals)
+}
+
+/// Scheduled-parallel COO and CSF kernels vs the sequential reference,
+/// every mode.
+fn assert_parity(t: &SparseTensor, threads: usize, seed: u64) -> Result<(), TestCaseError> {
+    let rank = 5;
+    let factors = factors_for(t, rank, seed);
+    for mode in 0..t.ndim() {
+        let want = mttkrp_seq(t, &factors, mode);
+
+        let view = SortedModeView::build(t, mode);
+        let sched = schedule_for_view(&view, threads);
+        let mut ws = Workspace::new();
+        let mut out = Mat::zeros(t.dims()[mode], rank);
+        mttkrp_par_into(t, &factors, mode, &view, &sched, &mut ws, &mut out);
+        prop_assert!(
+            out.max_abs_diff(&want) < 1e-9,
+            "coo mode {mode} threads {threads} diff {}",
+            out.max_abs_diff(&want)
+        );
+
+        let csf = CsfTensor::for_mode(t, mode);
+        let csf_sched = csf.root_schedule(threads);
+        let mut csf_out = Mat::zeros(t.dims()[mode], rank);
+        csf.mttkrp_root_into(&factors, &csf_sched, &mut ws, &mut csf_out);
+        prop_assert!(
+            csf_out.max_abs_diff(&want) < 1e-9,
+            "csf mode {mode} threads {threads} diff {}",
+            csf_out.max_abs_diff(&want)
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn scheduled_kernels_match_sequential_on_zipf(seed in 0u64..500, threads in 2usize..9) {
+        let t = zipf_tensor(&[50, 40, 30], 2500, &[0.9, 0.4, 0.7], seed);
+        assert_parity(&t, threads, seed.wrapping_add(99))?;
+    }
+
+    #[test]
+    fn scheduled_kernels_match_sequential_on_single_hot_row(seed in 0u64..500, threads in 2usize..9) {
+        let t = single_hot_row_tensor(seed);
+        assert_parity(&t, threads, seed.wrapping_add(7))?;
+    }
+
+    #[test]
+    fn backends_are_deterministic_across_repeated_iterations(seed in 0u64..200) {
+        let t = zipf_tensor(&[30, 25, 20, 15], 1500, &[0.8, 0.3, 0.9, 0.5], seed);
+        let rank = 4;
+        let factors = factors_for(&t, rank, seed.wrapping_add(3));
+        with_threads(4, || -> Result<(), TestCaseError> {
+            for mut b in all_backends(&t, rank) {
+                for mode in 0..t.ndim() {
+                    b.begin_mode(mode);
+                    let mut a = Mat::zeros(t.dims()[mode], rank);
+                    b.mttkrp_into(&t, &factors, mode, &mut a);
+                    let mut c = Mat::zeros(t.dims()[mode], rank);
+                    b.mttkrp_into(&t, &factors, mode, &mut c);
+                    prop_assert!(
+                        a.as_slice() == c.as_slice(),
+                        "backend {} mode {mode} not bitwise deterministic",
+                        b.name()
+                    );
+                }
+            }
+            Ok(())
+        })?;
+    }
+}
+
+#[test]
+fn hot_row_schedule_actually_splits() {
+    let t = single_hot_row_tensor(11);
+    let view = SortedModeView::build(&t, 1);
+    let sched = schedule_for_view(&view, 8);
+    let splits = sched.tasks().iter().filter(|task| matches!(task, Task::Split { .. })).count();
+    assert!(splits >= 2, "hot-row tensor produced only {splits} split sub-task(s)");
+}

@@ -10,7 +10,8 @@ use adatm_dtree::{DtreeEngine, EngineOptions, TreeShape};
 use adatm_linalg::Mat;
 use adatm_model::{MemoPlan, NnzEstimator, Planner};
 use adatm_tensor::csf::CsfSet;
-use adatm_tensor::mttkrp::{mttkrp_par, mttkrp_seq_into};
+use adatm_tensor::mttkrp::{mttkrp_par_into, mttkrp_seq_into, schedule_for_view};
+use adatm_tensor::schedule::{ModeSchedule, Workspace};
 use adatm_tensor::{SortedModeView, SparseTensor};
 
 /// An engine that computes MTTKRPs for CP-ALS.
@@ -57,6 +58,14 @@ pub trait MttkrpBackend {
 /// beyond per-mode sorted views for parallelism.
 pub struct CooBackend {
     views: Vec<SortedModeView>,
+    /// Per-mode nnz-balanced schedules, built lazily for the current
+    /// thread count and dropped on [`MttkrpBackend::reset`].
+    scheds: Vec<Option<ModeSchedule>>,
+    /// Thread count the cached schedules were balanced for (0 = none).
+    sched_threads: usize,
+    /// Reusable kernel scratch; with it, steady-state calls allocate
+    /// nothing on the sequential path and O(tasks) on the parallel one.
+    ws: Workspace,
     parallel: bool,
 }
 
@@ -68,19 +77,37 @@ impl CooBackend {
 
     /// [`CooBackend::new`] with explicit parallelism.
     pub fn with_parallel(tensor: &SparseTensor, parallel: bool) -> Self {
-        let views = (0..tensor.ndim()).map(|m| SortedModeView::build(tensor, m)).collect();
-        CooBackend { views, parallel }
+        let views: Vec<SortedModeView> =
+            (0..tensor.ndim()).map(|m| SortedModeView::build(tensor, m)).collect();
+        let scheds = (0..views.len()).map(|_| None).collect();
+        CooBackend { views, scheds, sched_threads: 0, ws: Workspace::new(), parallel }
     }
 }
 
 impl MttkrpBackend for CooBackend {
     fn mttkrp_into(&mut self, tensor: &SparseTensor, factors: &[Mat], mode: usize, out: &mut Mat) {
         if self.parallel {
-            let m = mttkrp_par(tensor, factors, mode, &self.views[mode]);
-            out.as_mut_slice().copy_from_slice(m.as_slice());
+            let threads = rayon::current_num_threads();
+            if self.sched_threads != threads {
+                for s in &mut self.scheds {
+                    *s = None;
+                }
+                self.sched_threads = threads;
+            }
+            let view = &self.views[mode];
+            let sched = self.scheds[mode].get_or_insert_with(|| schedule_for_view(view, threads));
+            mttkrp_par_into(tensor, factors, mode, view, sched, &mut self.ws, out);
         } else {
             mttkrp_seq_into(tensor, factors, mode, out);
         }
+    }
+
+    fn reset(&mut self) {
+        for s in &mut self.scheds {
+            *s = None;
+        }
+        self.sched_threads = 0;
+        self.ws.clear();
     }
 
     fn name(&self) -> &'static str {
@@ -88,8 +115,11 @@ impl MttkrpBackend for CooBackend {
     }
 
     fn structure_bytes(&self) -> usize {
-        // One u32 permutation per mode plus group boundaries (~nnz each).
+        // One u32 permutation per mode plus group boundaries (~nnz each),
+        // plus the cached schedules.
         self.views.iter().map(|v| (v.num_groups() + 1) * 8).sum::<usize>()
+            + self.scheds.iter().flatten().map(ModeSchedule::structure_bytes).sum::<usize>()
+            + self.ws.structure_bytes()
     }
 }
 
@@ -98,6 +128,13 @@ impl MttkrpBackend for CooBackend {
 /// state-of-the-art non-memoized baseline.
 pub struct CsfBackend {
     set: CsfSet,
+    /// Per-mode root-slice schedules, built lazily for the current
+    /// thread count and dropped on [`MttkrpBackend::reset`].
+    scheds: Vec<Option<ModeSchedule>>,
+    /// Thread count the cached schedules were balanced for (0 = none).
+    sched_threads: usize,
+    /// Reusable kernel scratch shared across modes.
+    ws: Workspace,
     parallel: bool,
 }
 
@@ -109,15 +146,42 @@ impl CsfBackend {
 
     /// [`CsfBackend::new`] with explicit parallelism.
     pub fn with_parallel(tensor: &SparseTensor, parallel: bool) -> Self {
-        CsfBackend { set: CsfSet::all_modes(tensor), parallel }
+        let scheds = (0..tensor.ndim()).map(|_| None).collect();
+        CsfBackend {
+            set: CsfSet::all_modes(tensor),
+            scheds,
+            sched_threads: 0,
+            ws: Workspace::new(),
+            parallel,
+        }
     }
 }
 
 impl MttkrpBackend for CsfBackend {
     fn mttkrp_into(&mut self, _tensor: &SparseTensor, factors: &[Mat], mode: usize, out: &mut Mat) {
         let csf = self.set.for_mode(mode);
-        let m = if self.parallel { csf.mttkrp_root_par(factors) } else { csf.mttkrp_root(factors) };
-        out.as_mut_slice().copy_from_slice(m.as_slice());
+        if self.parallel {
+            let threads = rayon::current_num_threads();
+            if self.sched_threads != threads {
+                for s in &mut self.scheds {
+                    *s = None;
+                }
+                self.sched_threads = threads;
+            }
+            let sched = self.scheds[mode].get_or_insert_with(|| csf.root_schedule(threads));
+            csf.mttkrp_root_into(factors, sched, &mut self.ws, out);
+        } else {
+            let m = csf.mttkrp_root(factors);
+            out.as_mut_slice().copy_from_slice(m.as_slice());
+        }
+    }
+
+    fn reset(&mut self) {
+        for s in &mut self.scheds {
+            *s = None;
+        }
+        self.sched_threads = 0;
+        self.ws.clear();
     }
 
     fn name(&self) -> &'static str {
@@ -126,6 +190,8 @@ impl MttkrpBackend for CsfBackend {
 
     fn structure_bytes(&self) -> usize {
         self.set.storage_bytes()
+            + self.scheds.iter().flatten().map(ModeSchedule::structure_bytes).sum::<usize>()
+            + self.ws.structure_bytes()
     }
 }
 
@@ -194,6 +260,7 @@ impl MttkrpBackend for DtreeBackend {
 
     fn reset(&mut self) {
         self.engine.invalidate_all();
+        self.engine.reset_caches();
     }
 
     fn name(&self) -> &'static str {

@@ -291,6 +291,11 @@ impl CpAls {
         // Cached Gram matrices W^(d) = U^(d)^T U^(d).
         let mut grams: Vec<Mat> = factors.iter().map(Mat::gram).collect();
         let mut m_buf = Mat::zeros(0, 0);
+        // Reusable R x R work matrices: the Hadamard-of-Grams system and
+        // the fit Gram. Allocated once; steady-state iterations perform
+        // no dense-phase allocations beyond the factor solve itself.
+        let mut h_buf = Mat::zeros(rank, rank);
+        let mut g_buf = Mat::zeros(rank, rank);
         let mut fit_history = Vec::new();
         let mut converged = false;
         let mut iters = 0;
@@ -364,12 +369,13 @@ impl CpAls {
                 audit_stage("mttkrp output", &m_buf);
 
                 let t1 = Instant::now();
-                let mut h = Mat::from_vec(rank, rank, vec![1.0; rank * rank]);
+                h_buf.as_mut_slice().fill(1.0);
                 for (d, w) in grams.iter().enumerate() {
                     if d != mode {
-                        h.hadamard_assign(w);
+                        h_buf.hadamard_assign(w);
                     }
                 }
+                let h = &h_buf;
                 // Detector: a poisoned Gram system (possible only if a
                 // non-finite factor slipped past an earlier detector or
                 // the Hadamard product overflowed).
@@ -396,7 +402,7 @@ impl CpAls {
                     }
                 }
 
-                let mut u = match try_solve_gram(&m_buf, &h) {
+                let mut u = match try_solve_gram(&m_buf, h) {
                     Ok((u, info)) => {
                         if info.rank_deficient() || info.cond() > COND_LIMIT {
                             // Detector: degenerate Gram system, condition
@@ -405,7 +411,7 @@ impl CpAls {
                             // Recovery: Tikhonov ridge re-solve.
                             let rt = Instant::now();
                             let ridge = (info.max_abs_eig * RIDGE_REL).max(RIDGE_FLOOR);
-                            let repaired = ridge_solve_gram(&m_buf, &h, ridge).ok();
+                            let repaired = ridge_solve_gram(&m_buf, h, ridge).ok();
                             let recovered = repaired.is_some();
                             diag.record(BreakdownEvent {
                                 iter,
@@ -430,7 +436,7 @@ impl CpAls {
                         let rt = Instant::now();
                         let scale = (0..rank).map(|r| h.get(r, r).abs()).fold(0.0_f64, f64::max);
                         let ridge = (scale * RIDGE_REL).max(RIDGE_FLOOR);
-                        match ridge_solve_gram(&m_buf, &h, ridge) {
+                        match ridge_solve_gram(&m_buf, h, ridge) {
                             Ok(u) => {
                                 diag.record(BreakdownEvent {
                                     iter,
@@ -533,11 +539,11 @@ impl CpAls {
             for (r, &l) in lambda.iter().enumerate() {
                 inner += l * m_buf.col_dot(&factors[last], r);
             }
-            let mut g = Mat::from_vec(rank, rank, vec![1.0; rank * rank]);
+            g_buf.as_mut_slice().fill(1.0);
             for w in &grams {
-                g.hadamard_assign(w);
+                g_buf.hadamard_assign(w);
             }
-            let mnorm2 = g.weighted_quad(&lambda, &lambda).max(0.0);
+            let mnorm2 = g_buf.weighted_quad(&lambda, &lambda).max(0.0);
             let resid2 = (xnorm2 - 2.0 * inner + mnorm2).max(0.0);
             let fit = if xnorm2 > 0.0 { 1.0 - (resid2 / xnorm2).sqrt() } else { 0.0 };
             timings.fit += t2.elapsed();

@@ -29,6 +29,7 @@
 
 pub mod error;
 pub mod numeric;
+pub mod sched;
 pub mod shape;
 pub mod stats;
 pub mod symbolic;

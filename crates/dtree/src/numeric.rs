@@ -21,20 +21,35 @@
 //! the `O(log N)` memory bound of the balanced binary tree.
 
 use crate::error::DtreeError;
+use crate::sched::ScatterSchedule;
 use crate::shape::TreeShape;
 use crate::stats::{MemoryStats, OpStats};
 use crate::symbolic::SymbolicTree;
 use crate::tree::DimTree;
 use adatm_linalg::Mat;
 use adatm_tensor::coo::Idx;
+use adatm_tensor::schedule::{ModeSchedule, Task, Workspace};
 use adatm_tensor::SparseTensor;
 use rayon::prelude::*;
 use std::sync::Arc;
 
-/// Elements per parallel task in the numeric kernels.
+/// Elements per parallel task in the (unscheduled) column-wise kernel.
 const PAR_CHUNK: usize = 512;
 /// Minimum node size before the kernels go parallel.
 const PAR_THRESHOLD: usize = 4096;
+
+/// Persistent per-node schedules for the parallel kernels, built lazily
+/// on first parallel computation of the node and kept until the thread
+/// count changes or the engine's caches are reset.
+#[derive(Clone, Debug, Default)]
+struct NodeSched {
+    /// Nnz-balanced schedule over the node's reduction sets (pull/thick
+    /// kernel).
+    pull: Option<ModeSchedule>,
+    /// Parent-chunk schedule with touched-row compaction (scatter
+    /// kernel).
+    scatter: Option<ScatterSchedule>,
+}
 
 /// Tuning knobs for the numeric engine.
 #[derive(Clone, Copy, Debug)]
@@ -86,6 +101,18 @@ pub struct DtreeEngine {
     sym: Arc<SymbolicTree>,
     rank: usize,
     vals: Vec<Option<Mat>>,
+    /// Retired value matrices, kept per node for reuse: a node's shape
+    /// (`len x R`) never changes, so `invalidate → recompute` cycles in
+    /// steady-state CP-ALS stop allocating entirely. Excluded from the
+    /// live-memory model in [`DtreeEngine::mem`]; see
+    /// [`DtreeEngine::pooled_bytes`].
+    pool: Vec<Option<Mat>>,
+    /// Lazily built per-node schedules (valid for `sched_threads`).
+    scheds: Vec<NodeSched>,
+    /// Thread count the cached schedules were balanced for (0 = none).
+    sched_threads: usize,
+    /// Reusable kernel scratch (per-task Hadamard rows + slot rows).
+    ws: Workspace,
     opts: EngineOptions,
     ops: OpStats,
     mem: MemoryStats,
@@ -140,6 +167,10 @@ impl DtreeEngine {
             sym,
             rank,
             vals: (0..n_nodes).map(|_| None).collect(),
+            pool: (0..n_nodes).map(|_| None).collect(),
+            scheds: vec![NodeSched::default(); n_nodes],
+            sched_threads: 0,
+            ws: Workspace::new(),
             opts,
             ops: OpStats::default(),
             mem: MemoryStats::default(),
@@ -215,7 +246,48 @@ impl DtreeEngine {
     fn drop_node(&mut self, id: usize) {
         if let Some(m) = self.vals[id].take() {
             self.mem.free(value_bytes(&m));
+            // Retire to the per-node pool: the next compute of this node
+            // reuses the buffer instead of reallocating.
+            self.pool[id] = Some(m);
         }
+    }
+
+    /// Drops all reusable caches: pooled value matrices, persistent
+    /// kernel schedules, and workspace memory. Part of the backend
+    /// `reset()` protocol — call when the tensor identity, thread pool,
+    /// or measurement context changes.
+    pub fn reset_caches(&mut self) {
+        for p in &mut self.pool {
+            *p = None;
+        }
+        for s in &mut self.scheds {
+            *s = NodeSched::default();
+        }
+        self.sched_threads = 0;
+        self.ws.clear();
+    }
+
+    /// Bytes held by retired-but-reusable value matrices. These are real
+    /// allocations excluded from the live-memory model of
+    /// [`DtreeEngine::mem`] (which tracks the paper's `O(log N)` bound on
+    /// *valid* nodes); memory experiments should call
+    /// [`DtreeEngine::reset_caches`] first if they want the pool gone.
+    pub fn pooled_bytes(&self) -> usize {
+        self.pool.iter().flatten().map(value_bytes).sum()
+    }
+
+    /// Approximate bytes held by the persistent kernel schedules and the
+    /// workspace (diagnostics).
+    pub fn schedule_bytes(&self) -> usize {
+        let sched: usize = self
+            .scheds
+            .iter()
+            .map(|s| {
+                s.pull.as_ref().map_or(0, ModeSchedule::structure_bytes)
+                    + s.scatter.as_ref().map_or(0, ScatterSchedule::structure_bytes)
+            })
+            .sum();
+        sched + self.ws.structure_bytes()
     }
 
     /// Computes the mode-`mode` MTTKRP into a fresh `I_mode x R` matrix.
@@ -266,21 +338,22 @@ impl DtreeEngine {
     }
 
     /// Makes node `id` and all its ancestors valid.
+    ///
+    /// Recursive (tree height is `O(log N)`): ascends to the closest
+    /// valid ancestor, then computes downward — no path vector.
     fn ensure(
         &mut self,
         id: usize,
         tensor: &SparseTensor,
         factors: &[Mat],
     ) -> Result<(), DtreeError> {
-        // Walk up to the closest valid ancestor, then compute downward.
-        let path = self.tree.path_to_root(id);
-        for &node in path.iter().rev() {
-            if node == 0 || self.vals[node].is_some() {
-                continue;
-            }
-            self.compute_node(node, tensor, factors)?;
+        if id == 0 || self.vals[id].is_some() {
+            return Ok(());
         }
-        Ok(())
+        if let Some(parent) = self.tree.node(id).parent {
+            self.ensure(parent, tensor, factors)?;
+        }
+        self.compute_node(id, tensor, factors)
     }
 
     /// Computes one node's value matrix from its (already valid) parent.
@@ -292,7 +365,18 @@ impl DtreeEngine {
     ) -> Result<(), DtreeError> {
         let parent = self.tree.node(id).parent.ok_or(DtreeError::MissingParent { node: id })?;
         debug_assert!(parent == 0 || self.vals[parent].is_some(), "parent must be valid");
-        let node = self.sym.node(id);
+        // Cached schedules are balanced for one thread count; rebuild
+        // lazily if the pool changed since they were built.
+        let threads = if self.opts.parallel { rayon::current_num_threads() } else { 1 };
+        if self.sched_threads != threads {
+            for s in &mut self.scheds {
+                *s = NodeSched::default();
+            }
+            self.sched_threads = threads;
+        }
+        // Work through a local handle so `node` does not pin `self`.
+        let sym = Arc::clone(&self.sym);
+        let node = sym.node(id);
         let delta = &self.tree.node(id).delta;
         // Resolve each delta mode's index column on the parent's elements.
         let delta_cols: Vec<&[Idx]> = delta
@@ -308,7 +392,7 @@ impl DtreeEngine {
                         .iter()
                         .position(|&m| m == d)
                         .ok_or(DtreeError::ModeNotInParent { node: id, mode: d })?;
-                    Ok(self.sym.node(parent).idx[pos].as_slice())
+                    Ok(sym.node(parent).idx[pos].as_slice())
                 }
             })
             .collect::<Result<_, _>>()?;
@@ -321,31 +405,88 @@ impl DtreeEngine {
                 None => return Err(DtreeError::NodeNotComputed { node: parent }),
             }
         };
-        let mut out = Mat::zeros(node.len, self.rank);
+        // Reuse the node's retired value matrix if one is pooled (its
+        // shape is invariant), else allocate once.
+        let mut out = match self.pool[id].take() {
+            Some(mut m) => {
+                m.fill_zero();
+                m
+            }
+            None => Mat::zeros(node.len, self.rank),
+        };
         let pmap = if self.opts.thick { node.pmap.as_deref() } else { None };
         if let Some(pmap) = pmap {
-            // Push schedule: stream the (much larger) parent sequentially
-            // and accumulate into the cache-resident child.
-            kernel_scatter(
-                &mut out,
-                self.rank,
-                pmap,
-                &delta_cols,
-                &delta_facs,
-                &parent_vals,
-                self.opts.parallel && self.sym.node(parent).len >= PAR_THRESHOLD,
-            );
+            // Push schedule: stream the (much larger) parent and
+            // accumulate into the cache-resident child.
+            let want_par =
+                self.opts.parallel && threads > 1 && sym.node(parent).len >= PAR_THRESHOLD;
+            let mut ran_par = false;
+            if want_par {
+                let sched = self.scheds[id]
+                    .scatter
+                    .get_or_insert_with(|| ScatterSchedule::build(pmap, node.len, threads));
+                if !sched.is_sequential() {
+                    kernel_scatter_par(
+                        &mut out,
+                        self.rank,
+                        &delta_cols,
+                        &delta_facs,
+                        &parent_vals,
+                        sched,
+                        &mut self.ws,
+                    );
+                    ran_par = true;
+                }
+            }
+            if !ran_par {
+                let (scratch, _) = self.ws.ensure(self.rank, 0);
+                kernel_scatter_seq(
+                    &mut out,
+                    self.rank,
+                    pmap,
+                    &delta_cols,
+                    &delta_facs,
+                    &parent_vals,
+                    scratch,
+                );
+            }
         } else if self.opts.thick {
-            kernel_thick(
-                &mut out,
-                self.rank,
-                &node.rptr,
-                if node.sequential { None } else { Some(&node.rperm) },
-                &delta_cols,
-                &delta_facs,
-                &parent_vals,
-                self.opts.parallel && node.len >= PAR_THRESHOLD,
-            );
+            let rperm = if node.sequential { None } else { Some(node.rperm.as_slice()) };
+            let want_par = self.opts.parallel && threads > 1 && node.len >= PAR_THRESHOLD;
+            let mut ran_par = false;
+            if want_par {
+                let sched = self.scheds[id].pull.get_or_insert_with(|| {
+                    let weights: Vec<usize> = node.rptr.windows(2).map(|w| w[1] - w[0]).collect();
+                    ModeSchedule::build(&weights, threads)
+                });
+                if !sched.is_sequential() {
+                    kernel_thick_par(
+                        &mut out,
+                        self.rank,
+                        &node.rptr,
+                        rperm,
+                        &delta_cols,
+                        &delta_facs,
+                        &parent_vals,
+                        sched,
+                        &mut self.ws,
+                    );
+                    ran_par = true;
+                }
+            }
+            if !ran_par {
+                let (scratch, _) = self.ws.ensure(self.rank, 0);
+                kernel_thick_seq(
+                    &mut out,
+                    self.rank,
+                    &node.rptr,
+                    rperm,
+                    &delta_cols,
+                    &delta_facs,
+                    &parent_vals,
+                    scratch,
+                );
+            }
         } else {
             kernel_colwise(
                 &mut out,
@@ -398,14 +539,71 @@ fn audit_finite(m: &Mat, node: usize) {
     }
 }
 
-/// The vectorized ("thick") TTMV kernel: per node element, accumulate all
-/// `R` columns at once from each parent element in the reduction set.
-///
-/// `rperm: None` selects the sequential fast path (the reduction sets are
-/// the identity partition of the parent — the first-child layout), which
-/// streams the parent's value matrix without indirection.
+/// Computes one parent element's contribution (`parent row ⊙ delta
+/// factor rows`) into `scratch`, then adds it to `row`. Shared by every
+/// thick/scatter variant so their arithmetic order is identical.
+#[inline]
+fn contrib(
+    parent: &ParentVals<'_>,
+    delta_cols: &[&[Idx]],
+    delta_facs: &[&Mat],
+    j: usize,
+    scratch: &mut [f64],
+    row: &mut [f64],
+) {
+    match parent {
+        ParentVals::Scalars(v) => scratch.iter_mut().for_each(|s| *s = v[j]),
+        ParentVals::Rows(m) => scratch.copy_from_slice(m.row(j)),
+    }
+    for (col, fac) in delta_cols.iter().zip(delta_facs.iter()) {
+        let frow = fac.row(col[j] as usize);
+        for (s, &u) in scratch.iter_mut().zip(frow.iter()) {
+            *s *= u;
+        }
+    }
+    for (o, &s) in row.iter_mut().zip(scratch.iter()) {
+        *o += s;
+    }
+}
+
+/// Accumulates the reduction set of element `i` into `row`.
+// A flat argument list keeps the hot per-element call free of a
+// context-struct indirection; the parameters are the already-borrowed
+// pieces of the node being reduced.
 #[allow(clippy::too_many_arguments)]
-fn kernel_thick(
+#[inline]
+fn reduce_element(
+    i: usize,
+    rptr: &[usize],
+    rperm: Option<&[u32]>,
+    delta_cols: &[&[Idx]],
+    delta_facs: &[&Mat],
+    parent: &ParentVals<'_>,
+    scratch: &mut [f64],
+    row: &mut [f64],
+) {
+    match rperm {
+        Some(perm) => {
+            for &j in &perm[rptr[i]..rptr[i + 1]] {
+                contrib(parent, delta_cols, delta_facs, j as usize, scratch, row);
+            }
+        }
+        None => {
+            for j in rptr[i]..rptr[i + 1] {
+                contrib(parent, delta_cols, delta_facs, j, scratch, row);
+            }
+        }
+    }
+}
+
+/// The sequential vectorized ("thick") TTMV kernel: per node element,
+/// accumulate all `R` columns at once from each parent element in the
+/// reduction set. `rperm: None` selects the streaming fast path (the
+/// reduction sets are the identity partition of the parent — the
+/// first-child layout). `scratch` is one caller-owned rank row:
+/// allocation-free.
+#[allow(clippy::too_many_arguments)]
+fn kernel_thick_seq(
     out: &mut Mat,
     rank: usize,
     rptr: &[usize],
@@ -413,115 +611,174 @@ fn kernel_thick(
     delta_cols: &[&[Idx]],
     delta_facs: &[&Mat],
     parent: &ParentVals<'_>,
-    parallel: bool,
+    scratch: &mut [f64],
 ) {
-    let accumulate = |j: usize, row: &mut [f64], scratch: &mut [f64]| {
-        match parent {
-            ParentVals::Scalars(v) => scratch.iter_mut().for_each(|s| *s = v[j]),
-            ParentVals::Rows(m) => scratch.copy_from_slice(m.row(j)),
-        }
-        for (col, fac) in delta_cols.iter().zip(delta_facs.iter()) {
-            let frow = fac.row(col[j] as usize);
-            for (s, &u) in scratch.iter_mut().zip(frow.iter()) {
-                *s *= u;
-            }
-        }
-        for (o, &s) in row.iter_mut().zip(scratch.iter()) {
-            *o += s;
-        }
-    };
-    let body = |base: usize, block: &mut [f64]| {
-        let mut scratch = vec![0.0f64; rank];
-        for (e, row) in block.chunks_mut(rank).enumerate() {
-            let i = base + e;
-            match rperm {
-                Some(perm) => {
-                    for &j in &perm[rptr[i]..rptr[i + 1]] {
-                        accumulate(j as usize, row, &mut scratch);
-                    }
-                }
-                None => {
-                    for j in rptr[i]..rptr[i + 1] {
-                        accumulate(j, row, &mut scratch);
-                    }
-                }
-            }
-        }
-    };
-    if parallel {
-        out.as_mut_slice()
-            .par_chunks_mut(rank * PAR_CHUNK)
-            .enumerate()
-            .for_each(|(ci, block)| body(ci * PAR_CHUNK, block));
-    } else {
-        body(0, out.as_mut_slice());
+    for (i, row) in out.as_mut_slice().chunks_mut(rank).enumerate() {
+        reduce_element(i, rptr, rperm, delta_cols, delta_facs, parent, scratch, row);
     }
 }
 
-/// The push ("scatter") TTMV kernel: one sequential pass over the parent,
-/// accumulating each contribution into the child row given by the inverse
-/// reduction map. Used when the child is far smaller than the parent, so
-/// the child accumulator stays cache-resident while the parent streams.
-/// Parallelized by reducing per-chunk private accumulators.
+/// The scheduled parallel thick kernel. Owned tasks write contiguous
+/// `out` row spans directly (elements *are* output rows here, so spans
+/// come straight from consecutive `split_at_mut`); oversized reduction
+/// sets are split across privatized slot rows and merged per-row after
+/// the parallel phase. All scratch comes from `ws`: steady-state
+/// allocations are O(tasks), independent of the node or parent size.
 #[allow(clippy::too_many_arguments)]
-fn kernel_scatter(
+fn kernel_thick_par(
+    out: &mut Mat,
+    rank: usize,
+    rptr: &[usize],
+    rperm: Option<&[u32]>,
+    delta_cols: &[&[Idx]],
+    delta_facs: &[&Mat],
+    parent: &ParentVals<'_>,
+    sched: &ModeSchedule,
+    ws: &mut Workspace,
+) {
+    struct Ctx<'a> {
+        task: &'a Task,
+        buf: &'a mut [f64],
+        row0: usize,
+        srow: &'a mut [f64],
+    }
+    let (scratch, slots) = ws.ensure(sched.num_tasks() * rank, sched.num_slots() * rank);
+    let mut ctxs: Vec<Ctx<'_>> = Vec::with_capacity(sched.num_tasks());
+    let mut out_rest = out.as_mut_slice();
+    let mut consumed_rows = 0usize;
+    let mut slots_rest = &mut slots[..];
+    let mut scratch_rest = &mut scratch[..];
+    for task in sched.tasks() {
+        let (srow, rest) = std::mem::take(&mut scratch_rest).split_at_mut(rank);
+        scratch_rest = rest;
+        match task {
+            Task::Owned { groups } => {
+                let tail = std::mem::take(&mut out_rest);
+                let (_, tail) = tail.split_at_mut((groups.start - consumed_rows) * rank);
+                let (span, rest) = tail.split_at_mut(groups.len() * rank);
+                out_rest = rest;
+                consumed_rows = groups.end;
+                ctxs.push(Ctx { task, buf: span, row0: groups.start, srow });
+            }
+            Task::Split { .. } => {
+                let (row, rest) = std::mem::take(&mut slots_rest).split_at_mut(rank);
+                slots_rest = rest;
+                ctxs.push(Ctx { task, buf: row, row0: 0, srow });
+            }
+        }
+    }
+    ctxs.into_par_iter().for_each(|ctx| {
+        let Ctx { task, buf, row0, srow } = ctx;
+        match task {
+            Task::Owned { groups } => {
+                for i in groups.clone() {
+                    let off = (i - row0) * rank;
+                    let row = &mut buf[off..off + rank];
+                    reduce_element(i, rptr, rperm, delta_cols, delta_facs, parent, srow, row);
+                }
+            }
+            Task::Split { group, elems, .. } => {
+                let base = rptr[*group];
+                match rperm {
+                    Some(perm) => {
+                        for &j in &perm[base + elems.start..base + elems.end] {
+                            contrib(parent, delta_cols, delta_facs, j as usize, srow, buf);
+                        }
+                    }
+                    None => {
+                        for j in base + elems.start..base + elems.end {
+                            contrib(parent, delta_cols, delta_facs, j, srow, buf);
+                        }
+                    }
+                }
+            }
+        }
+    });
+    for sp in sched.splits() {
+        let orow = out.row_mut(sp.group);
+        for s in 0..sp.nslots {
+            let srow = &slots[(sp.slot0 + s) * rank..(sp.slot0 + s + 1) * rank];
+            for (o, &v) in orow.iter_mut().zip(srow.iter()) {
+                *o += v;
+            }
+        }
+    }
+}
+
+/// The sequential push ("scatter") TTMV kernel: one pass over the
+/// parent, accumulating each contribution into the child row given by
+/// the inverse reduction map. Used when the child is far smaller than
+/// the parent, so the child accumulator stays cache-resident while the
+/// parent streams. `scratch` is one caller-owned rank row:
+/// allocation-free.
+fn kernel_scatter_seq(
     out: &mut Mat,
     rank: usize,
     pmap: &[u32],
     delta_cols: &[&[Idx]],
     delta_facs: &[&Mat],
     parent: &ParentVals<'_>,
-    parallel: bool,
+    scratch: &mut [f64],
 ) {
-    let accumulate = |j: usize, acc: &mut [f64], scratch: &mut [f64]| {
-        match parent {
-            ParentVals::Scalars(v) => scratch.iter_mut().for_each(|s| *s = v[j]),
-            ParentVals::Rows(m) => scratch.copy_from_slice(m.row(j)),
+    // `out` is already zeroed by the caller.
+    let acc = out.as_mut_slice();
+    for (j, &e) in pmap.iter().enumerate() {
+        let row = &mut acc[e as usize * rank..(e as usize + 1) * rank];
+        contrib(parent, delta_cols, delta_facs, j, scratch, row);
+    }
+}
+
+/// The scheduled parallel scatter kernel: parent chunks accumulate into
+/// compact per-chunk buffers covering only the child rows they actually
+/// touch (per the persistent [`ScatterSchedule`]), merged per-row
+/// afterwards. Replaces the old dense `child_len x R`-per-chunk
+/// tree-reduction.
+fn kernel_scatter_par(
+    out: &mut Mat,
+    rank: usize,
+    delta_cols: &[&[Idx]],
+    delta_facs: &[&Mat],
+    parent: &ParentVals<'_>,
+    sched: &ScatterSchedule,
+    ws: &mut Workspace,
+) {
+    struct Ctx<'a> {
+        c: usize,
+        acc: &'a mut [f64],
+        srow: &'a mut [f64],
+    }
+    let nchunks = sched.num_chunks();
+    let (scratch, slots) = ws.ensure(nchunks * rank, sched.total_rows() * rank);
+    let mut ctxs: Vec<Ctx<'_>> = Vec::with_capacity(nchunks);
+    let mut slots_rest = &mut slots[..];
+    let mut scratch_rest = &mut scratch[..];
+    for c in 0..nchunks {
+        let (srow, rest) = std::mem::take(&mut scratch_rest).split_at_mut(rank);
+        scratch_rest = rest;
+        let (acc, rest) =
+            std::mem::take(&mut slots_rest).split_at_mut(sched.chunk_rows(c).len() * rank);
+        slots_rest = rest;
+        ctxs.push(Ctx { c, acc, srow });
+    }
+    let cmap = sched.cmap();
+    ctxs.into_par_iter().for_each(|ctx| {
+        let Ctx { c, acc, srow } = ctx;
+        for j in sched.chunk(c) {
+            let e = cmap[j] as usize;
+            let row = &mut acc[e * rank..(e + 1) * rank];
+            contrib(parent, delta_cols, delta_facs, j, srow, row);
         }
-        for (col, fac) in delta_cols.iter().zip(delta_facs.iter()) {
-            let frow = fac.row(col[j] as usize);
-            for (s, &u) in scratch.iter_mut().zip(frow.iter()) {
-                *s *= u;
+    });
+    // Merge: each chunk's compact rows into the child rows it touched.
+    let mut off = 0usize;
+    for c in 0..nchunks {
+        for &e in sched.chunk_rows(c) {
+            let srow = &slots[off..off + rank];
+            off += rank;
+            let orow = out.row_mut(e as usize);
+            for (o, &v) in orow.iter_mut().zip(srow.iter()) {
+                *o += v;
             }
-        }
-        let e = pmap[j] as usize;
-        let row = &mut acc[e * rank..(e + 1) * rank];
-        for (o, &s) in row.iter_mut().zip(scratch.iter()) {
-            *o += s;
-        }
-    };
-    let parent_len = pmap.len();
-    if parallel {
-        const SCATTER_CHUNK: usize = 1 << 16;
-        let partial = (0..parent_len)
-            .into_par_iter()
-            .step_by(SCATTER_CHUNK)
-            .fold(
-                || vec![0.0f64; out.nrows() * rank],
-                |mut acc, start| {
-                    let mut scratch = vec![0.0f64; rank];
-                    for j in start..(start + SCATTER_CHUNK).min(parent_len) {
-                        accumulate(j, &mut acc, &mut scratch);
-                    }
-                    acc
-                },
-            )
-            .reduce(
-                || vec![0.0f64; out.nrows() * rank],
-                |mut a, b| {
-                    for (x, y) in a.iter_mut().zip(b) {
-                        *x += y;
-                    }
-                    a
-                },
-            );
-        out.as_mut_slice().copy_from_slice(&partial);
-    } else {
-        let mut scratch = vec![0.0f64; rank];
-        // `out` is already zeroed by the caller.
-        let acc = out.as_mut_slice();
-        for j in 0..parent_len {
-            accumulate(j, acc, &mut scratch);
         }
     }
 }
@@ -731,6 +988,70 @@ mod tests {
             let a = seq.mttkrp(&t, &factors, mode);
             let b = par.mttkrp(&t, &factors, mode);
             assert!(a.max_abs_diff(&b) < 1e-9, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn scheduled_parallel_kernels_match_sequential_in_pool() {
+        // Skewed mode 0 creates hot reduction sets (split sub-tasks);
+        // the small-mode leaves exercise the scatter schedule. A real
+        // multi-thread pool makes the scheduled parallel paths run.
+        let t = zipf_tensor(&[40, 300, 300], 30_000, &[0.95, 0.2, 0.2], 23);
+        let factors = factors_for(&t, 4, 91);
+        let seq_opts = EngineOptions { parallel: false, thick: true };
+        let mut seq = DtreeEngine::with_options(&t, &TreeShape::balanced_binary(3), 4, seq_opts);
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().expect("thread pool");
+        pool.install(|| {
+            let mut par = DtreeEngine::new(&t, &TreeShape::balanced_binary(3), 4);
+            for _iter in 0..2 {
+                for mode in 0..3 {
+                    seq.invalidate_mode(mode);
+                    par.invalidate_mode(mode);
+                    let a = seq.mttkrp(&t, &factors, mode);
+                    let b = par.mttkrp(&t, &factors, mode);
+                    assert!(a.max_abs_diff(&b) < 1e-9, "mode {mode}");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn scheduled_parallel_runs_are_deterministic() {
+        let t = zipf_tensor(&[50, 200, 200], 20_000, &[0.9, 0.3, 0.3], 29);
+        let factors = factors_for(&t, 4, 17);
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().expect("thread pool");
+        pool.install(|| {
+            let mut eng = DtreeEngine::new(&t, &TreeShape::balanced_binary(3), 4);
+            eng.invalidate_mode(1);
+            let a = eng.mttkrp(&t, &factors, 1);
+            eng.invalidate_all();
+            eng.invalidate_mode(1);
+            let b = eng.mttkrp(&t, &factors, 1);
+            // Static schedules: two runs agree bitwise, not just within
+            // floating-point tolerance.
+            assert_eq!(a.as_slice(), b.as_slice());
+        });
+    }
+
+    #[test]
+    fn pool_reuses_value_matrices_and_reset_clears() {
+        let t = zipf_tensor(&[12, 12, 12, 12], 300, &[0.4; 4], 8);
+        let factors = factors_for(&t, 3, 12);
+        let mut eng = DtreeEngine::new(&t, &TreeShape::balanced_binary(4), 3);
+        for mode in 0..4 {
+            eng.invalidate_mode(mode);
+            let _ = eng.mttkrp(&t, &factors, mode);
+        }
+        assert!(eng.pooled_bytes() > 0, "invalidated nodes should be pooled");
+        eng.reset_caches();
+        assert_eq!(eng.pooled_bytes(), 0);
+        // Still correct after dropping every cache.
+        eng.invalidate_all();
+        for mode in 0..4 {
+            eng.invalidate_mode(mode);
+            let m = eng.mttkrp(&t, &factors, mode);
+            let want = mttkrp_seq(&t, &factors, mode);
+            assert!(m.max_abs_diff(&want) < 1e-10, "mode {mode}");
         }
     }
 

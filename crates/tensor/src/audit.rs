@@ -35,6 +35,14 @@ pub enum ClaimOutcome {
         /// Number of rows in the output.
         nrows: usize,
     },
+    /// A split group was declared with fewer than two slot rows — the
+    /// scheduler should have demoted it to exclusive ownership.
+    DegenerateSplit {
+        /// The group's output row.
+        row: usize,
+        /// Its declared slot count.
+        nslots: usize,
+    },
 }
 
 /// Checks that `rows` are pairwise distinct and within `0..nrows`,
@@ -75,6 +83,71 @@ where
         }
         ClaimOutcome::OutOfBounds { row, nrows } => {
             panic!("audit: {kernel}: claimed row {row} outside output of {nrows} rows")
+        }
+        ClaimOutcome::DegenerateSplit { .. } => {
+            unreachable!("check_disjoint_rows never reports splits")
+        }
+    }
+}
+
+/// Checks the row claims of a *scheduled* kernel: `owned` rows are
+/// written directly by exactly one task; `split` rows `(row, nslots)` are
+/// produced by merging `nslots` privatized slot rows. All rows (owned and
+/// split together) must be in bounds and pairwise distinct, and every
+/// split must use at least two slots (a one-slot split means the
+/// scheduler failed to demote a degenerate split back to ownership).
+pub fn check_schedule_claims<I, J>(owned: I, split: J, nrows: usize) -> ClaimOutcome
+where
+    I: IntoIterator<Item = usize>,
+    J: IntoIterator<Item = (usize, usize)>,
+{
+    ROW_CHECKS.fetch_add(1, Ordering::Relaxed);
+    let mut claimed = vec![false; nrows];
+    let mut claim = |row: usize| -> Option<ClaimOutcome> {
+        if row >= nrows {
+            ROW_OVERLAPS.fetch_add(1, Ordering::Relaxed);
+            return Some(ClaimOutcome::OutOfBounds { row, nrows });
+        }
+        if claimed[row] {
+            ROW_OVERLAPS.fetch_add(1, Ordering::Relaxed);
+            return Some(ClaimOutcome::Overlap { row });
+        }
+        claimed[row] = true;
+        None
+    };
+    for row in owned {
+        if let Some(bad) = claim(row) {
+            return bad;
+        }
+    }
+    for (row, nslots) in split {
+        if let Some(bad) = claim(row) {
+            return bad;
+        }
+        if nslots < 2 {
+            ROW_OVERLAPS.fetch_add(1, Ordering::Relaxed);
+            return ClaimOutcome::DegenerateSplit { row, nslots };
+        }
+    }
+    ClaimOutcome::Disjoint
+}
+
+/// [`check_schedule_claims`] that panics on violation, naming the kernel.
+pub fn assert_schedule_claims<I, J>(owned: I, split: J, nrows: usize, kernel: &str)
+where
+    I: IntoIterator<Item = usize>,
+    J: IntoIterator<Item = (usize, usize)>,
+{
+    match check_schedule_claims(owned, split, nrows) {
+        ClaimOutcome::Disjoint => {}
+        ClaimOutcome::Overlap { row } => {
+            panic!("audit: {kernel}: two scheduled tasks claimed output row {row}")
+        }
+        ClaimOutcome::OutOfBounds { row, nrows } => {
+            panic!("audit: {kernel}: claimed row {row} outside output of {nrows} rows")
+        }
+        ClaimOutcome::DegenerateSplit { row, nslots } => {
+            panic!("audit: {kernel}: split of row {row} uses {nslots} slot(s); expected >= 2")
         }
     }
 }

@@ -12,8 +12,10 @@
 //! per CP-ALS iteration, each doing `N-1` levels of row products.
 
 use crate::coo::{Idx, SparseTensor};
+use crate::schedule::{ModeSchedule, Task, Workspace};
 use adatm_linalg::Mat;
 use rayon::prelude::*;
+use std::ops::Range;
 
 /// A sparse tensor in compressed-sparse-fiber form for one mode ordering.
 ///
@@ -193,79 +195,244 @@ impl CsfTensor {
         non_root_nodes * rank
     }
 
+    /// First leaf of the subtree rooted at `(level, node)`, found by
+    /// following first-child pointers. Accepts the one-past-the-end node
+    /// (CSR sentinel), for which it returns the total leaf count.
+    fn leaf_start(&self, mut level: usize, mut node: usize) -> usize {
+        while level < self.ndim() - 1 {
+            node = self.fptr[level][node];
+            level += 1;
+        }
+        node
+    }
+
+    /// Descendant-leaf count (distinct nonzeros) of every root slice —
+    /// the nnz weights the scheduler balances.
+    pub fn root_slice_weights(&self) -> Vec<usize> {
+        (0..self.fids[0].len()).map(|s| self.leaf_start(0, s + 1) - self.leaf_start(0, s)).collect()
+    }
+
+    /// Builds the nnz-balanced schedule for the root-mode MTTKRP,
+    /// balanced for `threads` workers. Oversized root slices are split by
+    /// their level-1 children, each weighing its own descendant-leaf
+    /// count. Backends cache the result per mode.
+    pub fn root_schedule(&self, threads: usize) -> ModeSchedule {
+        let weights = self.root_slice_weights();
+        ModeSchedule::build_weighted(&weights, threads, |g| {
+            (self.fptr[0][g]..self.fptr[0][g + 1])
+                .map(|c| self.leaf_start(1, c + 1) - self.leaf_start(1, c))
+                .collect::<Vec<_>>()
+        })
+    }
+
     /// Computes the MTTKRP for the root mode, sequentially.
     pub fn mttkrp_root(&self, factors: &[Mat]) -> Mat {
         let rank = self.check(factors);
         let mut m = Mat::zeros(self.dims[self.root_mode()], rank);
-        let mut scratch = vec![vec![0.0f64; rank]; self.ndim()];
+        let mut scratch = vec![0.0f64; self.ndim() * rank];
         for s in 0..self.fids[0].len() {
-            self.eval_subtree(0, s, factors, &mut scratch);
-            let (head, tail) = scratch.split_at_mut(1);
-            let _ = tail;
-            m.row_mut(self.fids[0][s] as usize).copy_from_slice(&head[0]);
+            let row = m.row_mut(self.fids[0][s] as usize);
+            self.eval_root_children(
+                self.fptr[0][s]..self.fptr[0][s + 1],
+                factors,
+                rank,
+                &mut scratch,
+                row,
+            );
         }
         m
     }
 
     /// Computes the MTTKRP for the root mode, parallel over root slices.
     ///
-    /// Each root slice owns a distinct output row, so the parallel
-    /// iteration is race-free.
+    /// Convenience wrapper over [`CsfTensor::mttkrp_root_into`] that
+    /// builds a schedule for the current thread count and a throwaway
+    /// workspace. Hot paths should cache both.
     pub fn mttkrp_root_par(&self, factors: &[Mat]) -> Mat {
         let rank = self.check(factors);
-        let nroot = self.fids[0].len();
-        let rows: Vec<(usize, Vec<f64>)> = (0..nroot)
-            .into_par_iter()
-            .map_init(
-                || vec![vec![0.0f64; rank]; self.ndim()],
-                |scratch, s| {
-                    self.eval_subtree(0, s, factors, scratch);
-                    (self.fids[0][s] as usize, scratch[0].clone())
-                },
-            )
-            .collect();
+        let sched = self.root_schedule(rayon::current_num_threads());
+        let mut ws = Workspace::new();
         let mut m = Mat::zeros(self.dims[self.root_mode()], rank);
-        // Prove root slices own distinct output rows (the race-freedom
-        // argument of the parallel iteration above).
-        #[cfg(feature = "audit")]
-        crate::audit::assert_disjoint_rows(
-            rows.iter().map(|&(r, _)| r),
-            m.nrows(),
-            "mttkrp_root_par",
-        );
-        for (row, acc) in rows {
-            m.row_mut(row).copy_from_slice(&acc);
-        }
+        self.mttkrp_root_into(factors, &sched, &mut ws, &mut m);
         m
     }
 
-    /// Bottom-up evaluation of one subtree. On return, `scratch[level]`
-    /// holds the accumulated rank-`R` row of node `(level, node)` with all
-    /// factor rows *below* the root multiplied in (the root's own factor is
-    /// intentionally excluded: this is MTTKRP for the root mode).
-    fn eval_subtree(&self, level: usize, node: usize, factors: &[Mat], scratch: &mut [Vec<f64>]) {
+    /// Scheduled parallel root-mode MTTKRP into a caller-provided output.
+    ///
+    /// `sched` must come from [`CsfTensor::root_schedule`]; `ws` provides
+    /// all scratch memory (one `N x R` evaluation stack per task plus one
+    /// privatized slot row per split sub-task). Zero heap allocations
+    /// when the schedule is sequential; O(tasks) otherwise. Race-freedom
+    /// mirrors the COO kernel: Owned tasks get disjoint `out` row spans
+    /// via `split_at_mut`, split sub-tasks accumulate level-1 child
+    /// subtrees into private slot rows merged per-row afterwards.
+    pub fn mttkrp_root_into(
+        &self,
+        factors: &[Mat],
+        sched: &ModeSchedule,
+        ws: &mut Workspace,
+        out: &mut Mat,
+    ) {
+        let rank = self.check(factors);
+        assert_eq!(out.nrows(), self.dims[self.root_mode()], "output rows mismatch");
+        assert_eq!(out.ncols(), rank, "output rank mismatch");
+        out.fill_zero();
+        if rank == 0 || sched.num_tasks() == 0 {
+            return;
+        }
+        #[cfg(feature = "audit")]
+        {
+            let owned = sched.tasks().iter().flat_map(|task| {
+                let groups = match task {
+                    Task::Owned { groups } => groups.clone(),
+                    Task::Split { .. } => 0..0,
+                };
+                groups.map(|g| self.fids[0][g] as usize)
+            });
+            let split =
+                sched.splits().iter().map(|sp| (self.fids[0][sp.group] as usize, sp.nslots));
+            crate::audit::assert_schedule_claims(owned, split, out.nrows(), "mttkrp_root_par");
+        }
+        let nscr = self.ndim() * rank;
+        let (scratch, slots) = ws.ensure(sched.num_tasks() * nscr, sched.num_slots() * rank);
+        if sched.is_sequential() {
+            let scr = &mut scratch[..nscr];
+            for s in 0..self.fids[0].len() {
+                let row = out.row_mut(self.fids[0][s] as usize);
+                self.eval_root_children(
+                    self.fptr[0][s]..self.fptr[0][s + 1],
+                    factors,
+                    rank,
+                    scr,
+                    row,
+                );
+            }
+            return;
+        }
+        struct Ctx<'a> {
+            task: &'a Task,
+            buf: &'a mut [f64],
+            row0: usize,
+            scr: &'a mut [f64],
+        }
+        let mut ctxs: Vec<Ctx<'_>> = Vec::with_capacity(sched.num_tasks());
+        let mut out_rest = out.as_mut_slice();
+        let mut consumed_rows = 0usize;
+        let mut slots_rest = &mut slots[..];
+        let mut scratch_rest = &mut scratch[..];
+        for task in sched.tasks() {
+            let (scr, rest) = std::mem::take(&mut scratch_rest).split_at_mut(nscr);
+            scratch_rest = rest;
+            match task {
+                Task::Owned { groups } => {
+                    let first = self.fids[0][groups.start] as usize;
+                    let last = self.fids[0][groups.end - 1] as usize;
+                    let tail = std::mem::take(&mut out_rest);
+                    let (_, tail) = tail.split_at_mut((first - consumed_rows) * rank);
+                    let (span, rest) = tail.split_at_mut((last + 1 - first) * rank);
+                    out_rest = rest;
+                    consumed_rows = last + 1;
+                    ctxs.push(Ctx { task, buf: span, row0: first, scr });
+                }
+                Task::Split { .. } => {
+                    let (row, rest) = std::mem::take(&mut slots_rest).split_at_mut(rank);
+                    slots_rest = rest;
+                    ctxs.push(Ctx { task, buf: row, row0: 0, scr });
+                }
+            }
+        }
+        ctxs.into_par_iter().for_each(|ctx| {
+            let Ctx { task, buf, row0, scr } = ctx;
+            match task {
+                Task::Owned { groups } => {
+                    for s in groups.clone() {
+                        let off = (self.fids[0][s] as usize - row0) * rank;
+                        let row = &mut buf[off..off + rank];
+                        self.eval_root_children(
+                            self.fptr[0][s]..self.fptr[0][s + 1],
+                            factors,
+                            rank,
+                            scr,
+                            row,
+                        );
+                    }
+                }
+                Task::Split { group, elems, .. } => {
+                    let base = self.fptr[0][*group];
+                    self.eval_root_children(
+                        base + elems.start..base + elems.end,
+                        factors,
+                        rank,
+                        scr,
+                        buf,
+                    );
+                }
+            }
+        });
+        for sp in sched.splits() {
+            let orow = out.row_mut(self.fids[0][sp.group] as usize);
+            for s in 0..sp.nslots {
+                let srow = &slots[(sp.slot0 + s) * rank..(sp.slot0 + s + 1) * rank];
+                for (o, &v) in orow.iter_mut().zip(srow.iter()) {
+                    *o += v;
+                }
+            }
+        }
+    }
+
+    /// Evaluates a range of level-1 subtrees and accumulates their rows
+    /// into `acc` (an output row or a privatized slot row). This is the
+    /// root level of the bottom-up walk with the root's own factor row
+    /// excluded, as MTTKRP for the root mode requires.
+    fn eval_root_children(
+        &self,
+        children: Range<usize>,
+        factors: &[Mat],
+        rank: usize,
+        scratch: &mut [f64],
+        acc: &mut [f64],
+    ) {
+        for c in children {
+            self.eval_subtree(1, c, factors, rank, scratch);
+            let row1 = &scratch[rank..2 * rank];
+            for (a, &s) in acc.iter_mut().zip(row1.iter()) {
+                *a += s;
+            }
+        }
+    }
+
+    /// Bottom-up evaluation of one subtree over a flat `N x R` scratch
+    /// stack. On return, `scratch[level*R..][..R]` holds the accumulated
+    /// rank-`R` row of node `(level, node)` with all factor rows *below*
+    /// the root multiplied in (the root's own factor is intentionally
+    /// excluded: this is MTTKRP for the root mode).
+    fn eval_subtree(
+        &self,
+        level: usize,
+        node: usize,
+        factors: &[Mat],
+        rank: usize,
+        scratch: &mut [f64],
+    ) {
         let n = self.ndim();
         if level == n - 1 {
             // Leaf: value times the leaf mode's factor row.
             let v = self.vals[node];
             let frow = factors[self.order[level]].row(self.fids[level][node] as usize);
-            let (_, rest) = scratch.split_at_mut(level);
-            for (s, &u) in rest[0].iter_mut().zip(frow.iter()) {
+            let dst = &mut scratch[level * rank..(level + 1) * rank];
+            for (s, &u) in dst.iter_mut().zip(frow.iter()) {
                 *s = v * u;
             }
             return;
         }
         let (lo, hi) = (self.fptr[level][node], self.fptr[level][node + 1]);
         // Zero this level's accumulator, sum children into it.
-        {
-            let acc = &mut scratch[level];
-            acc.iter_mut().for_each(|x| *x = 0.0);
-        }
+        scratch[level * rank..(level + 1) * rank].fill(0.0);
         for c in lo..hi {
-            self.eval_subtree(level + 1, c, factors, scratch);
-            let (upper, lower) = scratch.split_at_mut(level + 1);
-            let acc = &mut upper[level];
-            for (a, &s) in acc.iter_mut().zip(lower[0].iter()) {
+            self.eval_subtree(level + 1, c, factors, rank, scratch);
+            let (upper, lower) = scratch.split_at_mut((level + 1) * rank);
+            let acc = &mut upper[level * rank..];
+            for (a, &s) in acc.iter_mut().zip(lower[..rank].iter()) {
                 *a += s;
             }
         }
@@ -273,7 +440,7 @@ impl CsfTensor {
             // Multiply this node's own factor row in, once for the whole
             // fiber — the source of CSF's advantage over COO.
             let frow = factors[self.order[level]].row(self.fids[level][node] as usize);
-            let acc = &mut scratch[level];
+            let acc = &mut scratch[level * rank..(level + 1) * rank];
             for (a, &u) in acc.iter_mut().zip(frow.iter()) {
                 *a *= u;
             }
@@ -416,6 +583,64 @@ mod tests {
         let c = CsfTensor::for_mode(&t, 0);
         // CSF never performs more multiply work than element-wise COO.
         assert!(c.mttkrp_flops(8) <= t.nnz() * (t.ndim() - 1) * 8);
+    }
+
+    #[test]
+    fn root_slice_weights_sum_to_leaves() {
+        let t = toy();
+        for mode in 0..4 {
+            let c = CsfTensor::for_mode(&t, mode);
+            let w = c.root_slice_weights();
+            assert_eq!(w.len(), c.node_counts()[0], "mode {mode}");
+            assert_eq!(w.iter().sum::<usize>(), *c.node_counts().last().unwrap(), "mode {mode}");
+        }
+    }
+
+    /// Mode-0 index 1 owns almost all fibers — forces a root-slice split.
+    fn hot_root_tensor() -> SparseTensor {
+        let mut entries = Vec::new();
+        for k in 0..300 {
+            entries.push((vec![1usize, k % 15, k % 20], 0.1 * k as f64 - 7.0));
+        }
+        for k in 0..30 {
+            entries.push((vec![k % 4, k % 15, k % 20], k as f64));
+        }
+        SparseTensor::from_entries(vec![4, 15, 20], &entries)
+    }
+
+    #[test]
+    fn scheduled_root_matches_sequential_with_forced_splits() {
+        let t = hot_root_tensor();
+        let factors = factors_for(&t, 5, 11);
+        let c = CsfTensor::for_mode(&t, 0);
+        let weights = c.root_slice_weights();
+        let sched = ModeSchedule::build_weighted_with_target(&weights, 4, 16, |g| {
+            (c.level_fptr(0)[g]..c.level_fptr(0)[g + 1])
+                .map(|ch| c.leaf_start(1, ch + 1) - c.leaf_start(1, ch))
+                .collect::<Vec<_>>()
+        });
+        assert!(!sched.splits().is_empty(), "hot root slice should be split");
+        let mut ws = Workspace::new();
+        let mut out = Mat::zeros(t.dims()[0], 5);
+        c.mttkrp_root_into(&factors, &sched, &mut ws, &mut out);
+        let s = c.mttkrp_root(&factors);
+        assert!(out.max_abs_diff(&s) < 1e-12);
+    }
+
+    #[test]
+    fn scheduled_root_is_deterministic() {
+        let t = hot_root_tensor();
+        let factors = factors_for(&t, 4, 13);
+        let c = CsfTensor::for_mode(&t, 0);
+        let sched = ModeSchedule::build_weighted_with_target(&c.root_slice_weights(), 4, 16, |g| {
+            vec![1usize; c.level_fptr(0)[g + 1] - c.level_fptr(0)[g]]
+        });
+        let mut ws = Workspace::new();
+        let mut a = Mat::zeros(t.dims()[0], 4);
+        let mut b = Mat::zeros(t.dims()[0], 4);
+        c.mttkrp_root_into(&factors, &sched, &mut ws, &mut a);
+        c.mttkrp_root_into(&factors, &sched, &mut ws, &mut b);
+        assert_eq!(a.as_slice(), b.as_slice());
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //!   compares against;
 //! * [`mttkrp`] — the element-wise COO MTTKRP baseline (Tensor-Toolbox
 //!   style);
+//! * [`schedule`] — nnz-balanced static schedules and reusable kernel
+//!   workspaces shared by the parallel MTTKRP paths;
 //! * [`ops`] — standalone tensor operations: TTV and TTV chains,
 //!   add/scale, empty-slice compaction, inner products;
 //! * [`semisparse`] — sCOO tensors (sparse modes + one dense mode) and
@@ -43,6 +45,7 @@ pub mod gen;
 pub mod io;
 pub mod mttkrp;
 pub mod ops;
+pub mod schedule;
 pub mod semisparse;
 pub mod sorted;
 pub mod stats;

@@ -81,6 +81,11 @@ impl SortedModeView {
     pub fn keys(&self) -> &[Idx] {
         &self.keys
     }
+
+    /// Per-group entry counts — the nnz weights the scheduler balances.
+    pub fn group_weights(&self) -> Vec<usize> {
+        (0..self.num_groups()).map(|g| self.group(g).len()).collect()
+    }
 }
 
 #[cfg(test)]

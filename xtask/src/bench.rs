@@ -1,0 +1,146 @@
+//! Snapshot parsing and comparison for `cargo xtask bench`.
+//!
+//! The bench driver (`crates/bench/src/bin/bench_kernels.rs`) writes a
+//! flat, hand-serialized `BENCH_<date>.json`; this module reads it back
+//! with an equally small line-oriented parser (the workspace is offline,
+//! so no serde) and diffs two snapshots with a configurable tolerance.
+//! Pure functions over strings, unit-tested without touching the
+//! filesystem — same philosophy as [`crate::lints`].
+
+/// One measurement row from a snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Identity: `kernel/backend/tensor/threads`.
+    pub key: String,
+    /// Best-of-reps wall time per call.
+    pub ns_per_call: u64,
+}
+
+/// Extracts a `"name": "value"` string field from a JSON line.
+fn field_str<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let tag = format!("\"{name}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(&line[start..end])
+}
+
+/// Extracts a `"name": 123` numeric field from a JSON line.
+fn field_u64(line: &str, name: &str) -> Option<u64> {
+    let tag = format!("\"{name}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let digits: String = line[start..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Parses every record row of a snapshot. Unparseable lines are skipped
+/// (a snapshot from a newer schema should degrade, not abort the lint).
+pub fn parse_records(json: &str) -> Vec<BenchRecord> {
+    json.lines()
+        .filter_map(|line| {
+            let kernel = field_str(line, "kernel")?;
+            let backend = field_str(line, "backend")?;
+            let tensor = field_str(line, "tensor")?;
+            let threads = field_u64(line, "threads")?;
+            let ns = field_u64(line, "ns_per_call")?;
+            Some(BenchRecord {
+                key: format!("{kernel}/{backend}/{tensor}/t{threads}"),
+                ns_per_call: ns,
+            })
+        })
+        .collect()
+}
+
+/// Whether a snapshot was taken in smoke mode (tiny sizes — never
+/// comparable against a full run).
+pub fn parse_smoke(json: &str) -> bool {
+    json.lines().any(|l| l.contains("\"smoke\": true"))
+}
+
+/// The headline `coo_sched_speedup` summary figure, if present.
+pub fn parse_speedup(json: &str) -> Option<f64> {
+    let line = json.lines().find(|l| l.contains("coo_sched_speedup"))?;
+    let tag = "\"coo_sched_speedup\": ";
+    let start = line.find(tag)? + tag.len();
+    let num: String =
+        line[start..].chars().take_while(|c| c.is_ascii_digit() || *c == '.').collect();
+    num.parse().ok()
+}
+
+/// Compares two snapshots: every key present in both must not have
+/// slowed down by more than `tolerance_pct` percent. Returns one message
+/// per regression (empty = pass).
+pub fn compare(old: &[BenchRecord], new: &[BenchRecord], tolerance_pct: f64) -> Vec<String> {
+    let mut regressions = Vec::new();
+    for n in new {
+        let Some(o) = old.iter().find(|o| o.key == n.key) else { continue };
+        if o.ns_per_call == 0 {
+            continue;
+        }
+        let ratio = n.ns_per_call as f64 / o.ns_per_call as f64;
+        if ratio > 1.0 + tolerance_pct / 100.0 {
+            regressions.push(format!(
+                "{}: {} ns -> {} ns ({:+.1}%, tolerance {:.0}%)",
+                n.key,
+                o.ns_per_call,
+                n.ns_per_call,
+                (ratio - 1.0) * 100.0,
+                tolerance_pct
+            ));
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SNAPSHOT: &str = r#"{
+  "schema": 1,
+  "date": "2026-08-07",
+  "smoke": false,
+  "threads": 8,
+  "summary": { "coo_sched_speedup": 1.523 },
+  "records": [
+    { "kernel": "mttkrp", "backend": "coo-sched-m0", "tensor": "deli4d", "threads": 8, "ns_per_call": 1000, "allocs_per_call": 34 },
+    { "kernel": "alloc-gate", "backend": "coo-sched-seq", "tensor": "deli4d", "threads": 1, "ns_per_call": 900, "allocs_per_call": 0 }
+  ]
+}"#;
+
+    #[test]
+    fn parses_records_and_summary() {
+        let recs = parse_records(SNAPSHOT);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].key, "mttkrp/coo-sched-m0/deli4d/t8");
+        assert_eq!(recs[0].ns_per_call, 1000);
+        assert!(!parse_smoke(SNAPSHOT));
+        assert_eq!(parse_speedup(SNAPSHOT), Some(1.523));
+    }
+
+    #[test]
+    fn smoke_flag_detected() {
+        assert!(parse_smoke("{\n  \"smoke\": true,\n}"));
+    }
+
+    #[test]
+    fn compare_flags_only_out_of_tolerance_keys() {
+        let old = parse_records(SNAPSHOT);
+        let new = vec![
+            BenchRecord { key: "mttkrp/coo-sched-m0/deli4d/t8".into(), ns_per_call: 1100 },
+            BenchRecord { key: "alloc-gate/coo-sched-seq/deli4d/t1".into(), ns_per_call: 2000 },
+            BenchRecord { key: "brand/new/key/t8".into(), ns_per_call: 1 },
+        ];
+        // 10% slower passes at 25% tolerance; 122% slower fails; new keys
+        // are never regressions.
+        let msgs = compare(&old, &new, 25.0);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].starts_with("alloc-gate/coo-sched-seq"), "{}", msgs[0]);
+    }
+
+    #[test]
+    fn compare_passes_when_faster() {
+        let old = parse_records(SNAPSHOT);
+        let new = vec![BenchRecord { key: "mttkrp/coo-sched-m0/deli4d/t8".into(), ns_per_call: 1 }];
+        assert!(compare(&old, &new, 0.0).is_empty());
+    }
+}

@@ -1,7 +1,9 @@
 //! Workspace automation entry point (`cargo xtask <command>`).
 //!
-//! The one command so far is `lint`: the static-analysis driver run in CI
-//! and before every merge. It chains
+//! Two commands:
+//!
+//! `lint` — the static-analysis driver run in CI and before every merge.
+//! It chains
 //!
 //! 1. `cargo fmt --all -- --check` against the committed `rustfmt.toml`,
 //! 2. `cargo clippy --workspace --all-targets` with a curated deny-list,
@@ -9,10 +11,17 @@
 //!    the kernel crates, `#![forbid(unsafe_code)]` in every crate root,
 //!    and an advisory unchecked-indexing count for hot-path files.
 //!
+//! `bench` — builds and runs the kernel bench driver
+//! (`bench_kernels`), writes `BENCH_<date>.json` at the workspace root
+//! (or a scratch path in `--smoke` mode), and diffs it against the most
+//! recent committed snapshot with a configurable `--tolerance`
+//! (see [`bench`]). A per-key slowdown beyond tolerance exits non-zero.
+//!
 //! Exits non-zero if any enforced step fails.
 
 #![forbid(unsafe_code)]
 
+mod bench;
 mod lints;
 
 use std::path::{Path, PathBuf};
@@ -31,6 +40,7 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => lint(),
+        Some("bench") => bench_cmd(args),
         None | Some("help") | Some("--help") => {
             print_usage();
             ExitCode::SUCCESS
@@ -44,7 +54,9 @@ fn main() -> ExitCode {
 }
 
 fn print_usage() {
-    eprintln!("usage: cargo xtask <command>\n\ncommands:\n  lint    run the static-analysis suite (rustfmt, clippy, source scans)");
+    eprintln!(
+        "usage: cargo xtask <command>\n\ncommands:\n  lint    run the static-analysis suite (rustfmt, clippy, source scans)\n  bench   run the kernel bench suite and diff against the previous BENCH_*.json\n\nbench flags:\n  --smoke            tiny workloads, scratch output (CI regression smoke)\n  --tolerance <pct>  allowed per-key slowdown vs previous snapshot (default 25)\n  --out <path>       override the output snapshot path"
+    );
 }
 
 /// The workspace root: the parent of this crate's manifest directory.
@@ -60,18 +72,18 @@ fn cargo_bin() -> String {
 /// Runs one external step, echoing a pass/fail line. Returns `true` on
 /// success.
 fn run_step(name: &str, cmd: &mut Command) -> bool {
-    println!("xtask lint: running {name} ...");
+    println!("xtask: running {name} ...");
     match cmd.status() {
         Ok(status) if status.success() => {
-            println!("xtask lint: {name} ok");
+            println!("xtask: {name} ok");
             true
         }
         Ok(status) => {
-            eprintln!("xtask lint: {name} FAILED ({status})");
+            eprintln!("xtask: {name} FAILED ({status})");
             false
         }
         Err(err) => {
-            eprintln!("xtask lint: {name} FAILED to start: {err}");
+            eprintln!("xtask: {name} FAILED to start: {err}");
             false
         }
     }
@@ -123,6 +135,151 @@ fn crate_roots(root: &Path) -> Vec<PathBuf> {
 
 fn display_rel(path: &Path, root: &Path) -> String {
     path.strip_prefix(root).unwrap_or(path).display().to_string()
+}
+
+/// `cargo xtask bench [--smoke] [--tolerance <pct>] [--out <path>]`.
+///
+/// Builds `bench_kernels` in release mode, snapshots the previous
+/// `BENCH_*.json` (if any) *before* running — a same-day rerun
+/// overwrites its own file — then runs the driver and compares
+/// per-key timings. Smoke snapshots and full snapshots are never
+/// compared against each other.
+fn bench_cmd(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut smoke = false;
+    let mut tolerance = 25.0f64;
+    let mut out_arg: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--tolerance" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => tolerance = v,
+                None => {
+                    eprintln!("xtask bench: --tolerance requires a numeric percent");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match args.next() {
+                Some(v) => out_arg = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("xtask bench: --out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("xtask bench: unknown flag `{other}`\n");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let root = workspace_root();
+    let cargo = cargo_bin();
+
+    // Capture the latest committed snapshot before the run overwrites it.
+    let previous = latest_snapshot(&root);
+
+    if !run_step(
+        "build bench_kernels (release)",
+        Command::new(&cargo).current_dir(&root).args([
+            "build",
+            "--release",
+            "-p",
+            "adatm-bench",
+            "--bin",
+            "bench_kernels",
+        ]),
+    ) {
+        return ExitCode::FAILURE;
+    }
+
+    let out_path = out_arg.unwrap_or_else(|| {
+        if smoke {
+            root.join("target").join("bench_smoke.json")
+        } else {
+            root.join(format!("BENCH_{}.json", today_utc()))
+        }
+    });
+    let mut driver = Command::new(root.join("target/release/bench_kernels"));
+    driver.current_dir(&root).arg(&out_path);
+    if smoke {
+        driver.env("ADATM_BENCH_SMOKE", "1");
+    }
+    if !run_step("bench_kernels", &mut driver) {
+        return ExitCode::FAILURE;
+    }
+
+    let new_json = match std::fs::read_to_string(&out_path) {
+        Ok(s) => s,
+        Err(err) => {
+            eprintln!("xtask bench: cannot read fresh snapshot {}: {err}", out_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(speedup) = bench::parse_speedup(&new_json) {
+        println!("xtask bench: coo_sched_speedup = {speedup:.2}x");
+    }
+
+    let Some((prev_name, prev_json)) = previous else {
+        println!("xtask bench: no previous BENCH_*.json snapshot; baseline recorded");
+        return ExitCode::SUCCESS;
+    };
+    if bench::parse_smoke(&prev_json) != bench::parse_smoke(&new_json) {
+        println!("xtask bench: previous snapshot {prev_name} has a different smoke flag; skipping comparison");
+        return ExitCode::SUCCESS;
+    }
+    let regressions = bench::compare(
+        &bench::parse_records(&prev_json),
+        &bench::parse_records(&new_json),
+        tolerance,
+    );
+    if regressions.is_empty() {
+        println!("xtask bench: no regressions vs {prev_name} (tolerance {tolerance:.0}%)");
+        ExitCode::SUCCESS
+    } else {
+        for r in &regressions {
+            eprintln!("xtask bench: REGRESSION {r}");
+        }
+        eprintln!("xtask bench: FAILED ({} regression(s) vs {prev_name})", regressions.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The lexicographically newest `BENCH_*.json` at the workspace root —
+/// the naming scheme (`BENCH_YYYY-MM-DD.json`) makes that the most
+/// recent. Returns its file name and contents.
+fn latest_snapshot(root: &Path) -> Option<(String, String)> {
+    let entries = std::fs::read_dir(root).ok()?;
+    let mut names: Vec<String> = entries
+        .flatten()
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    let name = names.pop()?;
+    let json = std::fs::read_to_string(root.join(&name)).ok()?;
+    Some((name, json))
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, via Howard Hinnant's
+/// `civil_from_days` — the workspace is offline, so no chrono.
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
 }
 
 fn lint() -> ExitCode {
