@@ -23,6 +23,7 @@
 
 use adatm_bench::{env_usize, time_best, with_threads, Table};
 use adatm_core::{all_backends, CpAls, CpAlsOptions};
+use adatm_dtree::{DtreeEngine, EngineOptions, NodeKernelClass, TreeShape};
 use adatm_linalg::Mat;
 use adatm_tensor::csf::CsfTensor;
 use adatm_tensor::gen::proxy_datasets;
@@ -221,6 +222,43 @@ fn bench_csf(t: &SparseTensor, rank: usize, threads: usize, reps: usize) -> Vec<
     records
 }
 
+/// Dimension-tree TTMV node kernels on the balanced binary tree, one
+/// record per kernel class: a steady-state recompute of every node the
+/// engine runs with that class (pull = owner-computes over reduction
+/// sets, scatter = parent-streaming push). These are the rates the
+/// calibration probe prices tree plans with, recorded here so the
+/// regression gate covers them.
+fn bench_dtree_ttmv(t: &SparseTensor, rank: usize, threads: usize, reps: usize) -> Vec<Record> {
+    let factors = factors_for(t, rank, 19);
+    let mut records = Vec::new();
+    with_threads(threads, || {
+        let shape = TreeShape::balanced_binary(t.ndim());
+        let mut eng = DtreeEngine::with_options(t, &shape, rank, EngineOptions::default());
+        for class in [NodeKernelClass::Pull, NodeKernelClass::Scatter] {
+            let nodes: Vec<usize> = (1..eng.tree().len())
+                .filter(|&id| eng.node_kernel_class(id) == Some(class))
+                .collect();
+            if nodes.is_empty() {
+                continue;
+            }
+            let (ns, allocs) = measure(reps, || {
+                for &id in &nodes {
+                    eng.recompute_node(t, &factors, id);
+                }
+            });
+            records.push(Record {
+                kernel: "ttmv",
+                backend: format!("tree-{class}"),
+                tensor: "deli4d",
+                threads,
+                ns_per_call: ns,
+                allocs_per_call: allocs,
+            });
+        }
+    });
+    records
+}
+
 /// Zero-allocation gate: the scheduled kernels in a 1-thread pool
 /// (sequential schedule) must not allocate at all in steady state.
 fn bench_alloc_gate(t: &SparseTensor, rank: usize) -> Vec<Record> {
@@ -260,19 +298,37 @@ fn bench_alloc_gate(t: &SparseTensor, rank: usize) -> Vec<Record> {
 }
 
 /// End-to-end CP-ALS per-iteration time for every backend.
-fn bench_cpals(t: &SparseTensor, rank: usize, threads: usize, iters: usize) -> Vec<Record> {
+fn bench_cpals(
+    t: &SparseTensor,
+    rank: usize,
+    threads: usize,
+    iters: usize,
+    reps: usize,
+) -> Vec<Record> {
     let mut records = Vec::new();
     with_threads(threads, || {
-        for mut b in all_backends(t, rank) {
-            let opts = CpAlsOptions::new(rank).max_iters(iters).tol(0.0).seed(0);
-            let res = CpAls::new(opts)
-                .run(t, &mut b)
-                .unwrap_or_else(|e| panic!("bench CP-ALS rejected input: {e}"));
-            let per_iter = if res.iters == 0 {
-                0
-            } else {
-                (res.timings.total().as_nanos() / res.iters as u128) as u64
-            };
+        // Interleave repetitions across backends, rotating the visit
+        // order each round: a fixed order hands whichever backend runs
+        // last any monotone machine drift within the round.
+        let mut backends = all_backends(t, rank);
+        let len = backends.len();
+        let mut best = vec![u64::MAX; len];
+        for rep in 0..reps {
+            for k in 0..len {
+                let i = (k + rep) % len;
+                let opts = CpAlsOptions::new(rank).max_iters(iters).tol(0.0).seed(0);
+                let res = CpAls::new(opts)
+                    .run(t, &mut backends[i])
+                    .unwrap_or_else(|e| panic!("bench CP-ALS rejected input: {e}"));
+                let per_iter = if res.iters == 0 {
+                    0
+                } else {
+                    (res.timings.total().as_nanos() / res.iters as u128) as u64
+                };
+                best[i] = best[i].min(per_iter);
+            }
+        }
+        for (b, &per_iter) in backends.iter().zip(&best) {
             records.push(Record {
                 kernel: "cpals-iter",
                 backend: b.name().to_string(),
@@ -344,8 +400,10 @@ fn main() {
 
     let (mut records, sched_ns, grouped_ns) = bench_coo(&t, rank, threads, reps);
     records.extend(bench_csf(&t, rank, threads, reps));
+    records.extend(bench_dtree_ttmv(&t, rank, threads, reps));
     records.extend(bench_alloc_gate(&t, rank));
-    records.extend(bench_cpals(&t, rank, threads, e2e_iters));
+    let e2e_reps = if smoke { 2 } else { 9 };
+    records.extend(bench_cpals(&t, rank, threads, e2e_iters, e2e_reps));
 
     let speedup = if sched_ns > 0 { grouped_ns as f64 / sched_ns as f64 } else { 0.0 };
 

@@ -1,0 +1,273 @@
+//! Kernel calibration probe (`cargo xtask calibrate`).
+//!
+//! Measures the effective throughput of each kernel class the planner
+//! prices — COO entry kernel, CSF root traversal, dimension-tree pull
+//! and scatter TTMVs — as ns per normalized work unit, at one thread and
+//! at the configured pool size, and writes the resulting
+//! [`KernelProfile`] as `PROFILE.txt` (or the path in argv[1]). Point
+//! `ADATM_PROFILE` at that file and every `AdaptiveBackend` planning
+//! constructor ranks candidate strategies by calibrated wall time.
+//!
+//! Knobs (mirroring `bench_kernels`):
+//!
+//! * `ADATM_BENCH_SMOKE=1` — tiny tensor / few reps (CI smoke job);
+//! * `ADATM_BENCH_THREADS` — parallel pool size (default 8);
+//! * `ADATM_RANK` — decomposition rank (default 16);
+//! * `ADATM_BENCH_REPS` — timing repetitions (default 9 / 2 smoke);
+//! * `ADATM_CALIBRATE_CHECK=1` — after writing the profile, verify the
+//!   calibrated planner end-to-end: the adaptive backend's measured
+//!   per-iteration time must not exceed the best fixed tree's by more
+//!   than 10% (exit 1 otherwise);
+//! * argv[1] — output profile path (default `PROFILE.txt`).
+
+use adatm_bench::{env_usize, time_best, with_threads, Table};
+use adatm_core::{AdaptiveBackend, CpAls, CpAlsOptions, DtreeBackend, MttkrpBackend};
+use adatm_dtree::{DtreeEngine, EngineOptions, NodeKernelClass, TreeShape};
+use adatm_linalg::Mat;
+use adatm_model::{ClassRate, KernelClass, KernelProfile, NnzEstimator, Planner};
+use adatm_tensor::csf::CsfTensor;
+use adatm_tensor::gen::proxy_datasets;
+use adatm_tensor::mttkrp::{mttkrp_par_into, schedule_for_view};
+use adatm_tensor::schedule::Workspace;
+use adatm_tensor::{SortedModeView, SparseTensor};
+
+fn factors_for(t: &SparseTensor, rank: usize, seed: u64) -> Vec<Mat> {
+    t.dims().iter().enumerate().map(|(d, &n)| Mat::random(n, rank, seed + d as u64)).collect()
+}
+
+/// Same gate tensor as `bench_kernels`: the profile should be measured
+/// on the workload class the planner will be judged on.
+fn gate_tensor(smoke: bool) -> SparseTensor {
+    let scale = if smoke { 0.01 } else { 0.1 };
+    let spec = &proxy_datasets(scale)[0];
+    assert_eq!(spec.name, "deli4d", "suite order changed; update the probe");
+    spec.build()
+}
+
+/// ns per work unit of every class, measured inside a pool of `threads`.
+/// `None` for a class with no instances on the probe tensor (scatter on
+/// very uniform data); the caller substitutes the pull rate.
+struct MeasuredRates {
+    coo: f64,
+    csf: f64,
+    pull: Option<f64>,
+    scatter: Option<f64>,
+}
+
+fn measure_rates(t: &SparseTensor, rank: usize, threads: usize, reps: usize) -> MeasuredRates {
+    let n = t.ndim();
+    let r = rank as f64;
+    with_threads(threads, || {
+        // COO: scheduled kernel, all modes; nnz * (N-1) * R units each.
+        let factors = factors_for(t, rank, 11);
+        let mut ws = Workspace::new();
+        let mut coo_ns = 0u64;
+        for mode in 0..n {
+            let view = SortedModeView::build(t, mode);
+            let sched = schedule_for_view(&view, threads);
+            let mut out = Mat::zeros(t.dims()[mode], rank);
+            let mut run = || {
+                mttkrp_par_into(t, &factors, mode, &view, &sched, &mut ws, &mut out);
+                std::hint::black_box(&out);
+            };
+            run();
+            coo_ns += time_best(reps, &mut run).as_nanos() as u64;
+        }
+        let coo_units = n as f64 * t.nnz() as f64 * (n as f64 - 1.0) * r;
+        // CSF: root traversal per mode; (non-root nodes) * R units each.
+        let (mut csf_ns, mut csf_units) = (0u64, 0.0f64);
+        for mode in 0..n {
+            let csf = CsfTensor::for_mode(t, mode);
+            let sched = csf.root_schedule(threads);
+            let mut out = Mat::zeros(t.dims()[mode], rank);
+            let mut run = || {
+                csf.mttkrp_root_into(&factors, &sched, &mut ws, &mut out);
+                std::hint::black_box(&out);
+            };
+            run();
+            csf_ns += time_best(reps, &mut run).as_nanos() as u64;
+            csf_units += csf.node_counts().iter().skip(1).sum::<usize>() as f64 * r;
+        }
+        // Tree pull/scatter: per-node recomputes attributed to the class
+        // the engine actually runs. Two tree populations, so the pull
+        // rate averages over both node kinds the planner will price: the
+        // balanced binary tree contributes internal (R-wide-parent)
+        // pulls, the flat tree contributes root-children, whose
+        // tensor-streaming leaves are markedly slower per unit — a
+        // bdt-only sample would underprice exactly the shallow trees the
+        // traffic term favors.
+        let mut class_ns = [0u64; 2];
+        let mut class_units = [0.0f64; 2];
+        for shape in [TreeShape::balanced_binary(n), TreeShape::two_level(n)] {
+            let mut eng = DtreeEngine::with_options(t, &shape, rank, EngineOptions::default());
+            for id in 1..eng.tree().len() {
+                let Some(class) = eng.node_kernel_class(id) else { continue };
+                let Some(units) = eng.node_work_units(id) else { continue };
+                let mut run = || eng.recompute_node(t, &factors, id);
+                run();
+                let ns = time_best(reps, &mut run).as_nanos() as u64;
+                let slot = match class {
+                    NodeKernelClass::Pull => 0,
+                    NodeKernelClass::Scatter => 1,
+                };
+                class_ns[slot] += ns;
+                class_units[slot] += units as f64;
+            }
+        }
+        let per_unit = |ns: u64, units: f64| {
+            if units > 0.0 {
+                Some(ns as f64 / units)
+            } else {
+                None
+            }
+        };
+        MeasuredRates {
+            coo: coo_ns as f64 / coo_units,
+            csf: csf_ns as f64 / csf_units.max(1.0),
+            pull: per_unit(class_ns[0], class_units[0]),
+            scatter: per_unit(class_ns[1], class_units[1]),
+        }
+    })
+}
+
+/// Measured CP-ALS per-iteration ns, interleaved across backends so
+/// machine noise drifts over all of them equally, with the visit order
+/// rotated every round (a fixed order hands whichever backend runs last
+/// any monotone drift within the round); minimum of `reps`.
+fn cpals_per_iter(
+    t: &SparseTensor,
+    rank: usize,
+    backends: &mut [Box<dyn MttkrpBackend>],
+    iters: usize,
+    reps: usize,
+) -> Vec<u64> {
+    let len = backends.len();
+    let mut best = vec![u64::MAX; len];
+    for rep in 0..reps {
+        for k in 0..len {
+            let i = (k + rep) % len;
+            let opts = CpAlsOptions::new(rank).max_iters(iters).tol(0.0).seed(0);
+            let res = CpAls::new(opts)
+                .run(t, &mut backends[i])
+                .unwrap_or_else(|e| panic!("calibrate CP-ALS rejected input: {e}"));
+            let per_iter = if res.iters == 0 {
+                0
+            } else {
+                (res.timings.total().as_nanos() / res.iters as u128) as u64
+            };
+            best[i] = best[i].min(per_iter);
+        }
+    }
+    best
+}
+
+/// The `--check` gate: plan with the freshly measured profile and verify
+/// the adaptive backend's measured per-iteration time is within 10% of
+/// the best fixed tree's. Returns false on violation.
+fn check_calibrated_plan(
+    t: &SparseTensor,
+    rank: usize,
+    threads: usize,
+    profile: &KernelProfile,
+) -> bool {
+    with_threads(threads, || {
+        let planner = Planner::new(t, rank)
+            .estimator(NnzEstimator::Exact)
+            .threads(threads)
+            .calibration(*profile);
+        let adaptive = AdaptiveBackend::from_planner(t, rank, planner);
+        let plan = adaptive.memo_plan();
+        let chose = if plan.use_coo {
+            "coo".to_string()
+        } else if plan.use_csf {
+            "csf".to_string()
+        } else {
+            format!("tree {}", plan.shape)
+        };
+        println!(
+            "   check: calibrated plan chose {chose} (predicted {:.2} ms/iter)",
+            plan.predicted_ns.unwrap_or(f64::NAN) / 1e6,
+        );
+        let mut backends: Vec<Box<dyn MttkrpBackend>> = vec![
+            Box::new(DtreeBackend::two_level(t, rank)),
+            Box::new(DtreeBackend::three_level(t, rank)),
+            Box::new(DtreeBackend::balanced_binary(t, rank)),
+            Box::new(adaptive),
+        ];
+        let times = cpals_per_iter(t, rank, &mut backends, 2, 5);
+        let (fixed, adaptive_ns) = (&times[..3], times[3]);
+        for (b, ns) in backends.iter().zip(&times) {
+            println!("   check: {:<10} {:>12} ns/iter", b.name(), ns);
+        }
+        let best_fixed = *fixed.iter().min().unwrap_or(&u64::MAX);
+        let limit = best_fixed + best_fixed / 10;
+        if adaptive_ns > limit {
+            eprintln!(
+                "calibrate: CHECK FAILED: adaptive {adaptive_ns} ns/iter exceeds best fixed tree {best_fixed} ns/iter by more than 10%"
+            );
+            false
+        } else {
+            println!(
+                "   check ok: adaptive {adaptive_ns} ns/iter vs best fixed tree {best_fixed} ns/iter (limit {limit})"
+            );
+            true
+        }
+    })
+}
+
+fn main() {
+    let smoke = std::env::var("ADATM_BENCH_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let check = std::env::var("ADATM_CALIBRATE_CHECK").map(|v| v == "1").unwrap_or(false);
+    let threads = env_usize("ADATM_BENCH_THREADS", 8);
+    let rank = env_usize("ADATM_RANK", 16);
+    let reps = env_usize("ADATM_BENCH_REPS", if smoke { 2 } else { 9 });
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "PROFILE.txt".to_string());
+
+    println!("== calibrate: threads={threads} rank={rank} smoke={smoke}");
+    let t = gate_tensor(smoke);
+    println!("   probe tensor: dims={:?} nnz={}", t.dims(), t.nnz());
+
+    let seq = measure_rates(&t, rank, 1, reps);
+    let par = measure_rates(&t, rank, threads, reps);
+
+    // A probe tensor without scatter nodes cannot measure the scatter
+    // rate; fall back to the pull rate so the profile stays complete.
+    let pull_1t = seq.pull.unwrap_or(seq.coo);
+    let pull_nt = par.pull.unwrap_or(par.coo);
+    let scatter_1t = seq.scatter.unwrap_or_else(|| {
+        println!("   note: no scatter nodes on probe tensor; reusing pull rate");
+        pull_1t
+    });
+    let scatter_nt = par.scatter.unwrap_or(pull_nt);
+
+    let profile = KernelProfile {
+        threads,
+        coo_mttkrp: ClassRate { ns_per_unit_1t: seq.coo, ns_per_unit_nt: par.coo },
+        csf_root: ClassRate { ns_per_unit_1t: seq.csf, ns_per_unit_nt: par.csf },
+        tree_pull: ClassRate { ns_per_unit_1t: pull_1t, ns_per_unit_nt: pull_nt },
+        tree_scatter: ClassRate { ns_per_unit_1t: scatter_1t, ns_per_unit_nt: scatter_nt },
+    };
+
+    let par_hdr = format!("ns/unit ({threads}t)");
+    let mut table = Table::new(&["class", "ns/unit (1t)", par_hdr.as_str(), "speedup"]);
+    for class in KernelClass::ALL {
+        let r = profile.rate(class);
+        table.row(&[
+            class.key().to_string(),
+            format!("{:.4}", r.ns_per_unit_1t),
+            format!("{:.4}", r.ns_per_unit_nt),
+            format!("{:.2}x", r.speedup()),
+        ]);
+    }
+    table.print();
+
+    if let Err(e) = std::fs::write(&out_path, profile.to_text()) {
+        eprintln!("calibrate: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("   wrote {out_path}");
+
+    if check && !check_calibrated_plan(&t, rank, threads, &profile) {
+        std::process::exit(1);
+    }
+}

@@ -8,7 +8,7 @@
 
 use adatm_dtree::{DtreeEngine, EngineOptions, TreeShape};
 use adatm_linalg::Mat;
-use adatm_model::{MemoPlan, NnzEstimator, Planner};
+use adatm_model::{KernelProfile, MemoPlan, NnzEstimator, Planner};
 use adatm_tensor::csf::CsfSet;
 use adatm_tensor::mttkrp::{mttkrp_par_into, mttkrp_seq_into, schedule_for_view};
 use adatm_tensor::schedule::{ModeSchedule, Workspace};
@@ -272,18 +272,36 @@ impl MttkrpBackend for DtreeBackend {
     }
 }
 
+/// The engine an [`AdaptiveBackend`] dispatched to.
+enum AdaptiveInner {
+    /// A dimension tree on the plan's chosen shape (the usual case).
+    Tree(DtreeBackend),
+    /// The SPLATT-CSF baseline — chosen when a calibration profile
+    /// predicts no memoization strategy beats it on this machine.
+    Csf(CsfBackend),
+    /// The fused scheduled-COO baseline — chosen when calibration
+    /// predicts it outruns both the trees and CSF here.
+    Coo(CooBackend),
+}
+
 /// The model-driven backend: plans the memoization strategy with the cost
-/// model, then runs the dimension-tree engine on the chosen shape. This is
-/// the system the paper proposes.
+/// model, then runs the dimension-tree engine on the chosen shape — or
+/// the CSF baseline, when a calibrated plan predicts memoization cannot
+/// pay here. This is the system the paper proposes.
+///
+/// When the `ADATM_PROFILE` environment variable names a readable kernel
+/// profile (written by `cargo xtask calibrate`), every planning
+/// constructor ranks candidates by calibrated wall time at the current
+/// rayon thread count; otherwise the analytic model decides.
 pub struct AdaptiveBackend {
-    inner: DtreeBackend,
+    inner: AdaptiveInner,
     plan: MemoPlan,
 }
 
 impl AdaptiveBackend {
     /// Plans with default estimator/search and builds the engine.
     pub fn plan(tensor: &SparseTensor, rank: usize) -> Self {
-        Self::from_planner(tensor, rank, Planner::new(tensor, rank))
+        Self::from_planner(tensor, rank, Self::default_planner(tensor, rank))
     }
 
     /// Plans with an explicit estimator.
@@ -292,24 +310,45 @@ impl AdaptiveBackend {
         rank: usize,
         estimator: NnzEstimator,
     ) -> Self {
-        Self::from_planner(tensor, rank, Planner::new(tensor, rank).estimator(estimator))
+        Self::from_planner(tensor, rank, Self::default_planner(tensor, rank).estimator(estimator))
     }
 
     /// Plans with a memory budget on resident structures.
     pub fn plan_with_budget(tensor: &SparseTensor, rank: usize, budget_bytes: usize) -> Self {
-        Self::from_planner(tensor, rank, Planner::new(tensor, rank).memory_budget(budget_bytes))
+        Self::from_planner(
+            tensor,
+            rank,
+            Self::default_planner(tensor, rank).memory_budget(budget_bytes),
+        )
+    }
+
+    /// The planner the convenience constructors start from: current
+    /// thread count, plus the environment calibration profile when one
+    /// is available.
+    fn default_planner(tensor: &SparseTensor, rank: usize) -> Planner<'_> {
+        let mut planner = Planner::new(tensor, rank).threads(rayon::current_num_threads());
+        if let Some(profile) = KernelProfile::load_env() {
+            planner = planner.calibration(profile);
+        }
+        planner
     }
 
     /// Runs an explicitly configured planner and builds the engine.
     pub fn from_planner(tensor: &SparseTensor, rank: usize, planner: Planner<'_>) -> Self {
         let plan = planner.plan();
-        let inner = DtreeBackend::with_options(
-            tensor,
-            &plan.shape,
-            rank,
-            EngineOptions::default(),
-            "adaptive",
-        );
+        let inner = if plan.use_coo {
+            AdaptiveInner::Coo(CooBackend::new(tensor))
+        } else if plan.use_csf {
+            AdaptiveInner::Csf(CsfBackend::new(tensor))
+        } else {
+            AdaptiveInner::Tree(DtreeBackend::with_options(
+                tensor,
+                &plan.shape,
+                rank,
+                EngineOptions::default(),
+                "adaptive",
+            ))
+        };
         AdaptiveBackend { inner, plan }
     }
 
@@ -318,27 +357,57 @@ impl AdaptiveBackend {
         &self.plan
     }
 
+    /// The underlying dimension-tree engine, when the plan chose a tree
+    /// (`None` after a calibrated plan dispatched to CSF or COO).
+    pub fn tree_engine(&self) -> Option<&DtreeEngine> {
+        match &self.inner {
+            AdaptiveInner::Tree(b) => Some(b.engine()),
+            AdaptiveInner::Csf(_) | AdaptiveInner::Coo(_) => None,
+        }
+    }
+
     /// The underlying engine.
+    ///
+    /// # Panics
+    ///
+    /// When the plan dispatched to the CSF or COO baseline; use
+    /// [`AdaptiveBackend::tree_engine`] to handle that case.
     pub fn engine(&self) -> &DtreeEngine {
-        self.inner.engine()
+        self.tree_engine().expect("adaptive plan dispatched to a baseline; no tree engine")
     }
 }
 
 impl MttkrpBackend for AdaptiveBackend {
     fn begin_mode(&mut self, mode: usize) {
-        self.inner.begin_mode(mode);
+        match &mut self.inner {
+            AdaptiveInner::Tree(b) => b.begin_mode(mode),
+            AdaptiveInner::Csf(b) => b.begin_mode(mode),
+            AdaptiveInner::Coo(b) => b.begin_mode(mode),
+        }
     }
 
     fn mode_order(&self, ndim: usize) -> Vec<usize> {
-        self.inner.mode_order(ndim)
+        match &self.inner {
+            AdaptiveInner::Tree(b) => b.mode_order(ndim),
+            AdaptiveInner::Csf(b) => b.mode_order(ndim),
+            AdaptiveInner::Coo(b) => b.mode_order(ndim),
+        }
     }
 
     fn mttkrp_into(&mut self, tensor: &SparseTensor, factors: &[Mat], mode: usize, out: &mut Mat) {
-        self.inner.mttkrp_into(tensor, factors, mode, out);
+        match &mut self.inner {
+            AdaptiveInner::Tree(b) => b.mttkrp_into(tensor, factors, mode, out),
+            AdaptiveInner::Csf(b) => b.mttkrp_into(tensor, factors, mode, out),
+            AdaptiveInner::Coo(b) => b.mttkrp_into(tensor, factors, mode, out),
+        }
     }
 
     fn reset(&mut self) {
-        self.inner.reset();
+        match &mut self.inner {
+            AdaptiveInner::Tree(b) => b.reset(),
+            AdaptiveInner::Csf(b) => b.reset(),
+            AdaptiveInner::Coo(b) => b.reset(),
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -346,7 +415,11 @@ impl MttkrpBackend for AdaptiveBackend {
     }
 
     fn structure_bytes(&self) -> usize {
-        self.inner.structure_bytes()
+        match &self.inner {
+            AdaptiveInner::Tree(b) => b.structure_bytes(),
+            AdaptiveInner::Csf(b) => b.structure_bytes(),
+            AdaptiveInner::Coo(b) => b.structure_bytes(),
+        }
     }
 }
 
@@ -422,6 +495,79 @@ mod tests {
         assert!(!plan.candidates.is_empty());
         plan.shape.validate();
         assert!(plan.predicted.flops_per_iter > 0.0);
+    }
+
+    #[test]
+    fn adaptive_dispatches_to_csf_under_a_tree_hostile_profile() {
+        use adatm_model::{ClassRate, KernelProfile};
+        let rate = |ns: f64| ClassRate { ns_per_unit_1t: ns, ns_per_unit_nt: ns };
+        let profile = KernelProfile {
+            threads: 8,
+            coo_mttkrp: rate(1.0),
+            csf_root: rate(1e-4),
+            tree_pull: rate(100.0),
+            tree_scatter: rate(100.0),
+        };
+        let t = zipf_tensor(&[15, 18, 12, 20], 600, &[0.6; 4], 11);
+        let planner =
+            Planner::new(&t, 4).estimator(NnzEstimator::Exact).calibration(profile).threads(8);
+        let mut b = AdaptiveBackend::from_planner(&t, 4, planner);
+        assert!(b.memo_plan().use_csf, "tree-hostile profile must dispatch to CSF");
+        assert!(b.tree_engine().is_none());
+        assert_eq!(b.name(), "adaptive");
+        assert!(b.structure_bytes() > 0);
+        let factors = factors_for(&t, 4, 13);
+        for mode in 0..4 {
+            b.begin_mode(mode);
+            let mut out = Mat::zeros(t.dims()[mode], 4);
+            b.mttkrp_into(&t, &factors, mode, &mut out);
+            let want = mttkrp_seq(&t, &factors, mode);
+            assert!(out.max_abs_diff(&want) < 1e-10, "mode {mode}");
+        }
+        // The reverse pricing keeps the tree engine.
+        let tree_friendly = KernelProfile {
+            threads: 8,
+            coo_mttkrp: rate(1.0),
+            csf_root: rate(100.0),
+            tree_pull: rate(1e-4),
+            tree_scatter: rate(1e-4),
+        };
+        let planner = Planner::new(&t, 4)
+            .estimator(NnzEstimator::Exact)
+            .calibration(tree_friendly)
+            .threads(8);
+        let b = AdaptiveBackend::from_planner(&t, 4, planner);
+        assert!(!b.memo_plan().use_csf);
+        assert!(b.tree_engine().is_some());
+    }
+
+    #[test]
+    fn adaptive_dispatches_to_coo_when_entry_kernels_dominate() {
+        use adatm_model::{ClassRate, KernelProfile};
+        let rate = |ns: f64| ClassRate { ns_per_unit_1t: ns, ns_per_unit_nt: ns };
+        let profile = KernelProfile {
+            threads: 8,
+            coo_mttkrp: rate(1e-4),
+            csf_root: rate(100.0),
+            tree_pull: rate(100.0),
+            tree_scatter: rate(100.0),
+        };
+        let t = zipf_tensor(&[15, 18, 12, 20], 600, &[0.6; 4], 11);
+        let planner =
+            Planner::new(&t, 4).estimator(NnzEstimator::Exact).calibration(profile).threads(8);
+        let mut b = AdaptiveBackend::from_planner(&t, 4, planner);
+        assert!(b.memo_plan().use_coo, "coo-dominant profile must dispatch to COO");
+        assert!(!b.memo_plan().use_csf);
+        assert!(b.tree_engine().is_none());
+        assert_eq!(b.name(), "adaptive");
+        let factors = factors_for(&t, 4, 13);
+        for mode in 0..4 {
+            b.begin_mode(mode);
+            let mut out = Mat::zeros(t.dims()[mode], 4);
+            b.mttkrp_into(&t, &factors, mode, &mut out);
+            let want = mttkrp_seq(&t, &factors, mode);
+            assert!(out.max_abs_diff(&want) < 1e-10, "mode {mode}");
+        }
     }
 
     #[test]

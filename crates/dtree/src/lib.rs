@@ -36,8 +36,8 @@ pub mod symbolic;
 pub mod tree;
 
 pub use error::DtreeError;
-pub use numeric::{DtreeEngine, EngineOptions};
+pub use numeric::{DtreeEngine, EngineOptions, NodeKernelClass};
 pub use shape::TreeShape;
 pub use stats::{MemoryStats, OpStats};
-pub use symbolic::SymbolicTree;
+pub use symbolic::{scatter_eligible, SymbolicTree};
 pub use tree::DimTree;

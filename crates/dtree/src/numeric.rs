@@ -26,6 +26,7 @@ use crate::shape::TreeShape;
 use crate::stats::{MemoryStats, OpStats};
 use crate::symbolic::SymbolicTree;
 use crate::tree::DimTree;
+use adatm_linalg::kernels;
 use adatm_linalg::Mat;
 use adatm_tensor::coo::Idx;
 use adatm_tensor::schedule::{ModeSchedule, Task, Workspace};
@@ -124,6 +125,29 @@ pub struct DtreeEngine {
 enum ParentVals<'a> {
     Scalars(&'a [f64]),
     Rows(&'a Mat),
+}
+
+/// Which numeric kernel computes a given non-root node — mirrors the
+/// dispatch in the engine's per-node compute: nodes with an inverse
+/// reduction map run the streaming *scatter* ("push") kernel, everything
+/// else the *pull* ("thick" gather) kernel. Exposed so benches and the
+/// calibration probe can attribute per-node TTMV timings to the kernel
+/// class the cost model prices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeKernelClass {
+    /// Gather kernel: per node element, reduce its parent-element set.
+    Pull,
+    /// Push kernel: stream the parent, accumulate into the small child.
+    Scatter,
+}
+
+impl std::fmt::Display for NodeKernelClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeKernelClass::Pull => write!(f, "pull"),
+            NodeKernelClass::Scatter => write!(f, "scatter"),
+        }
+    }
 }
 
 impl DtreeEngine {
@@ -326,6 +350,50 @@ impl DtreeEngine {
         for (e, &i) in node.idx[0].iter().enumerate() {
             out.row_mut(i as usize).copy_from_slice(vals.row(e));
         }
+    }
+
+    /// The kernel class the engine will use for non-root node `id`, or
+    /// `None` for the root (which is never computed). See
+    /// [`NodeKernelClass`].
+    pub fn node_kernel_class(&self, id: usize) -> Option<NodeKernelClass> {
+        if id == 0 || id >= self.tree.len() {
+            return None;
+        }
+        if self.opts.thick && self.sym.node(id).pmap.is_some() {
+            Some(NodeKernelClass::Scatter)
+        } else {
+            Some(NodeKernelClass::Pull)
+        }
+    }
+
+    /// Work units of one TTMV recompute of node `id` — the quantity the
+    /// calibrated cost model prices per kernel class:
+    /// `parent_elems * (|delta| + 1) * R` (each parent element is read,
+    /// multiplied by `|delta|` factor rows, and added once). `None` for
+    /// the root.
+    pub fn node_work_units(&self, id: usize) -> Option<u64> {
+        if id == 0 || id >= self.tree.len() {
+            return None;
+        }
+        let parent = self.tree.node(id).parent?;
+        let parent_len = self.sym.node(parent).len as u64;
+        let delta = self.tree.node(id).delta.len() as u64;
+        Some(parent_len * (delta + 1) * self.rank as u64)
+    }
+
+    /// Drops node `id` and recomputes it from its parent (ancestors are
+    /// ensured first). Bench/calibration hook: timing this call in
+    /// steady state measures exactly one TTMV of the node's kernel class,
+    /// with schedules and pooled buffers warm.
+    ///
+    /// # Panics
+    /// Panics if `id` is the root or out of range, or on a broken tree
+    /// invariant.
+    pub fn recompute_node(&mut self, tensor: &SparseTensor, factors: &[Mat], id: usize) {
+        assert!(id > 0 && id < self.tree.len(), "recompute_node: invalid node {id}");
+        self.drop_node(id);
+        self.ensure(id, tensor, factors)
+            .unwrap_or_else(|e| panic!("dimension-tree invariant violated: {e}"));
     }
 
     /// Borrows the computed leaf values for `mode` as `(indices, values)`
@@ -540,8 +608,14 @@ fn audit_finite(m: &Mat, node: usize) {
 }
 
 /// Computes one parent element's contribution (`parent row ⊙ delta
-/// factor rows`) into `scratch`, then adds it to `row`. Shared by every
-/// thick/scatter variant so their arithmetic order is identical.
+/// factor rows`) into `row`. Shared by every thick/scatter variant so
+/// their arithmetic order is identical.
+///
+/// The common small-delta cases (up to three factor rows over a scalar
+/// parent, up to two over a row parent) take fused single-pass kernels
+/// that never touch `scratch`; the general case falls back to the
+/// scratch-row form. Every path multiplies parent-first then delta rows
+/// in slice order, left-to-right, so all are bitwise identical.
 #[inline]
 fn contrib(
     parent: &ParentVals<'_>,
@@ -551,18 +625,23 @@ fn contrib(
     scratch: &mut [f64],
     row: &mut [f64],
 ) {
-    match parent {
-        ParentVals::Scalars(v) => scratch.iter_mut().for_each(|s| *s = v[j]),
-        ParentVals::Rows(m) => scratch.copy_from_slice(m.row(j)),
-    }
-    for (col, fac) in delta_cols.iter().zip(delta_facs.iter()) {
-        let frow = fac.row(col[j] as usize);
-        for (s, &u) in scratch.iter_mut().zip(frow.iter()) {
-            *s *= u;
+    let frow = |d: usize| delta_facs[d].row(delta_cols[d][j] as usize);
+    match (parent, delta_cols.len()) {
+        (ParentVals::Scalars(v), 1) => kernels::axpy(row, v[j], frow(0)),
+        (ParentVals::Scalars(v), 2) => kernels::axpy2(row, v[j], frow(0), frow(1)),
+        (ParentVals::Scalars(v), 3) => kernels::axpy3(row, v[j], frow(0), frow(1), frow(2)),
+        (ParentVals::Rows(m), 1) => kernels::muladd_assign(row, m.row(j), frow(0)),
+        (ParentVals::Rows(m), 2) => kernels::muladd3(row, m.row(j), frow(0), frow(1)),
+        _ => {
+            match parent {
+                ParentVals::Scalars(v) => scratch.iter_mut().for_each(|s| *s = v[j]),
+                ParentVals::Rows(m) => scratch.copy_from_slice(m.row(j)),
+            }
+            for (col, fac) in delta_cols.iter().zip(delta_facs.iter()) {
+                kernels::mul_assign(scratch, fac.row(col[j] as usize));
+            }
+            kernels::add_assign(row, scratch);
         }
-    }
-    for (o, &s) in row.iter_mut().zip(scratch.iter()) {
-        *o += s;
     }
 }
 
@@ -698,9 +777,7 @@ fn kernel_thick_par(
         let orow = out.row_mut(sp.group);
         for s in 0..sp.nslots {
             let srow = &slots[(sp.slot0 + s) * rank..(sp.slot0 + s + 1) * rank];
-            for (o, &v) in orow.iter_mut().zip(srow.iter()) {
-                *o += v;
-            }
+            kernels::add_assign(orow, srow);
         }
     }
 }
@@ -776,9 +853,7 @@ fn kernel_scatter_par(
             let srow = &slots[off..off + rank];
             off += rank;
             let orow = out.row_mut(e as usize);
-            for (o, &v) in orow.iter_mut().zip(srow.iter()) {
-                *o += v;
-            }
+            kernels::add_assign(orow, srow);
         }
     }
 }

@@ -56,6 +56,16 @@ const SCATTER_MAX_CHILD: usize = 1 << 16;
 /// ... and the parent is at least this factor larger.
 const SCATTER_MIN_RATIO: usize = 4;
 
+/// Whether a node of `child_elems` elements computed from a parent of
+/// `parent_elems` is eligible for the scatter ("push") schedule rather
+/// than the pull schedule. Exposed so the calibrated cost model can
+/// classify predicted nodes with the same thresholds the symbolic pass
+/// applies to real ones (modulo the first-child sequential case, which
+/// the model cannot see from element counts alone).
+pub fn scatter_eligible(child_elems: usize, parent_elems: usize) -> bool {
+    child_elems <= SCATTER_MAX_CHILD && parent_elems >= SCATTER_MIN_RATIO * child_elems.max(1)
+}
+
 /// Symbolic structure for every node of a dimension tree over one tensor.
 #[derive(Clone, Debug)]
 pub struct SymbolicTree {
@@ -298,10 +308,7 @@ fn build_node(key_cols: &[&[Idx]], own_positions: &[usize], parent_len: usize) -
         perm[rptr[e]..rptr[e + 1]].sort_unstable();
     }
     let sequential = perm.iter().enumerate().all(|(i, &p)| p as usize == i);
-    let pmap = if !sequential
-        && len <= SCATTER_MAX_CHILD
-        && parent_len >= SCATTER_MIN_RATIO * len.max(1)
-    {
+    let pmap = if !sequential && scatter_eligible(len, parent_len) {
         let mut map = vec![0u32; parent_len];
         for e in 0..len {
             for &j in &perm[rptr[e]..rptr[e + 1]] {

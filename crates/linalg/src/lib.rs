@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod eig;
+pub mod kernels;
 pub mod mat;
 pub mod pinv;
 pub mod qr;

@@ -136,9 +136,7 @@ impl Mat {
             for row in rows.chunks_exact(r) {
                 for (i, &a) in row.iter().enumerate() {
                     let out = &mut acc[i * r..(i + 1) * r];
-                    for (o, &b) in out.iter_mut().zip(row.iter()) {
-                        *o += a * b;
-                    }
+                    crate::kernels::axpy(out, a, row);
                 }
             }
         };
@@ -187,9 +185,7 @@ impl Mat {
                     continue;
                 }
                 let brow = &other.data[l * m..(l + 1) * m];
-                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
-                    *o += a * b;
-                }
+                crate::kernels::axpy(orow, a, brow);
             }
         };
         if n >= PAR_ROW_THRESHOLD {
@@ -222,9 +218,7 @@ impl Mat {
     /// Panics on a shape mismatch.
     pub fn hadamard_assign(&mut self, other: &Mat) {
         assert_eq!((self.nrows, self.ncols), (other.nrows, other.ncols), "hadamard shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a *= b;
-        }
+        crate::kernels::mul_assign(&mut self.data, &other.data);
     }
 
     /// Element-wise (Hadamard) product, returning a new matrix.

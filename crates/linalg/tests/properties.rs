@@ -122,3 +122,103 @@ proptest! {
         }
     }
 }
+
+/// The ranks the blocked kernels must match a plain scalar loop on,
+/// bitwise: 1/3/5/7 are pure-remainder, 17 is one 16-block plus a tail,
+/// 33 is two 16-blocks plus a tail.
+const PARITY_RANKS: [usize; 6] = [1, 3, 5, 7, 17, 33];
+
+/// Strategy: four equal-length random vectors plus a scalar, at one of
+/// the parity ranks.
+fn arb_kernel_input() -> impl Strategy<Value = (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, f64)> {
+    (0usize..PARITY_RANKS.len()).prop_flat_map(|i| {
+        let len = PARITY_RANKS[i];
+        let v = || proptest::collection::vec(-8.0f64..8.0, len);
+        (v(), v(), v(), v(), -4.0f64..4.0)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every blocked kernel is bitwise identical to the naive scalar
+    /// loop it replaces — the blocking is a pure traversal-order
+    /// rewrite, elementwise, with multiplications kept left-to-right.
+    #[test]
+    fn blocked_kernels_match_scalar_loops_bitwise(input in arb_kernel_input()) {
+        use adatm_linalg::kernels;
+        let (acc0, a, b, c, alpha) = input;
+        let n = acc0.len();
+        let check = |got: &[f64], want: &[f64], name: &str| {
+            for i in 0..n {
+                prop_assert!(
+                    got[i].to_bits() == want[i].to_bits(),
+                    "{name}[{i}]: {} vs {}", got[i], want[i]
+                );
+            }
+            Ok(())
+        };
+        let mut g = acc0.clone();
+        let w: Vec<f64> = (0..n).map(|i| acc0[i] * a[i]).collect();
+        kernels::mul_assign(&mut g, &a);
+        check(&g, &w, "mul_assign")?;
+        let mut g = acc0.clone();
+        let w: Vec<f64> = (0..n).map(|i| acc0[i] + a[i]).collect();
+        kernels::add_assign(&mut g, &a);
+        check(&g, &w, "add_assign")?;
+        let mut g = acc0.clone();
+        let w: Vec<f64> = (0..n).map(|i| acc0[i] + alpha * a[i]).collect();
+        kernels::axpy(&mut g, alpha, &a);
+        check(&g, &w, "axpy")?;
+        let mut g = acc0.clone();
+        let w: Vec<f64> = (0..n).map(|i| alpha * a[i]).collect();
+        kernels::scale(&mut g, alpha, &a);
+        check(&g, &w, "scale")?;
+        let mut g = acc0.clone();
+        let w: Vec<f64> = (0..n).map(|i| a[i] * b[i]).collect();
+        kernels::mul_into(&mut g, &a, &b);
+        check(&g, &w, "mul_into")?;
+        let mut g = acc0.clone();
+        let w: Vec<f64> = (0..n).map(|i| acc0[i] + a[i] * b[i]).collect();
+        kernels::muladd_assign(&mut g, &a, &b);
+        check(&g, &w, "muladd_assign")?;
+        let mut g = acc0.clone();
+        let w: Vec<f64> = (0..n).map(|i| acc0[i] + alpha * a[i] * b[i]).collect();
+        kernels::axpy2(&mut g, alpha, &a, &b);
+        check(&g, &w, "axpy2")?;
+        let mut g = acc0.clone();
+        let w: Vec<f64> = (0..n).map(|i| acc0[i] + alpha * a[i] * b[i] * c[i]).collect();
+        kernels::axpy3(&mut g, alpha, &a, &b, &c);
+        check(&g, &w, "axpy3")?;
+        let mut g = acc0.clone();
+        let w: Vec<f64> = (0..n).map(|i| alpha * a[i] * b[i]).collect();
+        kernels::scale2(&mut g, alpha, &a, &b);
+        check(&g, &w, "scale2")?;
+        let mut g = acc0.clone();
+        let w: Vec<f64> = (0..n).map(|i| alpha * a[i] * b[i] * c[i]).collect();
+        kernels::scale3(&mut g, alpha, &a, &b, &c);
+        check(&g, &w, "scale3")?;
+        let mut g = acc0.clone();
+        let w: Vec<f64> = (0..n).map(|i| acc0[i] + a[i] * b[i] * c[i]).collect();
+        kernels::muladd3(&mut g, &a, &b, &c);
+        check(&g, &w, "muladd3")?;
+    }
+
+    /// The remainder path touches only the tail: a kernel applied to a
+    /// length-17 slice leaves bits of the first 16 lanes exactly equal
+    /// to the same kernel applied to the 16-prefix alone.
+    #[test]
+    fn remainder_never_perturbs_block_lanes(input in arb_kernel_input()) {
+        use adatm_linalg::kernels;
+        let (acc0, a, _b, _c, alpha) = input;
+        let n = acc0.len();
+        let blocked = n - n % 4;
+        let mut full = acc0.clone();
+        kernels::axpy(&mut full, alpha, &a);
+        let mut prefix = acc0[..blocked].to_vec();
+        kernels::axpy(&mut prefix, alpha, &a[..blocked]);
+        for i in 0..blocked {
+            prop_assert!(full[i].to_bits() == prefix[i].to_bits());
+        }
+    }
+}

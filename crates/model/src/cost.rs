@@ -19,7 +19,8 @@
 //! the model-accuracy experiment (E8) verifies.
 
 use crate::estimate::EstimatorCache;
-use adatm_dtree::{DimTree, TreeShape};
+use crate::profile::{KernelClass, KernelProfile};
+use adatm_dtree::{scatter_eligible, DimTree, TreeShape};
 
 /// Predicted costs of one memoization strategy.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -123,10 +124,164 @@ pub fn predict(shape: &TreeShape, rank: usize, cache: &mut EstimatorCache<'_>) -
     }
 }
 
+/// Predicted wall time of one CP-ALS iteration under a measured
+/// [`KernelProfile`], in nanoseconds.
+///
+/// Each non-root node's analytic work units — flops
+/// (`elems(parent) * (|δ| + 1) * R`) plus value-stream traffic bytes,
+/// both counted exactly as [`predict`] does — are converted at the
+/// measured rate of the kernel class the engine would run it with:
+/// scatter when the node passes the engine's [`scatter_eligible`]
+/// thresholds, pull otherwise. Scatter costing more per unit than pull,
+/// and each class carrying its own parallel efficiency, is exactly what
+/// the machine-independent flop model cannot see — two trees with equal
+/// flops can differ 2x in wall time when one funnels its work through
+/// scatter nodes that stop scaling. Keeping the traffic term matters just
+/// as much in the other direction: MTTKRP is memory-bound, so a ranking
+/// on flop-units alone drifts toward deep memoizing trees whose extra
+/// R-wide intermediate streams make them slower in practice. With a
+/// uniform profile this model degenerates to the analytic
+/// `flops + traffic` objective ([`CostBreakdown::cost_units`] at
+/// `beta = 1`).
+///
+/// This is a *ranking* refinement, not an oracle: absolute numbers drift
+/// with tensor shape, but the per-class rates transfer well enough to
+/// order candidate trees. Callers without a profile should rank by
+/// [`CostBreakdown::cost_units`] instead.
+pub fn predict_time_ns(
+    shape: &TreeShape,
+    rank: usize,
+    cache: &mut EstimatorCache<'_>,
+    profile: &KernelProfile,
+    threads: usize,
+) -> f64 {
+    let tree = DimTree::from_shape(shape);
+    let r = rank as f64;
+    let n = tree.ndim() as f64;
+    let mut ns = 0.0;
+    for id in 1..tree.len() {
+        let node = tree.node(id);
+        let parent = node.parent.expect("non-root");
+        let parent_elems = cache.elems(&tree.node(parent).modes);
+        let own_elems = cache.elems(&node.modes);
+        let flops = parent_elems * (node.delta.len() as f64 + 1.0) * r;
+        let read = if parent == 0 {
+            parent_elems * (VAL_BYTES + n * IDX_BYTES)
+        } else {
+            parent_elems * r * VAL_BYTES
+        };
+        let units = flops + read + own_elems * r * VAL_BYTES;
+        let class = if scatter_eligible(own_elems as usize, parent_elems as usize) {
+            KernelClass::TreeScatter
+        } else {
+            KernelClass::TreePull
+        };
+        ns += units * profile.ns_per_unit(class, threads);
+    }
+    ns
+}
+
+/// Predicted wall time of one CP-ALS iteration of the SPLATT-style CSF
+/// baseline (one fiber forest per mode), in nanoseconds — the "no
+/// memoization" pseudo-candidate the calibrated planner weighs against
+/// its tree candidates.
+///
+/// Mirrors the CSF construction heuristic (target mode at the root,
+/// remaining modes by ascending size): each below-root level of the
+/// mode-`m` forest has an estimated `elems(prefix)` nodes, and each node
+/// costs one rank-row operation, measured by the
+/// [`KernelClass::CsfRoot`] calibration. As in [`predict_time_ns`], the
+/// stream traffic — one pass over the tensor per mode plus the output
+/// write — is charged as extra units so the pseudo-candidate stays
+/// comparable with the traffic-aware tree predictions.
+pub fn predict_csf_time_ns(
+    dims: &[usize],
+    rank: usize,
+    cache: &mut EstimatorCache<'_>,
+    profile: &KernelProfile,
+    threads: usize,
+) -> f64 {
+    let n = dims.len();
+    let r = rank as f64;
+    let all: Vec<usize> = (0..n).collect();
+    let nnz = cache.elems(&all);
+    let mut traffic = 0.0;
+    for mode in 0..n {
+        traffic += nnz * (VAL_BYTES + n as f64 * IDX_BYTES) + cache.elems(&[mode]) * r * VAL_BYTES;
+    }
+    (csf_level_elems(dims, cache, false) * r + traffic)
+        * profile.ns_per_unit(KernelClass::CsfRoot, threads)
+}
+
+/// Predicted wall time of one CP-ALS iteration of the scheduled COO
+/// baseline (fused single-pass entry kernels over per-mode sorted
+/// views), in nanoseconds — the second no-memoization pseudo-candidate.
+/// Once the entry kernels are fused, COO's `nnz·(N−1)·R` units per mode
+/// can undercut every tree on tensors whose projections barely collapse;
+/// a planner that cannot pick it would leave the fastest backend on the
+/// table.
+pub fn predict_coo_time_ns(
+    dims: &[usize],
+    rank: usize,
+    cache: &mut EstimatorCache<'_>,
+    profile: &KernelProfile,
+    threads: usize,
+) -> f64 {
+    let n = dims.len();
+    let r = rank as f64;
+    let all: Vec<usize> = (0..n).collect();
+    let nnz = cache.elems(&all);
+    let mut units = 0.0;
+    for mode in 0..n {
+        units += nnz * (n as f64 - 1.0) * r
+            + nnz * (VAL_BYTES + n as f64 * IDX_BYTES)
+            + cache.elems(&[mode]) * r * VAL_BYTES;
+    }
+    units * profile.ns_per_unit(KernelClass::CooMttkrp, threads)
+}
+
+/// Estimated resident bytes of the COO baseline's per-mode sorted views
+/// (permutation plus group structure; the tensor itself is resident
+/// regardless of strategy and is not charged).
+pub fn predict_coo_resident_bytes(dims: &[usize], cache: &mut EstimatorCache<'_>) -> f64 {
+    let n = dims.len();
+    let all: Vec<usize> = (0..n).collect();
+    n as f64 * cache.elems(&all) * (IDX_BYTES + PTR_BYTES)
+}
+
+/// Estimated resident bytes of the CSF baseline's `N` fiber forests
+/// (index structures plus values), for budget gating the pseudo-candidate.
+pub fn predict_csf_resident_bytes(dims: &[usize], cache: &mut EstimatorCache<'_>) -> f64 {
+    csf_level_elems(dims, cache, true) * (IDX_BYTES + PTR_BYTES)
+        + dims.len() as f64 * cache.elems(&(0..dims.len()).collect::<Vec<_>>()) * VAL_BYTES
+}
+
+/// Sum of estimated node counts over every level of every per-mode CSF
+/// forest (optionally including the root level, which does no per-rank
+/// work but does occupy index storage).
+fn csf_level_elems(dims: &[usize], cache: &mut EstimatorCache<'_>, include_root: bool) -> f64 {
+    let n = dims.len();
+    let mut total = 0.0;
+    for mode in 0..n {
+        let mut rest: Vec<usize> = (0..n).filter(|&d| d != mode).collect();
+        rest.sort_by_key(|&d| dims[d]);
+        let mut prefix = vec![mode];
+        if include_root {
+            total += cache.elems(&prefix);
+        }
+        for &d in &rest {
+            prefix.push(d);
+            total += cache.elems(&prefix);
+        }
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::estimate::NnzEstimator;
+    use crate::profile::ClassRate;
     use adatm_tensor::gen::{uniform_tensor, zipf_tensor};
     use adatm_tensor::SparseTensor;
 
@@ -231,5 +386,78 @@ mod tests {
         let mut c = cache(&t);
         let cb = predict(&TreeShape::balanced_binary(3), 4, &mut c);
         assert_eq!(cb.resident_bytes(), cb.index_bytes + cb.peak_value_bytes);
+    }
+
+    fn uniform_profile(ns: f64) -> KernelProfile {
+        let r = ClassRate { ns_per_unit_1t: ns, ns_per_unit_nt: ns };
+        KernelProfile { threads: 8, coo_mttkrp: r, csf_root: r, tree_pull: r, tree_scatter: r }
+    }
+
+    #[test]
+    fn uniform_rates_make_predicted_time_proportional_to_analytic_units() {
+        // With every class at the same flat rate, predicted time must be
+        // exactly (flops + traffic) * ns_per_unit — the calibrated model
+        // degenerates to the analytic default objective (beta = 1).
+        let t = uniform_tensor(&[30; 4], 2_000, 21);
+        let mut c = cache(&t);
+        let p = uniform_profile(2.0);
+        for shape in
+            [TreeShape::two_level(4), TreeShape::three_level(4), TreeShape::balanced_binary(4)]
+        {
+            let cb = predict(&shape, 8, &mut c);
+            let ns = predict_time_ns(&shape, 8, &mut c, &p, 8);
+            assert!(
+                (ns - 2.0 * cb.cost_units(1.0)).abs() < 1e-6 * ns,
+                "time {ns} vs units {}",
+                cb.cost_units(1.0)
+            );
+        }
+    }
+
+    #[test]
+    fn scatter_heavy_rate_penalizes_collapsing_trees() {
+        // Skewed data collapses intermediates enough to trigger the
+        // scatter schedule; pricing scatter 10x above pull must raise the
+        // memoizing tree's predicted time relative to a uniform profile.
+        let t = zipf_tensor(&[400, 380, 360, 340], 30_000, &[1.2; 4], 22);
+        let mut c = cache(&t);
+        let shape = TreeShape::balanced_binary(4);
+        let flat = uniform_profile(1.0);
+        let mut scatter_heavy = flat;
+        scatter_heavy.tree_scatter = ClassRate { ns_per_unit_1t: 10.0, ns_per_unit_nt: 10.0 };
+        let base = predict_time_ns(&shape, 8, &mut c, &flat, 8);
+        let heavy = predict_time_ns(&shape, 8, &mut c, &scatter_heavy, 8);
+        assert!(heavy > base, "scatter-heavy profile must not be cheaper ({heavy} vs {base})");
+    }
+
+    #[test]
+    fn predicted_time_uses_per_thread_rates() {
+        let t = uniform_tensor(&[25; 4], 1_200, 23);
+        let mut c = cache(&t);
+        let mut p = uniform_profile(4.0);
+        for class in KernelClass::ALL {
+            p.rate_mut(class).ns_per_unit_nt = 1.0; // 4x speedup at 8 threads
+        }
+        let shape = TreeShape::three_level(4);
+        let t1 = predict_time_ns(&shape, 8, &mut c, &p, 1);
+        let t8 = predict_time_ns(&shape, 8, &mut c, &p, 8);
+        assert!((t1 / t8 - 4.0).abs() < 1e-9, "expected 4x: {t1} vs {t8}");
+    }
+
+    #[test]
+    fn csf_prediction_scales_with_rate_and_rank() {
+        let t = uniform_tensor(&[20; 4], 1_000, 24);
+        let mut c = cache(&t);
+        let p1 = uniform_profile(1.0);
+        let p3 = uniform_profile(3.0);
+        let a = predict_csf_time_ns(t.dims(), 8, &mut c, &p1, 8);
+        let b = predict_csf_time_ns(t.dims(), 8, &mut c, &p3, 8);
+        let d = predict_csf_time_ns(t.dims(), 16, &mut c, &p1, 8);
+        assert!(a > 0.0);
+        assert!((b / a - 3.0).abs() < 1e-9);
+        // Rank scales the per-node work and the output write, but not the
+        // fixed per-mode tensor read: strictly sublinear in R.
+        assert!(d > a && d < 2.0 * a);
+        assert!(predict_csf_resident_bytes(t.dims(), &mut c) > 0.0);
     }
 }

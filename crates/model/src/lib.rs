@@ -27,8 +27,10 @@
 pub mod cost;
 pub mod estimate;
 pub mod plan;
+pub mod profile;
 pub mod search;
 
 pub use cost::CostBreakdown;
 pub use estimate::NnzEstimator;
 pub use plan::{MemoPlan, Objective, Planner, SearchStrategy};
+pub use profile::{ClassRate, KernelClass, KernelProfile};

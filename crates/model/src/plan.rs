@@ -5,8 +5,12 @@
 //! carrying the chosen tree plus the predicted costs of every alternative
 //! considered — the provenance the model-accuracy experiment inspects.
 
-use crate::cost::{predict, CostBreakdown};
+use crate::cost::{
+    predict, predict_coo_resident_bytes, predict_coo_time_ns, predict_csf_resident_bytes,
+    predict_csf_time_ns, predict_time_ns, CostBreakdown,
+};
 use crate::estimate::{EstimatorCache, NnzEstimator};
+use crate::profile::KernelProfile;
 use crate::search::{interval_dp_weighted, named_shapes, subset_dp_weighted, OrderHeuristic};
 use adatm_dtree::TreeShape;
 use adatm_tensor::SparseTensor;
@@ -71,19 +75,43 @@ pub struct Candidate {
     pub cost: CostBreakdown,
     /// Whether the candidate fits the memory budget (true when no budget).
     pub fits_budget: bool,
+    /// Calibrated per-iteration wall-time prediction in nanoseconds
+    /// (`None` when the planner has no [`KernelProfile`]).
+    pub predicted_ns: Option<f64>,
 }
 
 /// The planner's output: chosen strategy plus full provenance.
 #[derive(Clone, Debug)]
 pub struct MemoPlan {
-    /// The selected tree.
+    /// The selected tree (the best *tree* even when [`MemoPlan::use_csf`]
+    /// says the CSF baseline is predicted faster still).
     pub shape: TreeShape,
     /// Predicted costs of the selection.
     pub predicted: CostBreakdown,
-    /// Every candidate evaluated, sorted by predicted flops ascending.
+    /// Every candidate evaluated, sorted ascending by the ranking the
+    /// planner used: calibrated time when a profile was supplied,
+    /// analytic cost units otherwise.
     pub candidates: Vec<Candidate>,
     /// Number of distinct-count estimator evaluations spent planning.
     pub estimator_evals: usize,
+    /// Calibrated per-iteration time of the selection (the CSF baseline's
+    /// when [`MemoPlan::use_csf`], the chosen tree's otherwise); `None`
+    /// without a profile.
+    pub predicted_ns: Option<f64>,
+    /// Calibrated per-iteration time of the SPLATT-CSF pseudo-candidate;
+    /// `None` without a profile.
+    pub csf_predicted_ns: Option<f64>,
+    /// True when calibration predicts the non-memoizing CSF baseline
+    /// outruns every tree candidate (and fits the memory budget): the
+    /// adaptive backend should dispatch to CSF instead of a tree.
+    pub use_csf: bool,
+    /// Calibrated per-iteration time of the scheduled-COO
+    /// pseudo-candidate; `None` without a profile.
+    pub coo_predicted_ns: Option<f64>,
+    /// True when calibration predicts the fused COO baseline outruns
+    /// both every tree candidate and the CSF baseline: the adaptive
+    /// backend should dispatch to plain scheduled COO.
+    pub use_coo: bool,
 }
 
 /// Model-driven memoization planner for one tensor.
@@ -111,6 +139,8 @@ pub struct Planner<'a> {
     strategy: SearchStrategy,
     orders: Vec<OrderHeuristic>,
     objective: Objective,
+    calibration: Option<KernelProfile>,
+    threads: usize,
 }
 
 impl<'a> Planner<'a> {
@@ -131,12 +161,33 @@ impl<'a> Planner<'a> {
                 OrderHeuristic::DimsAscending,
             ],
             objective: Objective::default(),
+            calibration: None,
+            threads: rayon::current_num_threads(),
         }
     }
 
     /// Sets the selection objective (default: traffic-aware).
     pub fn objective(mut self, o: Objective) -> Self {
         self.objective = o;
+        self
+    }
+
+    /// Supplies a measured [`KernelProfile`]. With one, the planner ranks
+    /// candidates by calibrated per-iteration wall time (thread-count
+    /// aware, per-class rates) instead of analytic cost units, and weighs
+    /// SPLATT-CSF and fused-COO pseudo-candidates against the trees.
+    /// Without one, the analytic model is the (machine-independent)
+    /// fallback.
+    pub fn calibration(mut self, profile: KernelProfile) -> Self {
+        self.calibration = Some(profile);
+        self
+    }
+
+    /// Sets the thread count the plan will execute at (default: the
+    /// current rayon pool size). Only meaningful with a calibration
+    /// profile — the analytic model is thread-count-free.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 
@@ -174,7 +225,13 @@ impl<'a> Planner<'a> {
             cache: &mut EstimatorCache<'_>,
         ) {
             let cost = predict(&shape, rank, cache);
-            candidates.push(Candidate { label, shape, cost, fits_budget: true });
+            candidates.push(Candidate {
+                label,
+                shape,
+                cost,
+                fits_budget: true,
+                predicted_ns: None,
+            });
         }
         /// As `push`, but drops the candidate when the tree is already in
         /// the set (used by the penalty sweep, which often rediscovers
@@ -232,7 +289,21 @@ impl<'a> Planner<'a> {
                 c.fits_budget = c.cost.resident_bytes() <= budget as f64;
             }
         }
-        candidates.sort_by(|a, b| a.cost.cost_units(beta).total_cmp(&b.cost.cost_units(beta)));
+        // Final ranking: calibrated wall time when a profile is present,
+        // analytic cost units otherwise.
+        if let Some(profile) = &self.calibration {
+            for c in &mut candidates {
+                c.predicted_ns =
+                    Some(predict_time_ns(&c.shape, rank, &mut cache, profile, self.threads));
+            }
+            candidates.sort_by(|a, b| {
+                a.predicted_ns
+                    .unwrap_or(f64::INFINITY)
+                    .total_cmp(&b.predicted_ns.unwrap_or(f64::INFINITY))
+            });
+        } else {
+            candidates.sort_by(|a, b| a.cost.cost_units(beta).total_cmp(&b.cost.cost_units(beta)));
+        }
         let chosen = candidates
             .iter()
             .find(|c| c.fits_budget)
@@ -244,11 +315,59 @@ impl<'a> Planner<'a> {
             })
             .expect("at least one candidate always exists")
             .clone();
+        // Weigh the two non-memoizing baselines — SPLATT-CSF and fused
+        // scheduled COO — against the best tree: each becomes the plan
+        // when it is predicted fastest among everything that fits the
+        // budget (or when no tree fits but the baseline does).
+        let mut csf_predicted_ns = None;
+        let mut coo_predicted_ns = None;
+        let mut use_csf = false;
+        let mut use_coo = false;
+        if let Some(profile) = &self.calibration {
+            let dims = self.tensor.dims();
+            let csf_ns = predict_csf_time_ns(dims, rank, &mut cache, profile, self.threads);
+            let coo_ns = predict_coo_time_ns(dims, rank, &mut cache, profile, self.threads);
+            csf_predicted_ns = Some(csf_ns);
+            coo_predicted_ns = Some(coo_ns);
+            let fits = |bytes: f64| match self.memory_budget {
+                Some(budget) => bytes <= budget as f64,
+                None => true,
+            };
+            let csf_fits = fits(predict_csf_resident_bytes(dims, &mut cache));
+            let coo_fits = fits(predict_coo_resident_bytes(dims, &mut cache));
+            let tree_ns = if chosen.fits_budget {
+                chosen.predicted_ns.unwrap_or(f64::INFINITY)
+            } else {
+                f64::INFINITY
+            };
+            let best_baseline = match (csf_fits, coo_fits) {
+                (true, true) => csf_ns.min(coo_ns),
+                (true, false) => csf_ns,
+                (false, true) => coo_ns,
+                (false, false) => f64::INFINITY,
+            };
+            if best_baseline < tree_ns {
+                use_coo = coo_fits && (!csf_fits || coo_ns <= csf_ns);
+                use_csf = !use_coo && csf_fits;
+            }
+        }
+        let predicted_ns = if use_coo {
+            coo_predicted_ns
+        } else if use_csf {
+            csf_predicted_ns
+        } else {
+            chosen.predicted_ns
+        };
         MemoPlan {
             shape: chosen.shape,
             predicted: chosen.cost,
+            predicted_ns,
             candidates,
             estimator_evals: cache.misses,
+            csf_predicted_ns,
+            use_csf,
+            coo_predicted_ns,
+            use_coo,
         }
     }
 }
@@ -256,7 +375,19 @@ impl<'a> Planner<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::profile::ClassRate;
     use adatm_tensor::gen::{uniform_tensor, zipf_tensor};
+
+    fn profile(coo: f64, csf: f64, pull: f64, scatter: f64) -> KernelProfile {
+        let rate = |ns: f64| ClassRate { ns_per_unit_1t: ns, ns_per_unit_nt: ns / 4.0 };
+        KernelProfile {
+            threads: 8,
+            coo_mttkrp: rate(coo),
+            csf_root: rate(csf),
+            tree_pull: rate(pull),
+            tree_scatter: rate(scatter),
+        }
+    }
 
     #[test]
     fn plan_selects_minimum_predicted_flops_without_budget() {
@@ -354,6 +485,103 @@ mod tests {
         let min =
             plan.candidates.iter().map(|c| c.cost.cost_units(1.0)).fold(f64::INFINITY, f64::min);
         assert!((plan.predicted.cost_units(1.0) - min).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uncalibrated_plan_has_no_time_predictions() {
+        let t = uniform_tensor(&[20; 4], 1_000, 30);
+        let plan = Planner::new(&t, 4).estimator(NnzEstimator::Exact).plan();
+        assert!(plan.predicted_ns.is_none());
+        assert!(plan.csf_predicted_ns.is_none());
+        assert!(plan.coo_predicted_ns.is_none());
+        assert!(!plan.use_csf);
+        assert!(!plan.use_coo);
+        assert!(plan.candidates.iter().all(|c| c.predicted_ns.is_none()));
+    }
+
+    #[test]
+    fn calibrated_plan_ranks_by_predicted_time() {
+        let t = zipf_tensor(&[40, 12, 36, 18], 3_000, &[0.9; 4], 31);
+        let plan = Planner::new(&t, 8)
+            .estimator(NnzEstimator::Exact)
+            .calibration(profile(1.6, 1.2, 0.8, 1.0))
+            .threads(8)
+            .plan();
+        assert!(plan.candidates.iter().all(|c| c.predicted_ns.is_some()));
+        for w in plan.candidates.windows(2) {
+            assert!(w[0].predicted_ns <= w[1].predicted_ns);
+        }
+        let min =
+            plan.candidates.iter().filter_map(|c| c.predicted_ns).fold(f64::INFINITY, f64::min);
+        if !plan.use_csf && !plan.use_coo {
+            assert_eq!(plan.predicted_ns, Some(min));
+        }
+        assert!(plan.csf_predicted_ns.is_some());
+        assert!(plan.coo_predicted_ns.is_some());
+    }
+
+    #[test]
+    fn coo_pseudo_candidate_wins_when_entry_kernels_are_fastest() {
+        let t = zipf_tensor(&[30; 4], 2_000, &[0.7; 4], 34);
+        // COO entry kernels priced 1000x below everything else: the
+        // planner must dispatch to the fused COO baseline.
+        let fast_coo = Planner::new(&t, 8)
+            .estimator(NnzEstimator::Exact)
+            .calibration(profile(0.001, 1.0, 1.0, 1.0))
+            .plan();
+        assert!(fast_coo.use_coo);
+        assert!(!fast_coo.use_csf);
+        assert_eq!(fast_coo.predicted_ns, fast_coo.coo_predicted_ns);
+        // And pricing COO 1000x above everything must keep it out.
+        let slow_coo = Planner::new(&t, 8)
+            .estimator(NnzEstimator::Exact)
+            .calibration(profile(1000.0, 1.0, 1.0, 1.0))
+            .plan();
+        assert!(!slow_coo.use_coo);
+    }
+
+    #[test]
+    fn csf_pseudo_candidate_wins_when_tree_kernels_are_slow() {
+        let t = zipf_tensor(&[30; 4], 2_000, &[0.7; 4], 32);
+        // Tree kernels priced 1000x above CSF: the planner must dispatch
+        // to the non-memoized baseline.
+        let slow_trees = Planner::new(&t, 8)
+            .estimator(NnzEstimator::Exact)
+            .calibration(profile(1.0, 0.001, 1.0, 1.0))
+            .plan();
+        assert!(slow_trees.use_csf);
+        assert_eq!(slow_trees.predicted_ns, slow_trees.csf_predicted_ns);
+        // And the reverse pricing must keep the tree.
+        let slow_csf = Planner::new(&t, 8)
+            .estimator(NnzEstimator::Exact)
+            .calibration(profile(1.0, 1000.0, 1.0, 1.0))
+            .plan();
+        assert!(!slow_csf.use_csf);
+    }
+
+    #[test]
+    fn calibrated_plan_still_respects_memory_budget() {
+        let t = uniform_tensor(&[60; 6], 6_000, 33);
+        let unbounded = Planner::new(&t, 16)
+            .estimator(NnzEstimator::Exact)
+            .calibration(profile(1.6, 1.2, 0.8, 1.0))
+            .plan();
+        let flat = unbounded
+            .candidates
+            .iter()
+            .find(|c| c.label == "flat")
+            .expect("flat evaluated")
+            .cost
+            .resident_bytes();
+        let plan = Planner::new(&t, 16)
+            .estimator(NnzEstimator::Exact)
+            .calibration(profile(1.6, 1.2, 0.8, 1.0))
+            .memory_budget(flat as usize + 1)
+            .plan();
+        // CSF's N fiber forests never fit a budget this tight, so the
+        // chosen strategy must be a tree within budget.
+        assert!(!plan.use_csf);
+        assert!(plan.predicted.resident_bytes() <= flat + 1.0);
     }
 
     #[test]

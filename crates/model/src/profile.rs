@@ -1,0 +1,338 @@
+//! Measured kernel-throughput profiles for calibrated plan costs.
+//!
+//! The analytic cost model ([`crate::cost::predict`]) counts flops and
+//! value-stream bytes — machine-independent quantities that rank
+//! strategies correctly *when every kernel converts work units to wall
+//! time at the same rate*. They do not: the COO entry kernel gathers
+//! factor rows at random, the tree pull kernel streams its parent, and
+//! the scatter kernel pays an extra merge — and their parallel
+//! efficiencies differ, because scatter forks per-thread accumulators
+//! while pull partitions rows. A [`KernelProfile`] captures those rates
+//! as measured on *this* machine by `cargo xtask calibrate`: ns per
+//! normalized work unit for each kernel class, at one thread and at the
+//! calibration thread count. [`crate::cost::predict_time_ns`] turns the
+//! analytic per-node work units into predicted wall time with them, and
+//! the planner ranks by that instead of abstract cost units whenever a
+//! profile is supplied. With no profile, everything falls back to the
+//! analytic model — the profile refines the ranking, it never gates it.
+//!
+//! Profiles serialize to a line-oriented `key = value` text format (no
+//! external dependencies), conventionally stored in `PROFILE.txt` at the
+//! workspace root and pointed at by the `ADATM_PROFILE` environment
+//! variable.
+
+use std::fmt;
+
+/// The kernel classes the calibration probe measures.
+///
+/// Work-unit definitions (what one "unit" of each class means):
+///
+/// * [`CooMttkrp`](KernelClass::CooMttkrp) — one fused multiply-add of
+///   the COO entry kernel: `nnz * (N - 1) * R` units per full MTTKRP.
+/// * [`CsfRoot`](KernelClass::CsfRoot) — one rank-row operation on a
+///   non-root CSF node: `(total_nodes - root_slices) * R` units per
+///   root-mode MTTKRP.
+/// * [`TreePull`](KernelClass::TreePull) — one fused multiply-add of the
+///   dimension-tree pull (owner-computes) TTMV:
+///   `parent_elems * (|delta| + 1) * R` units per node.
+/// * [`TreeScatter`](KernelClass::TreeScatter) — same unit, scatter
+///   (push) schedule. Costlier per unit than pull: the parent streams but
+///   the per-thread child accumulators must be merged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KernelClass {
+    /// Element-wise COO MTTKRP entry kernel.
+    CooMttkrp,
+    /// SPLATT-style CSF root-mode traversal.
+    CsfRoot,
+    /// Dimension-tree pull (owner-computes) node kernel.
+    TreePull,
+    /// Dimension-tree scatter (push) node kernel.
+    TreeScatter,
+}
+
+impl KernelClass {
+    /// All classes, in serialization order.
+    pub const ALL: [KernelClass; 4] = [
+        KernelClass::CooMttkrp,
+        KernelClass::CsfRoot,
+        KernelClass::TreePull,
+        KernelClass::TreeScatter,
+    ];
+
+    /// The stable text key used in serialized profiles.
+    pub fn key(&self) -> &'static str {
+        match self {
+            KernelClass::CooMttkrp => "coo_mttkrp",
+            KernelClass::CsfRoot => "csf_root",
+            KernelClass::TreePull => "tree_pull",
+            KernelClass::TreeScatter => "tree_scatter",
+        }
+    }
+
+    fn from_key(key: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|c| c.key() == key)
+    }
+}
+
+impl fmt::Display for KernelClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// Measured throughput of one kernel class.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClassRate {
+    /// Nanoseconds per work unit on a single thread.
+    pub ns_per_unit_1t: f64,
+    /// Nanoseconds per work unit at the profile's thread count.
+    pub ns_per_unit_nt: f64,
+}
+
+impl ClassRate {
+    /// Measured parallel speedup at the profile's thread count (>= 1;
+    /// sub-1 measurements are clamped — parallel overhead can make a
+    /// kernel slower than sequential, but a *rate* below sequential at
+    /// intermediate thread counts would be an interpolation artifact).
+    pub fn speedup(&self) -> f64 {
+        if self.ns_per_unit_nt > 0.0 {
+            (self.ns_per_unit_1t / self.ns_per_unit_nt).max(1.0)
+        } else {
+            1.0
+        }
+    }
+
+    /// Per-thread parallel efficiency `e` in the linear speedup model
+    /// `speedup(t) = 1 + (t - 1) * e`, from the two measured endpoints.
+    pub fn efficiency(&self, measured_threads: usize) -> f64 {
+        if measured_threads <= 1 {
+            return 1.0;
+        }
+        ((self.speedup() - 1.0) / (measured_threads as f64 - 1.0)).clamp(0.0, 1.0)
+    }
+}
+
+/// A machine's measured kernel rates: one [`ClassRate`] per
+/// [`KernelClass`], measured at 1 and [`KernelProfile::threads`] threads.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KernelProfile {
+    /// Thread count the `ns_per_unit_nt` rates were measured at.
+    pub threads: usize,
+    /// COO entry-kernel rate.
+    pub coo_mttkrp: ClassRate,
+    /// CSF root-traversal rate.
+    pub csf_root: ClassRate,
+    /// Tree pull-kernel rate.
+    pub tree_pull: ClassRate,
+    /// Tree scatter-kernel rate.
+    pub tree_scatter: ClassRate,
+}
+
+impl KernelProfile {
+    /// The rate of one class.
+    pub fn rate(&self, class: KernelClass) -> ClassRate {
+        match class {
+            KernelClass::CooMttkrp => self.coo_mttkrp,
+            KernelClass::CsfRoot => self.csf_root,
+            KernelClass::TreePull => self.tree_pull,
+            KernelClass::TreeScatter => self.tree_scatter,
+        }
+    }
+
+    /// Mutable access, for the calibration writer.
+    pub fn rate_mut(&mut self, class: KernelClass) -> &mut ClassRate {
+        match class {
+            KernelClass::CooMttkrp => &mut self.coo_mttkrp,
+            KernelClass::CsfRoot => &mut self.csf_root,
+            KernelClass::TreePull => &mut self.tree_pull,
+            KernelClass::TreeScatter => &mut self.tree_scatter,
+        }
+    }
+
+    /// Nanoseconds per work unit of `class` at `threads` threads.
+    ///
+    /// Measured endpoints are used directly; intermediate counts
+    /// interpolate with the per-class linear-efficiency model
+    /// `speedup(t) = 1 + (t - 1) * e`. Thread counts beyond the measured
+    /// maximum clamp to the measured rate rather than extrapolating —
+    /// oversubscription never makes a kernel faster.
+    pub fn ns_per_unit(&self, class: KernelClass, threads: usize) -> f64 {
+        let rate = self.rate(class);
+        if threads <= 1 {
+            rate.ns_per_unit_1t
+        } else if threads >= self.threads {
+            rate.ns_per_unit_nt
+        } else {
+            let e = rate.efficiency(self.threads);
+            rate.ns_per_unit_1t / (1.0 + (threads as f64 - 1.0) * e)
+        }
+    }
+
+    /// Serializes to the line-oriented text format.
+    pub fn to_text(&self) -> String {
+        let mut s = String::from("# adatm kernel profile v1\n");
+        s.push_str(&format!("threads = {}\n", self.threads));
+        for class in KernelClass::ALL {
+            let r = self.rate(class);
+            s.push_str(&format!("{}.ns_per_unit.t1 = {:.6e}\n", class.key(), r.ns_per_unit_1t));
+            s.push_str(&format!("{}.ns_per_unit.tn = {:.6e}\n", class.key(), r.ns_per_unit_nt));
+        }
+        s
+    }
+
+    /// Parses the text format written by [`KernelProfile::to_text`].
+    ///
+    /// Unknown keys are ignored (forward compatibility); missing keys,
+    /// non-positive rates, or a missing thread count are errors.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut threads: Option<usize> = None;
+        let mut rates: [[Option<f64>; 2]; 4] = [[None; 2]; 4];
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", lineno + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            if key == "threads" {
+                let t: usize =
+                    value.parse().map_err(|e| format!("line {}: threads: {e}", lineno + 1))?;
+                if t == 0 {
+                    return Err(format!("line {}: threads must be positive", lineno + 1));
+                }
+                threads = Some(t);
+                continue;
+            }
+            let Some((class_key, field)) = key.split_once('.') else {
+                continue; // unknown flat key
+            };
+            let Some(class) = KernelClass::from_key(class_key) else {
+                continue; // unknown class
+            };
+            let slot = match field {
+                "ns_per_unit.t1" => 0,
+                "ns_per_unit.tn" => 1,
+                _ => continue, // unknown field
+            };
+            let v: f64 = value.parse().map_err(|e| format!("line {}: {key}: {e}", lineno + 1))?;
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(format!("line {}: {key}: rate must be positive, got {v}", lineno + 1));
+            }
+            let idx = KernelClass::ALL.iter().position(|c| *c == class).unwrap_or(0);
+            rates[idx][slot] = Some(v);
+        }
+        let threads = threads.ok_or("missing `threads`")?;
+        let get = |class: KernelClass| -> Result<ClassRate, String> {
+            let idx = KernelClass::ALL.iter().position(|c| *c == class).unwrap_or(0);
+            Ok(ClassRate {
+                ns_per_unit_1t: rates[idx][0]
+                    .ok_or_else(|| format!("missing `{}.ns_per_unit.t1`", class.key()))?,
+                ns_per_unit_nt: rates[idx][1]
+                    .ok_or_else(|| format!("missing `{}.ns_per_unit.tn`", class.key()))?,
+            })
+        };
+        Ok(KernelProfile {
+            threads,
+            coo_mttkrp: get(KernelClass::CooMttkrp)?,
+            csf_root: get(KernelClass::CsfRoot)?,
+            tree_pull: get(KernelClass::TreePull)?,
+            tree_scatter: get(KernelClass::TreeScatter)?,
+        })
+    }
+
+    /// Loads the profile named by the `ADATM_PROFILE` environment
+    /// variable, if set, readable, and well-formed. Any failure returns
+    /// `None` — a stale or corrupt profile silently falls back to the
+    /// analytic model rather than poisoning planning.
+    pub fn load_env() -> Option<Self> {
+        let path = std::env::var("ADATM_PROFILE").ok()?;
+        if path.is_empty() {
+            return None;
+        }
+        let text = std::fs::read_to_string(path).ok()?;
+        Self::from_text(&text).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> KernelProfile {
+        KernelProfile {
+            threads: 8,
+            coo_mttkrp: ClassRate { ns_per_unit_1t: 1.6, ns_per_unit_nt: 0.4 },
+            csf_root: ClassRate { ns_per_unit_1t: 1.2, ns_per_unit_nt: 0.3 },
+            tree_pull: ClassRate { ns_per_unit_1t: 0.8, ns_per_unit_nt: 0.2 },
+            tree_scatter: ClassRate { ns_per_unit_1t: 1.0, ns_per_unit_nt: 0.5 },
+        }
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_profile() {
+        let p = sample();
+        let q = KernelProfile::from_text(&p.to_text()).expect("roundtrip");
+        assert_eq!(p.threads, q.threads);
+        for class in KernelClass::ALL {
+            let (a, b) = (p.rate(class), q.rate(class));
+            assert!((a.ns_per_unit_1t - b.ns_per_unit_1t).abs() < 1e-12 * a.ns_per_unit_1t);
+            assert!((a.ns_per_unit_nt - b.ns_per_unit_nt).abs() < 1e-12 * a.ns_per_unit_nt);
+        }
+    }
+
+    #[test]
+    fn endpoints_are_exact_and_interpolation_is_monotone() {
+        let p = sample();
+        let c = KernelClass::CooMttkrp;
+        assert_eq!(p.ns_per_unit(c, 1), 1.6);
+        assert_eq!(p.ns_per_unit(c, 8), 0.4);
+        // Beyond the measured count: clamp, never extrapolate.
+        assert_eq!(p.ns_per_unit(c, 64), 0.4);
+        let mut prev = p.ns_per_unit(c, 1);
+        for t in 2..=8 {
+            let ns = p.ns_per_unit(c, t);
+            assert!(ns <= prev, "rate must not increase with threads: t={t}");
+            prev = ns;
+        }
+    }
+
+    #[test]
+    fn efficiency_reflects_measured_speedup() {
+        let p = sample();
+        // coo: speedup 4.0 over 8 threads -> e = 3/7.
+        let e = p.coo_mttkrp.efficiency(8);
+        assert!((e - 3.0 / 7.0).abs() < 1e-12);
+        // A kernel that does not speed up at all has efficiency 0.
+        let flat = ClassRate { ns_per_unit_1t: 1.0, ns_per_unit_nt: 1.0 };
+        assert_eq!(flat.efficiency(8), 0.0);
+    }
+
+    #[test]
+    fn sub_sequential_parallel_rate_clamps_speedup() {
+        // Parallel slower than sequential: speedup clamps to 1, so
+        // intermediate thread counts never go below the 1t rate.
+        let r = ClassRate { ns_per_unit_1t: 1.0, ns_per_unit_nt: 2.0 };
+        assert_eq!(r.speedup(), 1.0);
+        assert_eq!(r.efficiency(8), 0.0);
+    }
+
+    #[test]
+    fn parse_rejects_missing_and_bad_fields() {
+        assert!(KernelProfile::from_text("").is_err());
+        assert!(KernelProfile::from_text("threads = 0").is_err());
+        let mut text = sample().to_text();
+        text = text.replace("coo_mttkrp.ns_per_unit.t1 = 1.600000e0", "");
+        assert!(KernelProfile::from_text(&text).is_err());
+        let bad = sample().to_text().replace("1.600000e0", "-3.0");
+        assert!(KernelProfile::from_text(&bad).is_err());
+    }
+
+    #[test]
+    fn parse_ignores_unknown_keys_and_comments() {
+        let mut text = sample().to_text();
+        text.push_str("# trailing comment\nfuture_kernel.ns_per_unit.t1 = 9.9\nmisc = hello\n");
+        assert!(KernelProfile::from_text(&text).is_ok());
+    }
+}

@@ -13,6 +13,7 @@
 
 use crate::coo::{Idx, SparseTensor};
 use crate::schedule::{ModeSchedule, Task, Workspace};
+use adatm_linalg::kernels;
 use adatm_linalg::Mat;
 use rayon::prelude::*;
 use std::ops::Range;
@@ -373,9 +374,7 @@ impl CsfTensor {
             let orow = out.row_mut(self.fids[0][sp.group] as usize);
             for s in 0..sp.nslots {
                 let srow = &slots[(sp.slot0 + s) * rank..(sp.slot0 + s + 1) * rank];
-                for (o, &v) in orow.iter_mut().zip(srow.iter()) {
-                    *o += v;
-                }
+                kernels::add_assign(orow, srow);
             }
         }
     }
@@ -395,9 +394,7 @@ impl CsfTensor {
         for c in children {
             self.eval_subtree(1, c, factors, rank, scratch);
             let row1 = &scratch[rank..2 * rank];
-            for (a, &s) in acc.iter_mut().zip(row1.iter()) {
-                *a += s;
-            }
+            kernels::add_assign(acc, row1);
         }
     }
 
@@ -420,9 +417,7 @@ impl CsfTensor {
             let v = self.vals[node];
             let frow = factors[self.order[level]].row(self.fids[level][node] as usize);
             let dst = &mut scratch[level * rank..(level + 1) * rank];
-            for (s, &u) in dst.iter_mut().zip(frow.iter()) {
-                *s = v * u;
-            }
+            kernels::scale(dst, v, frow);
             return;
         }
         let (lo, hi) = (self.fptr[level][node], self.fptr[level][node + 1]);
@@ -432,18 +427,14 @@ impl CsfTensor {
             self.eval_subtree(level + 1, c, factors, rank, scratch);
             let (upper, lower) = scratch.split_at_mut((level + 1) * rank);
             let acc = &mut upper[level * rank..];
-            for (a, &s) in acc.iter_mut().zip(lower[..rank].iter()) {
-                *a += s;
-            }
+            kernels::add_assign(acc, &lower[..rank]);
         }
         if level > 0 {
             // Multiply this node's own factor row in, once for the whole
             // fiber — the source of CSF's advantage over COO.
             let frow = factors[self.order[level]].row(self.fids[level][node] as usize);
             let acc = &mut scratch[level * rank..(level + 1) * rank];
-            for (a, &u) in acc.iter_mut().zip(frow.iter()) {
-                *a *= u;
-            }
+            kernels::mul_assign(acc, frow);
         }
     }
 

@@ -24,6 +24,7 @@
 use crate::coo::SparseTensor;
 use crate::schedule::{ModeSchedule, Task, Workspace};
 use crate::sorted::SortedModeView;
+use adatm_linalg::kernels;
 use adatm_linalg::Mat;
 use rayon::prelude::*;
 
@@ -52,9 +53,7 @@ fn hadamard_rows(row: &mut [f64], factors: &[Mat], t: &SparseTensor, entry: usiz
             continue;
         }
         let frow = f.row(t.mode_idx(d)[entry] as usize);
-        for (acc, &u) in row.iter_mut().zip(frow.iter()) {
-            *acc *= u;
-        }
+        kernels::mul_assign(row, frow);
     }
 }
 
@@ -82,10 +81,12 @@ pub fn mttkrp_seq_into(t: &SparseTensor, factors: &[Mat], mode: usize, out: &mut
 /// Accumulates the contribution of entry `k` into `orow`, using `srow`
 /// as the Hadamard scratch row.
 ///
-/// Fuses the value seed into the first factor pass and the accumulation
-/// into the last: `N - 1` rank-length passes instead of `N + 1`. The
-/// multiplication order matches [`hadamard_rows`] exactly (ascending
-/// mode index), so results are bitwise identical to the unfused form.
+/// Orders 2–4 take a fully fused single-pass path (`orow += val ⊙ rows`,
+/// no scratch traffic at all); higher orders fuse the value seed into the
+/// first factor pass and the accumulation into the last — `N - 1`
+/// rank-length passes instead of `N + 1`. All paths multiply factor rows
+/// in ascending mode index like [`hadamard_rows`], left-to-right, so
+/// results are bitwise identical to the unfused form.
 #[inline]
 fn accumulate_entry(
     t: &SparseTensor,
@@ -97,34 +98,55 @@ fn accumulate_entry(
 ) {
     let val = t.vals()[k];
     let ndim = factors.len();
-    let last = if mode == ndim - 1 { ndim - 2 } else { ndim - 1 };
-    let mut seeded = false;
-    for (d, f) in factors.iter().enumerate() {
-        if d == mode || d == last {
-            continue;
+    let row_of = |d: usize| factors[d].row(t.mode_idx(d)[k] as usize);
+    match ndim {
+        2 => kernels::axpy(orow, val, row_of(1 - mode)),
+        3 => {
+            let (a, b) = other_modes3(mode);
+            kernels::axpy2(orow, val, row_of(a), row_of(b));
         }
-        let frow = f.row(t.mode_idx(d)[k] as usize);
-        if seeded {
-            for (s, &u) in srow.iter_mut().zip(frow.iter()) {
-                *s *= u;
+        4 => {
+            let (a, b, c) = other_modes4(mode);
+            kernels::axpy3(orow, val, row_of(a), row_of(b), row_of(c));
+        }
+        _ => {
+            let last = if mode == ndim - 1 { ndim - 2 } else { ndim - 1 };
+            let mut seeded = false;
+            for (d, f) in factors.iter().enumerate() {
+                if d == mode || d == last {
+                    continue;
+                }
+                let frow = f.row(t.mode_idx(d)[k] as usize);
+                if seeded {
+                    kernels::mul_assign(srow, frow);
+                } else {
+                    kernels::scale(srow, val, frow);
+                    seeded = true;
+                }
             }
-        } else {
-            for (s, &u) in srow.iter_mut().zip(frow.iter()) {
-                *s = val * u;
-            }
-            seeded = true;
+            kernels::muladd_assign(orow, srow, row_of(last));
         }
     }
-    let frow = factors[last].row(t.mode_idx(last)[k] as usize);
-    if seeded {
-        for ((o, &s), &u) in orow.iter_mut().zip(srow.iter()).zip(frow.iter()) {
-            *o += s * u;
-        }
-    } else {
-        // Order-2 tensor: the single non-mode factor row, scaled.
-        for (o, &u) in orow.iter_mut().zip(frow.iter()) {
-            *o += val * u;
-        }
+}
+
+/// The two non-`mode` modes of an order-3 tensor, ascending.
+#[inline]
+fn other_modes3(mode: usize) -> (usize, usize) {
+    match mode {
+        0 => (1, 2),
+        1 => (0, 2),
+        _ => (0, 1),
+    }
+}
+
+/// The three non-`mode` modes of an order-4 tensor, ascending.
+#[inline]
+fn other_modes4(mode: usize) -> (usize, usize, usize) {
+    match mode {
+        0 => (1, 2, 3),
+        1 => (0, 2, 3),
+        2 => (0, 1, 3),
+        _ => (0, 1, 2),
     }
 }
 
@@ -289,9 +311,7 @@ pub fn mttkrp_par_into(
             if s == 0 {
                 orow.copy_from_slice(srow);
             } else {
-                for (o, &v) in orow.iter_mut().zip(srow.iter()) {
-                    *o += v;
-                }
+                kernels::add_assign(orow, srow);
             }
         }
     }
@@ -327,32 +347,33 @@ fn assign_entry(
 ) {
     let val = t.vals()[k];
     let ndim = factors.len();
-    let last = if mode == ndim - 1 { ndim - 2 } else { ndim - 1 };
-    let mut seeded = false;
-    for (d, f) in factors.iter().enumerate() {
-        if d == mode || d == last {
-            continue;
+    let row_of = |d: usize| factors[d].row(t.mode_idx(d)[k] as usize);
+    match ndim {
+        2 => kernels::scale(orow, val, row_of(1 - mode)),
+        3 => {
+            let (a, b) = other_modes3(mode);
+            kernels::scale2(orow, val, row_of(a), row_of(b));
         }
-        let frow = f.row(t.mode_idx(d)[k] as usize);
-        if seeded {
-            for (s, &u) in srow.iter_mut().zip(frow.iter()) {
-                *s *= u;
+        4 => {
+            let (a, b, c) = other_modes4(mode);
+            kernels::scale3(orow, val, row_of(a), row_of(b), row_of(c));
+        }
+        _ => {
+            let last = if mode == ndim - 1 { ndim - 2 } else { ndim - 1 };
+            let mut seeded = false;
+            for (d, f) in factors.iter().enumerate() {
+                if d == mode || d == last {
+                    continue;
+                }
+                let frow = f.row(t.mode_idx(d)[k] as usize);
+                if seeded {
+                    kernels::mul_assign(srow, frow);
+                } else {
+                    kernels::scale(srow, val, frow);
+                    seeded = true;
+                }
             }
-        } else {
-            for (s, &u) in srow.iter_mut().zip(frow.iter()) {
-                *s = val * u;
-            }
-            seeded = true;
-        }
-    }
-    let frow = factors[last].row(t.mode_idx(last)[k] as usize);
-    if seeded {
-        for ((o, &s), &u) in orow.iter_mut().zip(srow.iter()).zip(frow.iter()) {
-            *o = s * u;
-        }
-    } else {
-        for (o, &u) in orow.iter_mut().zip(frow.iter()) {
-            *o = val * u;
+            kernels::mul_into(orow, srow, row_of(last));
         }
     }
 }
@@ -381,9 +402,7 @@ pub fn mttkrp_par_grouped(
                 let k = e as usize;
                 scratch.iter_mut().for_each(|s| *s = t.vals()[k]);
                 hadamard_rows(&mut scratch, factors, t, k, mode);
-                for (a, &s) in acc.iter_mut().zip(scratch.iter()) {
-                    *a += s;
-                }
+                kernels::add_assign(&mut acc, &scratch);
             }
             (key as usize, acc)
         })

@@ -23,7 +23,20 @@ pub struct SortedModeView {
 
 impl SortedModeView {
     /// Builds the view for `mode` by counting sort over the mode's index
-    /// array (`O(nnz + I_mode)`).
+    /// array (`O(nnz + I_mode)`), then orders the entries *within* each
+    /// group lexicographically by the other modes' indices, largest mode
+    /// first.
+    ///
+    /// The secondary sort is a locality optimization for "long-mode"
+    /// groups (small mode dimension, many entries per group): the MTTKRP
+    /// entry kernel gathers one factor row per non-target mode per entry,
+    /// and on a mode whose groups span thousands of entries those reads
+    /// land anywhere in factor matrices that are megabytes large. Walking
+    /// a group in ascending largest-mode order turns the dominant gather
+    /// stream into a monotone address walk the hardware prefetcher can
+    /// follow. Group membership is unchanged, so the race-freedom story
+    /// is untouched; only the in-group summation order (and therefore
+    /// floating-point rounding, within tolerance) differs.
     pub fn build(t: &SparseTensor, mode: usize) -> Self {
         let idx = t.mode_idx(mode);
         let size = t.dims()[mode];
@@ -47,6 +60,25 @@ impl SortedModeView {
             if counts[i + 1] > counts[i] {
                 keys.push(i as Idx);
                 ptr.push(counts[i + 1]);
+            }
+        }
+        // Secondary in-group order: other modes by descending size, ties
+        // broken by entry id for determinism.
+        let mut others: Vec<usize> = (0..t.ndim()).filter(|&d| d != mode).collect();
+        others.sort_by_key(|&d| std::cmp::Reverse(t.dims()[d]));
+        for g in 0..keys.len() {
+            let grp = &mut perm[ptr[g]..ptr[g + 1]];
+            if grp.len() > 1 {
+                grp.sort_unstable_by(|&a, &b| {
+                    for &d in &others {
+                        let col = t.mode_idx(d);
+                        match col[a as usize].cmp(&col[b as usize]) {
+                            std::cmp::Ordering::Equal => continue,
+                            ord => return ord,
+                        }
+                    }
+                    a.cmp(&b)
+                });
             }
         }
         SortedModeView { mode, keys, ptr, perm }
