@@ -21,7 +21,7 @@
 // workspace: a GlobalAlloc shim must be `unsafe impl` by definition.
 #![allow(unsafe_code)]
 
-use adatm_bench::{env_usize, time_best, with_threads, Table};
+use adatm_bench::{env_flag, env_usize, time_best, with_threads, Table};
 use adatm_core::{all_backends, CpAls, CpAlsOptions};
 use adatm_dtree::{DtreeEngine, EngineOptions, NodeKernelClass, TreeShape};
 use adatm_linalg::Mat;
@@ -386,7 +386,7 @@ fn write_json(
 }
 
 fn main() {
-    let smoke = std::env::var("ADATM_BENCH_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let smoke = env_flag("ADATM_BENCH_SMOKE");
     let threads = env_usize("ADATM_BENCH_THREADS", 8);
     let rank = env_usize("ADATM_RANK", 16);
     let reps = env_usize("ADATM_BENCH_REPS", if smoke { 2 } else { 25 });

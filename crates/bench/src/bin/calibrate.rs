@@ -20,7 +20,7 @@
 //!   than 10% (exit 1 otherwise);
 //! * argv[1] — output profile path (default `PROFILE.txt`).
 
-use adatm_bench::{env_usize, time_best, with_threads, Table};
+use adatm_bench::{env_flag, env_usize, time_best, with_threads, Table};
 use adatm_core::{AdaptiveBackend, CpAls, CpAlsOptions, DtreeBackend, MttkrpBackend};
 use adatm_dtree::{DtreeEngine, EngineOptions, NodeKernelClass, TreeShape};
 use adatm_linalg::Mat;
@@ -216,8 +216,8 @@ fn check_calibrated_plan(
 }
 
 fn main() {
-    let smoke = std::env::var("ADATM_BENCH_SMOKE").map(|v| v == "1").unwrap_or(false);
-    let check = std::env::var("ADATM_CALIBRATE_CHECK").map(|v| v == "1").unwrap_or(false);
+    let smoke = env_flag("ADATM_BENCH_SMOKE");
+    let check = env_flag("ADATM_CALIBRATE_CHECK");
     let threads = env_usize("ADATM_BENCH_THREADS", 8);
     let rank = env_usize("ADATM_RANK", 16);
     let reps = env_usize("ADATM_BENCH_REPS", if smoke { 2 } else { 9 });

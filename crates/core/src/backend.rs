@@ -51,6 +51,14 @@ pub trait MttkrpBackend {
     fn structure_bytes(&self) -> usize {
         0
     }
+
+    /// The calibrated per-iteration wall-time prediction in nanoseconds,
+    /// for backends that planned with a kernel profile. The CP-ALS drift
+    /// detector compares this against measured kernel time per iteration.
+    /// `None` (the default) disables drift detection.
+    fn predicted_iter_ns(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// Element-wise COO MTTKRP (Tensor-Toolbox class): `N-1` row Hadamard
@@ -95,7 +103,15 @@ impl MttkrpBackend for CooBackend {
                 self.sched_threads = threads;
             }
             let view = &self.views[mode];
-            let sched = self.scheds[mode].get_or_insert_with(|| schedule_for_view(view, threads));
+            let sched = self.scheds[mode].get_or_insert_with(|| {
+                adatm_trace::event!(
+                    "backend.schedule_rebuild",
+                    backend: "coo",
+                    mode: mode as u64,
+                    threads: threads as u64
+                );
+                schedule_for_view(view, threads)
+            });
             mttkrp_par_into(tensor, factors, mode, view, sched, &mut self.ws, out);
         } else {
             mttkrp_seq_into(tensor, factors, mode, out);
@@ -168,7 +184,15 @@ impl MttkrpBackend for CsfBackend {
                 }
                 self.sched_threads = threads;
             }
-            let sched = self.scheds[mode].get_or_insert_with(|| csf.root_schedule(threads));
+            let sched = self.scheds[mode].get_or_insert_with(|| {
+                adatm_trace::event!(
+                    "backend.schedule_rebuild",
+                    backend: "splatt-csf",
+                    mode: mode as u64,
+                    threads: threads as u64
+                );
+                csf.root_schedule(threads)
+            });
             csf.mttkrp_root_into(factors, sched, &mut self.ws, out);
         } else {
             let m = csf.mttkrp_root(factors);
@@ -349,6 +373,18 @@ impl AdaptiveBackend {
                 "adaptive",
             ))
         };
+        adatm_trace::event!(
+            "backend.dispatch",
+            engine: match &inner {
+                AdaptiveInner::Tree(_) => "tree",
+                AdaptiveInner::Csf(_) => "csf",
+                AdaptiveInner::Coo(_) => "coo",
+            },
+            shape: format!("{}", plan.shape),
+            use_csf: plan.use_csf,
+            use_coo: plan.use_coo,
+            predicted_ns: plan.predicted_ns.unwrap_or(-1.0)
+        );
         AdaptiveBackend { inner, plan }
     }
 
@@ -403,6 +439,7 @@ impl MttkrpBackend for AdaptiveBackend {
     }
 
     fn reset(&mut self) {
+        adatm_trace::event!("backend.reset", backend: "adaptive");
         match &mut self.inner {
             AdaptiveInner::Tree(b) => b.reset(),
             AdaptiveInner::Csf(b) => b.reset(),
@@ -412,6 +449,10 @@ impl MttkrpBackend for AdaptiveBackend {
 
     fn name(&self) -> &'static str {
         "adaptive"
+    }
+
+    fn predicted_iter_ns(&self) -> Option<f64> {
+        self.plan.predicted_ns
     }
 
     fn structure_bytes(&self) -> usize {
@@ -446,6 +487,10 @@ impl<B: MttkrpBackend + ?Sized> MttkrpBackend for Box<B> {
 
     fn structure_bytes(&self) -> usize {
         (**self).structure_bytes()
+    }
+
+    fn predicted_iter_ns(&self) -> Option<f64> {
+        (**self).predicted_iter_ns()
     }
 }
 

@@ -106,6 +106,13 @@ pub struct CpAlsOptions {
     /// gracefully (ridge re-solves are not counted — they are cheap,
     /// deterministic repairs that cannot loop).
     pub recovery_budget: usize,
+    /// Drift threshold: when the backend supplies a calibrated
+    /// per-iteration prediction and the measured kernel time per
+    /// iteration exceeds `prediction * drift_factor`, a
+    /// [`BreakdownKind::PredictionDrift`] diagnostic (and a
+    /// `drift.warning` trace event) is emitted. `0.0` disables the
+    /// check.
+    pub drift_factor: f64,
 }
 
 impl CpAlsOptions {
@@ -123,6 +130,7 @@ impl CpAlsOptions {
             init: InitStrategy::Random,
             time_budget: None,
             recovery_budget: 8,
+            drift_factor: 2.0,
         }
     }
 
@@ -160,6 +168,12 @@ impl CpAlsOptions {
     /// Sets the rollback recovery budget.
     pub fn recovery_budget(mut self, budget: usize) -> Self {
         self.recovery_budget = budget;
+        self
+    }
+
+    /// Sets the prediction-drift warning threshold (`0.0` disables).
+    pub fn drift_factor(mut self, factor: f64) -> Self {
+        self.drift_factor = factor;
         self
     }
 }
@@ -205,6 +219,72 @@ impl CpResult {
     pub fn final_fit(&self) -> f64 {
         self.fit_history.last().copied().unwrap_or(0.0)
     }
+
+    /// A compact human-readable run summary: iterations, stop reason,
+    /// fit, phase timings, recoveries, and — when the backend supplied a
+    /// calibrated prediction — predicted vs measured per-iteration time.
+    pub fn trace_summary(&self) -> String {
+        let mut s = format!(
+            "iters={} stop={:?} fit={:.6} converged={} mttkrp={:.3}ms dense={:.3}ms fit_time={:.3}ms events={} recoveries={}",
+            self.iters,
+            self.diagnostics.stop,
+            self.final_fit(),
+            self.converged,
+            self.timings.mttkrp.as_secs_f64() * 1e3,
+            self.timings.dense.as_secs_f64() * 1e3,
+            self.timings.fit.as_secs_f64() * 1e3,
+            self.diagnostics.events.len(),
+            self.diagnostics.recoveries,
+        );
+        if let (Some(pred), Some(meas)) =
+            (self.diagnostics.predicted_iter_ns, self.diagnostics.measured_iter_ns)
+        {
+            s.push_str(&format!(
+                " predicted_iter={:.0}ns measured_iter={:.0}ns ratio={:.2}",
+                pred,
+                meas,
+                if pred > 0.0 { meas / pred } else { f64::NAN }
+            ));
+        }
+        s
+    }
+}
+
+/// Watchdog check shared by every stage boundary: when the budget has
+/// expired, records the diagnostic (with the stage that detected it),
+/// sets the stop reason, and tells the caller to break the run. Checking
+/// after MTTKRP and after the dense phase — not just at the top of each
+/// mode — bounds the overrun by a single stage rather than a whole
+/// mode's worth of kernel work.
+fn watchdog_expired(
+    start: Instant,
+    budget: Option<Duration>,
+    iter: usize,
+    mode: usize,
+    stage: &'static str,
+    diag: &mut RunDiagnostics,
+) -> bool {
+    let Some(budget) = budget else { return false };
+    if start.elapsed() < budget {
+        return false;
+    }
+    adatm_trace::event!(
+        "watchdog.expired",
+        iter: iter as u64,
+        mode: mode as u64,
+        stage: stage,
+        budget_ns: budget.as_nanos() as u64,
+        elapsed_ns: start.elapsed().as_nanos() as u64
+    );
+    diag.record(BreakdownEvent {
+        iter,
+        mode: Some(mode),
+        kind: BreakdownKind::TimeBudgetExpired,
+        recovery: RecoveryAction::None,
+        recovery_time: Duration::ZERO,
+    });
+    diag.stop = StopReason::TimeBudget;
+    true
 }
 
 /// Last-known-good solver state for rollback recoveries.
@@ -313,24 +393,34 @@ impl CpAls {
             o == (0..n).collect::<Vec<_>>()
         });
         let last = order[order.len() - 1];
+        let _run_span = adatm_trace::span_guard!(
+            "cpals.run",
+            backend: backend.name(),
+            rank: rank as u64,
+            max_iters: self.opts.max_iters as u64,
+            ndim: n as u64,
+            nnz: tensor.nnz() as u64
+        );
 
         'run: for iter in 0..self.opts.max_iters {
+            let _iter_span = adatm_trace::span_guard!("cpals.iter", iter: iter as u64);
             let mut iteration_aborted = false;
             for &mode in &order {
+                let _mode_span =
+                    adatm_trace::span_guard!("cpals.mode", iter: iter as u64, mode: mode as u64);
                 // Watchdog: callers serving traffic get best-so-far
-                // results instead of unbounded runs.
-                if let Some(budget) = self.opts.time_budget {
-                    if start.elapsed() >= budget {
-                        diag.record(BreakdownEvent {
-                            iter,
-                            mode: Some(mode),
-                            kind: BreakdownKind::TimeBudgetExpired,
-                            recovery: RecoveryAction::None,
-                            recovery_time: Duration::ZERO,
-                        });
-                        diag.stop = StopReason::TimeBudget;
-                        break 'run;
-                    }
+                // results instead of unbounded runs. Checked at the top
+                // of the mode and again after each kernel stage below, so
+                // an overrun is bounded by one stage.
+                if watchdog_expired(
+                    start,
+                    self.opts.time_budget,
+                    iter,
+                    mode,
+                    "pre-mttkrp",
+                    &mut diag,
+                ) {
+                    break 'run;
                 }
                 let t0 = Instant::now();
                 backend.begin_mode(mode);
@@ -338,7 +428,27 @@ impl CpAls {
                     m_buf = Mat::zeros(tensor.dims()[mode], rank);
                 }
                 backend.mttkrp_into(tensor, &factors, mode, &mut m_buf);
-                timings.mttkrp += t0.elapsed();
+                let d_mttkrp = t0.elapsed();
+                timings.mttkrp += d_mttkrp;
+                adatm_trace::event!(
+                    "stage",
+                    iter: iter as u64,
+                    mode: mode as u64,
+                    stage: "mttkrp",
+                    elapsed_ns: d_mttkrp.as_nanos() as u64
+                );
+                // Re-check: a stalled or mispredicted MTTKRP must not let
+                // the overrun grow past this one stage.
+                if watchdog_expired(
+                    start,
+                    self.opts.time_budget,
+                    iter,
+                    mode,
+                    "post-mttkrp",
+                    &mut diag,
+                ) {
+                    break 'run;
+                }
 
                 // Detector: a poisoned MTTKRP output. Nothing downstream
                 // of a NaN here is salvageable for this mode — roll back.
@@ -375,12 +485,27 @@ impl CpAls {
                         h_buf.hadamard_assign(w);
                     }
                 }
+                adatm_trace::event!(
+                    "stage",
+                    iter: iter as u64,
+                    mode: mode as u64,
+                    stage: "gram",
+                    elapsed_ns: t1.elapsed().as_nanos() as u64
+                );
                 let h = &h_buf;
                 // Detector: a poisoned Gram system (possible only if a
                 // non-finite factor slipped past an earlier detector or
                 // the Hadamard product overflowed).
                 if !h.is_finite() {
-                    timings.dense += t1.elapsed();
+                    let d_dense = t1.elapsed();
+                    timings.dense += d_dense;
+                    adatm_trace::event!(
+                        "stage",
+                        iter: iter as u64,
+                        mode: mode as u64,
+                        stage: "dense",
+                        elapsed_ns: d_dense.as_nanos() as u64
+                    );
                     match self.rollback(
                         BreakdownKind::NonFiniteGram,
                         iter,
@@ -402,6 +527,7 @@ impl CpAls {
                     }
                 }
 
+                let t_solve = Instant::now();
                 let mut u = match try_solve_gram(&m_buf, h) {
                     Ok((u, info)) => {
                         if info.rank_deficient() || info.cond() > COND_LIMIT {
@@ -448,7 +574,15 @@ impl CpAls {
                                 u
                             }
                             Err(_) => {
-                                timings.dense += t1.elapsed();
+                                let d_dense = t1.elapsed();
+                                timings.dense += d_dense;
+                                adatm_trace::event!(
+                                    "stage",
+                                    iter: iter as u64,
+                                    mode: mode as u64,
+                                    stage: "dense",
+                                    elapsed_ns: d_dense.as_nanos() as u64
+                                );
                                 match self.rollback(
                                     BreakdownKind::SolveFailed,
                                     iter,
@@ -472,6 +606,14 @@ impl CpAls {
                         }
                     }
                 };
+                adatm_trace::event!(
+                    "stage",
+                    iter: iter as u64,
+                    mode: mode as u64,
+                    stage: "solve",
+                    elapsed_ns: t_solve.elapsed().as_nanos() as u64
+                );
+                let t_norm = Instant::now();
                 lambda = if iter == 0 { u.normalize_cols() } else { u.normalize_cols_max() };
                 // Guard: a zero column (rank deficiency) would poison the
                 // model; re-seed it with noise so ALS can recover.
@@ -497,7 +639,15 @@ impl CpAls {
                 // Detector: the updated factor or its scales went
                 // non-finite despite a finite system (overflow).
                 if !u.is_finite() || !lambda.iter().all(|l| l.is_finite()) {
-                    timings.dense += t1.elapsed();
+                    let d_dense = t1.elapsed();
+                    timings.dense += d_dense;
+                    adatm_trace::event!(
+                        "stage",
+                        iter: iter as u64,
+                        mode: mode as u64,
+                        stage: "dense",
+                        elapsed_ns: d_dense.as_nanos() as u64
+                    );
                     match self.rollback(
                         BreakdownKind::NonFiniteFactor,
                         iter,
@@ -520,9 +670,35 @@ impl CpAls {
                 }
                 grams[mode] = u.gram();
                 factors[mode] = u;
-                timings.dense += t1.elapsed();
+                adatm_trace::event!(
+                    "stage",
+                    iter: iter as u64,
+                    mode: mode as u64,
+                    stage: "normalize",
+                    elapsed_ns: t_norm.elapsed().as_nanos() as u64
+                );
+                let d_dense = t1.elapsed();
+                timings.dense += d_dense;
+                adatm_trace::event!(
+                    "stage",
+                    iter: iter as u64,
+                    mode: mode as u64,
+                    stage: "dense",
+                    elapsed_ns: d_dense.as_nanos() as u64
+                );
                 #[cfg(feature = "audit")]
                 audit_stage("updated factor", &factors[mode]);
+                // Re-check: bound a dense-phase overrun by this stage too.
+                if watchdog_expired(
+                    start,
+                    self.opts.time_budget,
+                    iter,
+                    mode,
+                    "post-dense",
+                    &mut diag,
+                ) {
+                    break 'run;
+                }
             }
             if iteration_aborted {
                 // The recovery consumed this iteration slot; restart the
@@ -546,7 +722,15 @@ impl CpAls {
             let mnorm2 = g_buf.weighted_quad(&lambda, &lambda).max(0.0);
             let resid2 = (xnorm2 - 2.0 * inner + mnorm2).max(0.0);
             let fit = if xnorm2 > 0.0 { 1.0 - (resid2 / xnorm2).sqrt() } else { 0.0 };
-            timings.fit += t2.elapsed();
+            let d_fit = t2.elapsed();
+            timings.fit += d_fit;
+            adatm_trace::event!(
+                "stage",
+                iter: iter as u64,
+                stage: "fit",
+                elapsed_ns: d_fit.as_nanos() as u64,
+                fit: fit
+            );
 
             let prev = fit_history.last().copied();
             // Detector: fit divergence. Healthy sweeps are monotone to
@@ -615,6 +799,43 @@ impl CpAls {
         // braces for the model we hand back.
         debug_assert!(factors.iter().all(Mat::is_finite));
         diag.elapsed = start.elapsed();
+        // Drift detector: with a calibrated backend, compare its
+        // per-iteration prediction against the measured kernel time
+        // (MTTKRP + dense, the phases the model prices). A large excess
+        // means the profile is stale or the model mispriced this tensor.
+        diag.predicted_iter_ns = backend.predicted_iter_ns();
+        if iters > 0 {
+            let kernel_ns = (timings.mttkrp + timings.dense).as_nanos() as f64;
+            let measured = kernel_ns / iters as f64;
+            diag.measured_iter_ns = Some(measured);
+            if let Some(predicted) = diag.predicted_iter_ns {
+                adatm_trace::event!(
+                    "drift.check",
+                    predicted_ns: predicted,
+                    measured_ns: measured,
+                    factor: self.opts.drift_factor
+                );
+                if self.opts.drift_factor > 0.0
+                    && predicted > 0.0
+                    && measured > predicted * self.opts.drift_factor
+                {
+                    adatm_trace::event!(
+                        "drift.warning",
+                        predicted_ns: predicted,
+                        measured_ns: measured,
+                        ratio: measured / predicted,
+                        factor: self.opts.drift_factor
+                    );
+                    diag.record(BreakdownEvent {
+                        iter: iters - 1,
+                        mode: None,
+                        kind: BreakdownKind::PredictionDrift,
+                        recovery: RecoveryAction::None,
+                        recovery_time: Duration::ZERO,
+                    });
+                }
+            }
+        }
         #[cfg(feature = "audit")]
         adatm_audit::validate_factors(&factors, tensor.dims(), rank)
             .unwrap_or_else(|e| panic!("audit: final factor set: {e}"));

@@ -32,6 +32,10 @@ pub enum BreakdownKind {
     FitStall,
     /// The wall-clock budget expired.
     TimeBudgetExpired,
+    /// Measured per-iteration time exceeded the planner's calibrated
+    /// prediction by more than the configured drift factor: the cost
+    /// model (or its profile) no longer describes this machine/tensor.
+    PredictionDrift,
 }
 
 impl std::fmt::Display for BreakdownKind {
@@ -46,6 +50,7 @@ impl std::fmt::Display for BreakdownKind {
             BreakdownKind::FitDivergence => "fit divergence",
             BreakdownKind::FitStall => "fit stall",
             BreakdownKind::TimeBudgetExpired => "time budget expired",
+            BreakdownKind::PredictionDrift => "model-prediction drift",
         };
         f.write_str(s)
     }
@@ -130,12 +135,27 @@ pub struct RunDiagnostics {
     pub degraded: bool,
     /// Total wall-clock of the run.
     pub elapsed: Duration,
+    /// The backend's calibrated per-iteration prediction in nanoseconds,
+    /// when the model-driven backend supplied one.
+    pub predicted_iter_ns: Option<f64>,
+    /// Measured per-iteration kernel time in nanoseconds
+    /// (`(mttkrp + dense) / iters`), the quantity the drift detector
+    /// compares against `predicted_iter_ns`.
+    pub measured_iter_ns: Option<f64>,
 }
 
 impl RunDiagnostics {
     /// Records an event, bumping the recovery counter when a repair was
     /// applied.
     pub(crate) fn record(&mut self, event: BreakdownEvent) {
+        adatm_trace::event!(
+            "recovery",
+            iter: event.iter as u64,
+            mode: event.mode.map_or(-1i64, |m| m as i64),
+            kind: format!("{}", event.kind),
+            action: format!("{:?}", event.recovery),
+            recovery_ns: event.recovery_time.as_nanos() as u64
+        );
         if !matches!(event.recovery, RecoveryAction::None) {
             self.recoveries += 1;
         }

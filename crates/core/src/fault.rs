@@ -215,6 +215,10 @@ impl<B: MttkrpBackend> MttkrpBackend for FaultInjectingBackend<B> {
     fn structure_bytes(&self) -> usize {
         self.inner.structure_bytes()
     }
+
+    fn predicted_iter_ns(&self) -> Option<f64> {
+        self.inner.predicted_iter_ns()
+    }
 }
 
 #[cfg(test)]

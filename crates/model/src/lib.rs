@@ -33,4 +33,4 @@ pub mod search;
 pub use cost::CostBreakdown;
 pub use estimate::NnzEstimator;
 pub use plan::{MemoPlan, Objective, Planner, SearchStrategy};
-pub use profile::{ClassRate, KernelClass, KernelProfile};
+pub use profile::{ClassRate, EnvProfile, KernelClass, KernelProfile};

@@ -358,6 +358,37 @@ impl<'a> Planner<'a> {
         } else {
             chosen.predicted_ns
         };
+        if adatm_trace::enabled() {
+            for (i, c) in candidates.iter().enumerate() {
+                adatm_trace::event!(
+                    "planner.candidate",
+                    rank_pos: i as u64,
+                    label: c.label.as_str(),
+                    cost_units: c.cost.cost_units(beta),
+                    fits_budget: c.fits_budget,
+                    predicted_ns: c.predicted_ns.unwrap_or(-1.0)
+                );
+            }
+            let dispatch = if use_coo {
+                "coo"
+            } else if use_csf {
+                "csf"
+            } else {
+                "tree"
+            };
+            adatm_trace::event!(
+                "planner.decision",
+                label: chosen.label.as_str(),
+                dispatch: dispatch,
+                calibrated: self.calibration.is_some(),
+                threads: self.threads as u64,
+                candidates: candidates.len() as u64,
+                estimator_evals: cache.misses as u64,
+                predicted_ns: predicted_ns.unwrap_or(-1.0),
+                csf_predicted_ns: csf_predicted_ns.unwrap_or(-1.0),
+                coo_predicted_ns: coo_predicted_ns.unwrap_or(-1.0)
+            );
+        }
         MemoPlan {
             shape: chosen.shape,
             predicted: chosen.cost,

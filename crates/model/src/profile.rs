@@ -242,18 +242,97 @@ impl KernelProfile {
         })
     }
 
-    /// Loads the profile named by the `ADATM_PROFILE` environment
-    /// variable, if set, readable, and well-formed. Any failure returns
-    /// `None` — a stale or corrupt profile silently falls back to the
-    /// analytic model rather than poisoning planning.
-    pub fn load_env() -> Option<Self> {
-        let path = std::env::var("ADATM_PROFILE").ok()?;
-        if path.is_empty() {
-            return None;
-        }
-        let text = std::fs::read_to_string(path).ok()?;
-        Self::from_text(&text).ok()
+    /// Resolves the `ADATM_PROFILE` environment variable into a typed
+    /// outcome: unset (analytic costs by design), loaded (with
+    /// provenance), or *broken* — set but unreadable/malformed, which is
+    /// a misconfiguration the caller must surface, never swallow.
+    pub fn load_env_checked() -> EnvProfile {
+        Self::resolve(std::env::var("ADATM_PROFILE").ok().as_deref())
     }
+
+    /// [`KernelProfile::load_env_checked`] over an explicit variable
+    /// value (`None` = unset), so the resolution logic is unit-testable
+    /// without mutating process environment.
+    pub fn resolve(var: Option<&str>) -> EnvProfile {
+        let Some(path) = var else { return EnvProfile::Unset };
+        if path.is_empty() {
+            return EnvProfile::Unset;
+        }
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => return EnvProfile::Broken { path: path.to_string(), error: format!("{e}") },
+        };
+        match Self::from_text(&text) {
+            Ok(profile) => {
+                let age = std::fs::metadata(path)
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|t| t.elapsed().ok());
+                EnvProfile::Loaded { profile, path: path.to_string(), age }
+            }
+            Err(e) => EnvProfile::Broken { path: path.to_string(), error: e },
+        }
+    }
+
+    /// Loads the profile named by the `ADATM_PROFILE` environment
+    /// variable, if set, readable, and well-formed.
+    ///
+    /// An unset (or empty) variable returns `None` silently — analytic
+    /// costs are the designed fallback. A variable that is *set but
+    /// broken* also returns `None`, but loudly: a warning naming the
+    /// path and the failure goes to stderr and a `profile.error` trace
+    /// event is emitted, because silently reverting to analytic costs on
+    /// a misconfigured profile degrades planning invisibly. Callers that
+    /// want a typed error instead (the CLI) use
+    /// [`KernelProfile::load_env_checked`].
+    pub fn load_env() -> Option<Self> {
+        match Self::load_env_checked() {
+            EnvProfile::Unset => None,
+            EnvProfile::Loaded { profile, path, age } => {
+                adatm_trace::event!(
+                    "profile.loaded",
+                    path: path.as_str(),
+                    age_s: age.map_or(-1i64, |a| a.as_secs() as i64),
+                    threads: profile.threads
+                );
+                Some(profile)
+            }
+            EnvProfile::Broken { path, error } => {
+                eprintln!(
+                    "adatm: warning: ADATM_PROFILE is set to '{path}' but the profile is \
+                     unusable ({error}); falling back to analytic plan costs"
+                );
+                adatm_trace::event!("profile.error", path: path.as_str(), error: error.as_str());
+                None
+            }
+        }
+    }
+}
+
+/// Outcome of resolving the `ADATM_PROFILE` environment variable.
+#[derive(Clone, Debug)]
+pub enum EnvProfile {
+    /// The variable is unset or empty: the analytic cost model is the
+    /// designed fallback, nothing to report.
+    Unset,
+    /// The variable named a readable, well-formed profile.
+    Loaded {
+        /// The parsed profile.
+        profile: KernelProfile,
+        /// The path it was loaded from (provenance for trace events).
+        path: String,
+        /// File age (now minus mtime), when the filesystem provides it —
+        /// the staleness signal drift detection correlates against.
+        age: Option<std::time::Duration>,
+    },
+    /// The variable is set but the file is unreadable or malformed: a
+    /// misconfiguration that must be surfaced, not swallowed.
+    Broken {
+        /// The offending path.
+        path: String,
+        /// Why it could not be used.
+        error: String,
+    },
 }
 
 #[cfg(test)]
@@ -334,5 +413,52 @@ mod tests {
         let mut text = sample().to_text();
         text.push_str("# trailing comment\nfuture_kernel.ns_per_unit.t1 = 9.9\nmisc = hello\n");
         assert!(KernelProfile::from_text(&text).is_ok());
+    }
+
+    #[test]
+    fn resolve_unset_or_empty_is_unset() {
+        assert!(matches!(KernelProfile::resolve(None), EnvProfile::Unset));
+        assert!(matches!(KernelProfile::resolve(Some("")), EnvProfile::Unset));
+    }
+
+    #[test]
+    fn resolve_valid_profile_loads_with_provenance() {
+        let dir = std::env::temp_dir().join("adatm-profile-resolve-ok");
+        std::fs::create_dir_all(&dir).expect("tmpdir");
+        let path = dir.join("profile.txt");
+        std::fs::write(&path, sample().to_text()).expect("write profile");
+        match KernelProfile::resolve(path.to_str()) {
+            EnvProfile::Loaded { profile, path: p, .. } => {
+                assert_eq!(profile.threads, sample().threads);
+                assert_eq!(p, path.to_str().expect("utf8 path"));
+            }
+            other => panic!("expected Loaded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resolve_missing_file_is_broken_not_silent() {
+        let path = "/nonexistent/adatm-no-such-profile.txt";
+        match KernelProfile::resolve(Some(path)) {
+            EnvProfile::Broken { path: p, error } => {
+                assert_eq!(p, path);
+                assert!(!error.is_empty());
+            }
+            other => panic!("expected Broken, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resolve_malformed_file_is_broken_with_parse_error() {
+        let dir = std::env::temp_dir().join("adatm-profile-resolve-bad");
+        std::fs::create_dir_all(&dir).expect("tmpdir");
+        let path = dir.join("garbage.txt");
+        std::fs::write(&path, "threads = potato\n").expect("write profile");
+        match KernelProfile::resolve(path.to_str()) {
+            EnvProfile::Broken { error, .. } => {
+                assert!(error.contains("threads"), "error should name the bad field: {error}");
+            }
+            other => panic!("expected Broken, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,487 @@
+//! Structured tracing for the adatm workspace.
+//!
+//! AdaTM's pitch is *model-driven* execution: the planner predicts
+//! per-iteration wall time and picks a strategy. This crate records what
+//! was predicted, what was chosen, and what actually happened, as a
+//! stream of newline-delimited JSON (NDJSON) events — the observability
+//! substrate for drift detection (a stale calibration profile shows up
+//! as measured time diverging from predicted time, not as silence).
+//!
+//! # Design
+//!
+//! * **Zero cost when disabled.** A single relaxed atomic load guards
+//!   every emission site; with no sink installed the [`event!`] and
+//!   [`span_guard!`] macros evaluate none of their field expressions and
+//!   allocate nothing. Kernels never emit — only driver-level stage
+//!   boundaries do, so even an enabled trace costs a handful of
+//!   formatted lines per CP-ALS iteration.
+//! * **One global sink.** Installed process-wide ([`install_file`] /
+//!   [`install_memory`]), torn down with [`shutdown`]. Events carry a
+//!   monotonically increasing `seq` so interleavings are reconstructable
+//!   and a validator can assert ordering.
+//! * **No dependencies.** The workspace is offline; serialization is a
+//!   hand-rolled JSON writer covering exactly the five value shapes
+//!   events use (string, f64, u64, i64, bool).
+//!
+//! # Event schema
+//!
+//! Every line is a flat JSON object with at least:
+//!
+//! ```json
+//! {"ev": "<kind>", "seq": 7}
+//! ```
+//!
+//! plus kind-specific fields. Span pairs are emitted as
+//! `{"ev": "span_open", "span": "<name>", ...}` and
+//! `{"ev": "span_close", "span": "<name>", "elapsed_ns": N, ...}` and
+//! must nest properly; `cargo xtask trace-check` validates both
+//! properties over a captured file.
+//!
+//! # Example
+//!
+//! ```
+//! let sink = adatm_trace::install_memory();
+//! {
+//!     let _span = adatm_trace::span_guard!("work", job: 3u64);
+//!     adatm_trace::event!("progress", step: 1u64, label: "warmup");
+//! }
+//! adatm_trace::shutdown();
+//! let lines = sink.lines();
+//! assert_eq!(lines.len(), 3); // open, progress, close
+//! assert!(lines[1].contains("\"ev\": \"progress\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Fast path: is any sink installed? Emission sites check this before
+/// evaluating field expressions, so a disabled trace is one relaxed
+/// atomic load.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Global event sequence number (monotone across the whole process).
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// The installed sink, if any.
+static SINK: Mutex<Option<Sink>> = Mutex::new(None);
+
+enum Sink {
+    File(BufWriter<File>),
+    Memory(Arc<Mutex<Vec<String>>>),
+}
+
+/// Whether a trace sink is installed. Inline-able fast guard for
+/// emission sites; the [`event!`] and [`span_guard!`] macros call it for
+/// you.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs a file sink writing NDJSON to `path` (truncating). Replaces
+/// any previously installed sink.
+pub fn install_file(path: &Path) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    *SINK.lock().expect("trace sink lock") = Some(Sink::File(BufWriter::new(file)));
+    ENABLED.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Installs an in-memory sink (for tests) and returns a handle that can
+/// read the captured lines. Replaces any previously installed sink.
+pub fn install_memory() -> MemorySink {
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    *SINK.lock().expect("trace sink lock") = Some(Sink::Memory(Arc::clone(&buf)));
+    ENABLED.store(true, Ordering::Relaxed);
+    MemorySink(buf)
+}
+
+/// Flushes and removes the installed sink, disabling tracing.
+pub fn shutdown() {
+    ENABLED.store(false, Ordering::Relaxed);
+    let mut sink = SINK.lock().expect("trace sink lock");
+    if let Some(Sink::File(w)) = sink.as_mut() {
+        let _ = w.flush();
+    }
+    *sink = None;
+}
+
+/// Flushes the file sink (no-op for memory sinks / no sink).
+pub fn flush() {
+    if let Some(Sink::File(w)) = SINK.lock().expect("trace sink lock").as_mut() {
+        let _ = w.flush();
+    }
+}
+
+/// Handle to an in-memory sink's captured lines.
+#[derive(Clone)]
+pub struct MemorySink(Arc<Mutex<Vec<String>>>);
+
+impl MemorySink {
+    /// A copy of every captured NDJSON line, in emission order.
+    pub fn lines(&self) -> Vec<String> {
+        self.0.lock().expect("trace memory sink lock").clone()
+    }
+}
+
+/// A JSON-representable field value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A JSON string (escaped on write).
+    Str(String),
+    /// A float, written with enough precision to round-trip rankings.
+    F64(f64),
+    /// An unsigned integer (counts, nanoseconds, sequence numbers).
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Value {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Str(s) => write_json_str(out, s),
+            Value::F64(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v:.6e}");
+                } else {
+                    // NaN/Inf are not JSON; stringify so the line stays
+                    // parseable and the oddity stays visible.
+                    write_json_str(out, &v.to_string());
+                }
+            }
+            Value::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::Bool(v) => {
+                let _ = write!(out, "{v}");
+            }
+        }
+    }
+}
+
+/// One trace event under construction: a kind plus ordered fields.
+#[derive(Clone, Debug)]
+pub struct Event {
+    kind: &'static str,
+    fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// Starts an event of the given kind.
+    pub fn new(kind: &'static str) -> Self {
+        Event { kind, fields: Vec::with_capacity(8) }
+    }
+
+    /// Appends a field (builder form).
+    #[must_use]
+    pub fn field(mut self, key: &'static str, value: Value) -> Self {
+        self.fields.push((key, value));
+        self
+    }
+
+    /// Appends a field in place.
+    pub fn push(&mut self, key: &'static str, value: Value) {
+        self.fields.push((key, value));
+    }
+
+    fn render(&self, seq: u64) -> String {
+        let mut line = String::with_capacity(96);
+        line.push_str("{\"ev\": ");
+        write_json_str(&mut line, self.kind);
+        let _ = write!(line, ", \"seq\": {seq}");
+        for (k, v) in &self.fields {
+            line.push_str(", ");
+            write_json_str(&mut line, k);
+            line.push_str(": ");
+            v.write_json(&mut line);
+        }
+        line.push('}');
+        line
+    }
+}
+
+/// Emits an event to the installed sink (no-op when tracing is
+/// disabled). Prefer the [`event!`] macro, which skips field
+/// construction entirely when disabled.
+pub fn emit(event: Event) {
+    if !enabled() {
+        return;
+    }
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let line = event.render(seq);
+    let mut sink = SINK.lock().expect("trace sink lock");
+    match sink.as_mut() {
+        Some(Sink::File(w)) => {
+            // One line per event, flushed eagerly: stage-boundary volume
+            // is tiny and a crashed run should still leave a valid file.
+            let _ = writeln!(w, "{line}");
+            let _ = w.flush();
+        }
+        Some(Sink::Memory(buf)) => buf.lock().expect("trace memory sink lock").push(line),
+        None => {}
+    }
+}
+
+/// An open span: emits `span_open` on construction and `span_close`
+/// (with `elapsed_ns` and the same fields) when dropped. Construct
+/// through [`span_guard!`], which returns `None` when tracing is
+/// disabled.
+pub struct Span {
+    name: &'static str,
+    start: Instant,
+    fields: Vec<(&'static str, Value)>,
+}
+
+impl Span {
+    /// Opens a span, emitting its `span_open` event.
+    pub fn open(name: &'static str, fields: Vec<(&'static str, Value)>) -> Self {
+        let mut e = Event::new("span_open");
+        e.push("span", Value::from(name));
+        for (k, v) in &fields {
+            e.push(k, v.clone());
+        }
+        emit(e);
+        Span { name, start: Instant::now(), fields }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let mut e = Event::new("span_close");
+        e.push("span", Value::from(self.name));
+        for (k, v) in &self.fields {
+            e.push(k, v.clone());
+        }
+        e.push("elapsed_ns", Value::U64(self.start.elapsed().as_nanos() as u64));
+        emit(e);
+    }
+}
+
+/// Emits a structured event when tracing is enabled; otherwise evaluates
+/// nothing.
+///
+/// ```
+/// adatm_trace::event!("planner.decision", chosen: "bdt", use_csf: false);
+/// ```
+#[macro_export]
+macro_rules! event {
+    ($kind:expr $(, $key:ident : $val:expr)* $(,)?) => {
+        if $crate::enabled() {
+            let mut __e = $crate::Event::new($kind);
+            $(__e.push(stringify!($key), $crate::Value::from($val));)*
+            $crate::emit(__e);
+        }
+    };
+}
+
+/// Opens a span guard: `Some(Span)` when tracing is enabled (emitting
+/// `span_open` now and `span_close` on drop), `None` otherwise. Bind it
+/// to a named local so the close fires at scope exit:
+///
+/// ```
+/// let _span = adatm_trace::span_guard!("iteration", iter: 0u64);
+/// ```
+#[macro_export]
+macro_rules! span_guard {
+    ($name:expr $(, $key:ident : $val:expr)* $(,)?) => {
+        if $crate::enabled() {
+            Some($crate::Span::open(
+                $name,
+                vec![$((stringify!($key), $crate::Value::from($val))),*],
+            ))
+        } else {
+            None
+        }
+    };
+}
+
+/// Extracts a `"name": "value"` string field from an NDJSON line
+/// (test/validator helper; not a general JSON parser).
+pub fn field_str<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let tag = format!("\"{name}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(&line[start..end])
+}
+
+/// Extracts a `"name": 123` unsigned numeric field from an NDJSON line.
+pub fn field_u64(line: &str, name: &str) -> Option<u64> {
+    let tag = format!("\"{name}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let digits: String = line[start..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Extracts a `"name": 1.23e4` float field from an NDJSON line.
+pub fn field_f64(line: &str, name: &str) -> Option<f64> {
+    let tag = format!("\"{name}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let num: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect();
+    num.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    /// The sink is process-global; unit tests that install one must not
+    /// interleave.
+    static TEST_LOCK: StdMutex<()> = StdMutex::new(());
+
+    #[test]
+    fn disabled_tracing_emits_nothing() {
+        let _g = TEST_LOCK.lock().unwrap();
+        shutdown();
+        assert!(!enabled());
+        // The macro must not evaluate its fields when disabled.
+        let mut evaluated = false;
+        event!("never", x: {
+            evaluated = true;
+            1u64
+        });
+        assert!(!evaluated);
+    }
+
+    #[test]
+    fn events_render_escaped_flat_json_with_monotone_seq() {
+        let _g = TEST_LOCK.lock().unwrap();
+        let sink = install_memory();
+        event!("alpha", label: "a \"quoted\"\npath", count: 3usize, ratio: 0.5f64, on: true);
+        event!("beta", neg: -4i64);
+        shutdown();
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"ev\": \"alpha\""));
+        assert!(lines[0].contains("\\\"quoted\\\"\\npath"));
+        assert!(lines[0].contains("\"count\": 3"));
+        assert!(lines[0].contains("\"ratio\": 5.000000e-1"));
+        assert!(lines[0].contains("\"on\": true"));
+        assert!(lines[1].contains("\"neg\": -4"));
+        let s0 = field_u64(&lines[0], "seq").unwrap();
+        let s1 = field_u64(&lines[1], "seq").unwrap();
+        assert!(s1 > s0, "seq must increase: {s0} then {s1}");
+    }
+
+    #[test]
+    fn span_guard_emits_matching_open_close_with_elapsed() {
+        let _g = TEST_LOCK.lock().unwrap();
+        let sink = install_memory();
+        {
+            let _outer = span_guard!("outer", iter: 7usize);
+            {
+                let _inner = span_guard!("inner");
+            }
+        }
+        shutdown();
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(field_str(&lines[0], "span"), Some("outer"));
+        assert_eq!(field_str(&lines[1], "span"), Some("inner"));
+        assert_eq!(field_str(&lines[2], "span"), Some("inner"));
+        assert_eq!(field_str(&lines[3], "span"), Some("outer"));
+        assert!(lines[3].contains("\"ev\": \"span_close\""));
+        assert!(field_u64(&lines[3], "elapsed_ns").is_some());
+        assert_eq!(field_u64(&lines[3], "iter"), Some(7));
+    }
+
+    #[test]
+    fn file_sink_writes_ndjson() {
+        let _g = TEST_LOCK.lock().unwrap();
+        let path = std::env::temp_dir().join("adatm_trace_test.ndjson");
+        install_file(&path).unwrap();
+        event!("filed", k: 1u64);
+        shutdown();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+        assert_eq!(field_str(lines[0], "ev"), Some("filed"));
+    }
+
+    #[test]
+    fn field_helpers_parse_rendered_values() {
+        let line = r#"{"ev": "x", "seq": 12, "ns": 4.500000e3, "name": "abc"}"#;
+        assert_eq!(field_u64(line, "seq"), Some(12));
+        assert_eq!(field_f64(line, "ns"), Some(4500.0));
+        assert_eq!(field_str(line, "name"), Some("abc"));
+        assert_eq!(field_u64(line, "missing"), None);
+    }
+}

@@ -18,8 +18,8 @@ use adatm::tensor::io::{
 use adatm::tensor::stats::TensorStats;
 use adatm::{
     complete, cp_opt, decompose_with, hooi, ncp, AdaptiveBackend, CompletionOptions, CooBackend,
-    CpAlsError, CpAlsOptions, CpOptOptions, CsfBackend, DtreeBackend, MttkrpBackend, NcpOptions,
-    Planner, SparseTensor, TreeShape, TuckerOptions,
+    CpAlsError, CpAlsOptions, CpOptOptions, CsfBackend, DtreeBackend, EnvProfile, KernelProfile,
+    MttkrpBackend, NcpOptions, Planner, SparseTensor, TreeShape, TuckerOptions,
 };
 use std::collections::HashMap;
 use std::path::Path;
@@ -92,6 +92,9 @@ fn main() -> ExitCode {
         }
         Some(other) => Err(CliError::from(format!("unknown subcommand '{other}' (try --help)"))),
     };
+    // Flush and tear down any --trace sink before exiting (events are
+    // written eagerly, so even an error path leaves a valid NDJSON file).
+    adatm::trace::shutdown();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -101,17 +104,57 @@ fn main() -> ExitCode {
     }
 }
 
+/// Installs the NDJSON file sink when `--trace <path>` was given.
+fn install_trace(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let Some(path) = opts.get("trace") else { return Ok(()) };
+    if path.is_empty() {
+        return Err("--trace requires a file path".into());
+    }
+    adatm::trace::install_file(Path::new(path))
+        .map_err(|e| CliError { code: EXIT_IO, msg: format!("cannot open trace file {path}: {e}") })
+}
+
+/// Resolves `ADATM_PROFILE` for planning paths, turning a set-but-broken
+/// profile into a typed CLI error instead of a silent analytic fallback.
+fn checked_profile() -> Result<Option<KernelProfile>, CliError> {
+    match KernelProfile::load_env_checked() {
+        EnvProfile::Unset => Ok(None),
+        EnvProfile::Loaded { profile, path, age } => {
+            adatm::trace::event!(
+                "profile.loaded",
+                path: path.as_str(),
+                age_s: age.map_or(-1i64, |a| a.as_secs() as i64),
+                threads: profile.threads
+            );
+            println!("calibration: {path} (threads {})", profile.threads);
+            Ok(Some(profile))
+        }
+        EnvProfile::Broken { path, error } => {
+            adatm::trace::event!("profile.error", path: path.as_str(), error: error.as_str());
+            Err(CliError {
+                code: EXIT_USAGE,
+                msg: format!(
+                    "ADATM_PROFILE points at '{path}' but the profile is unusable: {error}"
+                ),
+            })
+        }
+    }
+}
+
 fn print_usage() {
     println!(
         "adatm - model-driven sparse CP decomposition\n\n\
          USAGE:\n  adatm info <tensor>\n  adatm convert <in> <out>\n  \
          adatm generate --dims AxBxC [--nnz N] [--skew s|s1,s2,..] [--seed S] -o <out>\n  \
-         adatm plan <tensor> [--rank R] [--estimator exact|sampled|analytic] [--budget-mib M]\n  \
+         adatm plan <tensor> [--rank R] [--estimator exact|sampled|analytic] [--budget-mib M]\n      \
+         [--trace FILE]\n  \
          adatm decompose <tensor> [--rank R] [--iters N] [--tol T] [--seed S]\n      \
          [--backend adaptive|coo|csf|tree2|tree3|bdt] [--shape '(0 (1 2))']\n      \
          [--algo als|ncp|cpopt|complete|tucker] [--reg R (complete)]\n      \
-         [--ranks AxBxC (tucker)] [--out DIR]\n\n\
+         [--ranks AxBxC (tucker)] [--out DIR] [--trace FILE] [--drift-factor F]\n\n\
          Tensor files: FROSTT text (.tns) or adatm binary (.adtm), chosen by extension.\n\n\
+         --trace FILE writes a structured NDJSON event log (planner decisions,\n\
+         per-stage timings, recoveries); validate it with `cargo xtask trace-check`.\n\n\
          EXIT CODES:\n  \
          0  success\n  \
          2  usage error (bad flag, missing argument, unknown subcommand)\n  \
@@ -267,10 +310,14 @@ fn parse_estimator(opts: &HashMap<String, String>) -> Result<NnzEstimator, Strin
 
 fn cmd_plan(args: &[String]) -> Result<(), CliError> {
     let (pos, opts) = parse_args(args)?;
+    install_trace(&opts)?;
     let path = pos.first().ok_or("plan requires a tensor file")?;
     let t = load(path)?;
     let rank = opt_parse(&opts, "rank", 16usize)?;
     let mut planner = Planner::new(&t, rank).estimator(parse_estimator(&opts)?);
+    if let Some(profile) = checked_profile()? {
+        planner = planner.calibration(profile);
+    }
     if let Some(m) = opts.get("budget-mib") {
         let mib: f64 = m.parse().map_err(|_| format!("bad --budget-mib '{m}'"))?;
         planner = planner.memory_budget((mib * 1024.0 * 1024.0) as usize);
@@ -298,6 +345,20 @@ fn cmd_plan(args: &[String]) -> Result<(), CliError> {
             if c.shape == plan.shape { "  <== chosen" } else { "" }
         );
     }
+    if let Some(ns) = plan.predicted_ns {
+        let dispatch = if plan.use_coo {
+            "coo"
+        } else if plan.use_csf {
+            "csf"
+        } else {
+            "tree"
+        };
+        println!(
+            "calibrated: predicted {ns:.0} ns/iter, dispatch {dispatch} (csf {:.0} ns, coo {:.0} ns)",
+            plan.csf_predicted_ns.unwrap_or(f64::NAN),
+            plan.coo_predicted_ns.unwrap_or(f64::NAN)
+        );
+    }
     Ok(())
 }
 
@@ -305,6 +366,7 @@ fn make_backend(
     t: &SparseTensor,
     rank: usize,
     opts: &HashMap<String, String>,
+    profile: Option<KernelProfile>,
 ) -> Result<Box<dyn MttkrpBackend>, String> {
     if let Some(s) = opts.get("shape") {
         let shape: TreeShape = s.parse().map_err(|e| format!("{e}"))?;
@@ -312,7 +374,14 @@ fn make_backend(
         return Ok(Box::new(DtreeBackend::new(t, &shape, rank)));
     }
     Ok(match opts.get("backend").map(String::as_str) {
-        None | Some("adaptive") => Box::new(AdaptiveBackend::plan(t, rank)),
+        None | Some("adaptive") => match profile {
+            Some(p) => Box::new(AdaptiveBackend::from_planner(
+                t,
+                rank,
+                Planner::new(t, rank).calibration(p),
+            )),
+            None => Box::new(AdaptiveBackend::plan(t, rank)),
+        },
         Some("coo") => Box::new(CooBackend::new(t)),
         Some("csf") => Box::new(CsfBackend::new(t)),
         Some("tree2") => Box::new(DtreeBackend::two_level(t, rank)),
@@ -344,6 +413,7 @@ fn write_factors(dir: &str, model: &adatm::CpModel) -> Result<(), CliError> {
 
 fn cmd_decompose(args: &[String]) -> Result<(), CliError> {
     let (pos, opts) = parse_args(args)?;
+    install_trace(&opts)?;
     let path = pos.first().ok_or("decompose requires a tensor file")?;
     let t = load(path)?;
     let rank = opt_parse(&opts, "rank", 16usize)?;
@@ -372,11 +442,19 @@ fn cmd_decompose(args: &[String]) -> Result<(), CliError> {
         );
         return Ok(());
     }
-    let mut backend = make_backend(&t, rank, &opts)?;
+    // The planner only consults ADATM_PROFILE on the adaptive path; a
+    // set-but-broken profile there is a typed usage error, not a silent
+    // fallback to analytic costs.
+    let uses_planner = !opts.contains_key("shape")
+        && matches!(opts.get("backend").map(String::as_str), None | Some("adaptive"));
+    let profile = if uses_planner { checked_profile()? } else { None };
+    let mut backend = make_backend(&t, rank, &opts, profile)?;
     println!("backend: {}", backend.name());
     match opts.get("algo").map(String::as_str) {
         None | Some("als") => {
-            let o = CpAlsOptions::new(rank).max_iters(iters).tol(tol).seed(seed);
+            let drift = opt_parse(&opts, "drift-factor", 2.0f64)?;
+            let o =
+                CpAlsOptions::new(rank).max_iters(iters).tol(tol).seed(seed).drift_factor(drift);
             let res = decompose_with(&t, &o, &mut backend)?;
             println!(
                 "als: {} iters, fit {:.5}, converged {}, mttkrp {:.3}s dense {:.3}s fit {:.3}s",
@@ -394,6 +472,9 @@ fn cmd_decompose(args: &[String]) -> Result<(), CliError> {
                     res.diagnostics.recoveries,
                     res.diagnostics.stop
                 );
+            }
+            if opts.contains_key("trace") {
+                println!("trace: {}", res.trace_summary());
             }
             if let Some(dir) = opts.get("out") {
                 write_factors(dir, &res.model)?;

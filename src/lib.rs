@@ -26,7 +26,9 @@ pub use adatm_core::{
 pub use adatm_core::{FaultInjectingBackend, FaultKind, FaultSchedule};
 pub use adatm_dtree::TreeShape;
 pub use adatm_linalg::Mat;
-pub use adatm_model::{MemoPlan, NnzEstimator, Objective, Planner, SearchStrategy};
+pub use adatm_model::{
+    EnvProfile, KernelProfile, MemoPlan, NnzEstimator, Objective, Planner, SearchStrategy,
+};
 pub use adatm_tensor::SparseTensor;
 
 /// Dense linear-algebra kernels (`Mat`, Jacobi eigensolver, pinv).
@@ -47,6 +49,13 @@ pub mod dtree {
 /// The model-driven memoization planner.
 pub mod planner {
     pub use adatm_model::*;
+}
+
+/// Structured NDJSON tracing: sinks, events, spans, and the
+/// zero-cost-when-disabled `event!`/`span_guard!` macros (which live at
+/// the `adatm_trace` crate root).
+pub mod trace {
+    pub use adatm_trace::*;
 }
 
 /// Invariant audits (`--features audit`): the [`audit::Validate`] trait,

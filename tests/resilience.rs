@@ -124,6 +124,37 @@ fn injected_stall_trips_the_time_budget_watchdog() {
 }
 
 #[test]
+fn watchdog_overrun_is_bounded_by_one_stage_not_one_mode() {
+    // The stall hits the MTTKRP of mode 1; the post-MTTKRP re-check must
+    // catch the expiry *at mode 1*. A watchdog that only polls at the
+    // top of each mode loop would run mode 1's full dense phase and
+    // report the expiry from mode 2 — a whole mode of overrun.
+    let t = ground_truth();
+    let sched = FaultSchedule::new().at_call(1, FaultKind::StallMs(100));
+    let mut b = FaultInjectingBackend::new(CooBackend::new(&t), sched);
+    let res = CpAls::new(
+        CpAlsOptions::new(3).max_iters(1000).tol(0.0).time_budget(Duration::from_millis(20)),
+    )
+    .run(&t, &mut b)
+    .unwrap();
+    assert_eq!(res.diagnostics.stop, StopReason::TimeBudget);
+    assert_eq!(res.diagnostics.count_of(BreakdownKind::TimeBudgetExpired), 1);
+    let event = res
+        .diagnostics
+        .events
+        .iter()
+        .find(|e| e.kind == BreakdownKind::TimeBudgetExpired)
+        .expect("expiry recorded");
+    assert_eq!(event.iter, 0);
+    assert_eq!(
+        event.mode,
+        Some(1),
+        "expiry must be detected at the stalled mode itself, not a mode later"
+    );
+    assert_model_finite(&res);
+}
+
+#[test]
 fn persistent_fault_exhausts_budget_and_degrades_gracefully() {
     let t = ground_truth();
     let sched = FaultSchedule::new().always(FaultKind::PoisonNan);

@@ -66,6 +66,36 @@ pub fn parse_speedup(json: &str) -> Option<f64> {
     num.parse().ok()
 }
 
+/// A collision-free default snapshot name for `date`: `BENCH_<date>.json`
+/// when free, otherwise `BENCH_<date>.2.json`, `.3.json`, ... — a second
+/// run on the same day must not silently overwrite the morning's
+/// baseline (the regression diff would then compare the run to itself).
+pub fn snapshot_name(date: &str, taken: &[String]) -> String {
+    let plain = format!("BENCH_{date}.json");
+    if !taken.contains(&plain) {
+        return plain;
+    }
+    for n in 2.. {
+        let candidate = format!("BENCH_{date}.{n}.json");
+        if !taken.contains(&candidate) {
+            return candidate;
+        }
+    }
+    unreachable!("the counter loop always finds a free name")
+}
+
+/// The most recently *written* snapshot among `(name, mtime_seconds)`
+/// pairs — by modification time, not filename sort: suffixed same-day
+/// names (`BENCH_d.2.json`) sort lexicographically *before* `BENCH_d.json`,
+/// so a name sort would diff against the wrong baseline. Ties break to
+/// the lexicographically larger name for determinism.
+pub fn latest_by_mtime(entries: &[(String, u64)]) -> Option<String> {
+    entries
+        .iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)))
+        .map(|(name, _)| name.clone())
+}
+
 /// Compares two snapshots: every key present in both must not have
 /// slowed down by more than `tolerance_pct` percent. Returns one message
 /// per regression (empty = pass).
@@ -142,5 +172,32 @@ mod tests {
         let old = parse_records(SNAPSHOT);
         let new = vec![BenchRecord { key: "mttkrp/coo-sched-m0/deli4d/t8".into(), ns_per_call: 1 }];
         assert!(compare(&old, &new, 0.0).is_empty());
+    }
+
+    #[test]
+    fn snapshot_name_avoids_same_day_collisions() {
+        let none: Vec<String> = vec![];
+        assert_eq!(snapshot_name("2026-08-07", &none), "BENCH_2026-08-07.json");
+        let one = vec!["BENCH_2026-08-07.json".to_string()];
+        assert_eq!(snapshot_name("2026-08-07", &one), "BENCH_2026-08-07.2.json");
+        let two = vec!["BENCH_2026-08-07.json".to_string(), "BENCH_2026-08-07.2.json".to_string()];
+        assert_eq!(snapshot_name("2026-08-07", &two), "BENCH_2026-08-07.3.json");
+        // A different day never collides with today's files.
+        assert_eq!(snapshot_name("2026-08-08", &two), "BENCH_2026-08-08.json");
+    }
+
+    #[test]
+    fn latest_by_mtime_beats_filename_sort() {
+        // The suffixed same-day rerun sorts lexicographically BEFORE the
+        // plain name but was written later; mtime must win.
+        let entries = vec![
+            ("BENCH_2026-08-07.json".to_string(), 100),
+            ("BENCH_2026-08-07.2.json".to_string(), 200),
+        ];
+        assert_eq!(latest_by_mtime(&entries).as_deref(), Some("BENCH_2026-08-07.2.json"));
+        // Ties break to the larger name, deterministically.
+        let tied = vec![("BENCH_a.json".to_string(), 5), ("BENCH_b.json".to_string(), 5)];
+        assert_eq!(latest_by_mtime(&tied).as_deref(), Some("BENCH_b.json"));
+        assert_eq!(latest_by_mtime(&[]), None);
     }
 }

@@ -1,6 +1,6 @@
 //! Workspace automation entry point (`cargo xtask <command>`).
 //!
-//! Three commands:
+//! Four commands:
 //!
 //! `lint` — the static-analysis driver run in CI and before every merge.
 //! It chains
@@ -25,12 +25,18 @@
 //! additionally verifies end-to-end that the calibrated plan's measured
 //! per-iteration time stays within 10% of the best fixed tree.
 //!
+//! `trace-check` — validates an NDJSON trace captured with
+//! `adatm --trace <path>`: schema, strictly increasing sequence numbers,
+//! and properly paired/nested span events (see [`trace`]). CI runs a
+//! small traced CP-ALS and pipes the file through this.
+//!
 //! Exits non-zero if any enforced step fails.
 
 #![forbid(unsafe_code)]
 
 mod bench;
 mod lints;
+mod trace;
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
@@ -50,6 +56,7 @@ fn main() -> ExitCode {
         Some("lint") => lint(),
         Some("bench") => bench_cmd(args),
         Some("calibrate") => calibrate_cmd(args),
+        Some("trace-check") => trace_check_cmd(args),
         None | Some("help") | Some("--help") => {
             print_usage();
             ExitCode::SUCCESS
@@ -64,7 +71,7 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     eprintln!(
-        "usage: cargo xtask <command>\n\ncommands:\n  lint       run the static-analysis suite (rustfmt, clippy, source scans)\n  bench      run the kernel bench suite and diff against the previous BENCH_*.json\n  calibrate  measure per-kernel-class throughput and write PROFILE.txt\n\nbench flags:\n  --smoke               tiny workloads, scratch output (CI regression smoke)\n  --tolerance <pct>     allowed per-key slowdown vs previous snapshot (default 25)\n  --out <path>          override the output snapshot path\n  --fail-on-regression  exit non-zero on regressions (advisory otherwise)\n\ncalibrate flags:\n  --smoke       tiny probe workload (CI)\n  --check       verify the calibrated plan end-to-end (10% gate vs fixed trees)\n  --out <path>  override the profile path (default PROFILE.txt)"
+        "usage: cargo xtask <command>\n\ncommands:\n  lint         run the static-analysis suite (rustfmt, clippy, source scans)\n  bench        run the kernel bench suite and diff against the previous BENCH_*.json\n  calibrate    measure per-kernel-class throughput and write PROFILE.txt\n  trace-check  validate an NDJSON trace file (schema, seq order, span pairing)\n\ntrace-check usage:\n  cargo xtask trace-check <trace.ndjson>\n\nbench flags:\n  --smoke               tiny workloads, scratch output (CI regression smoke)\n  --tolerance <pct>     allowed per-key slowdown vs previous snapshot (default 25)\n  --out <path>          override the output snapshot path\n  --fail-on-regression  exit non-zero on regressions (advisory otherwise)\n\ncalibrate flags:\n  --smoke       tiny probe workload (CI)\n  --check       verify the calibrated plan end-to-end (10% gate vs fixed trees)\n  --out <path>  override the profile path (default PROFILE.txt)"
     );
 }
 
@@ -208,7 +215,7 @@ fn bench_cmd(mut args: impl Iterator<Item = String>) -> ExitCode {
         if smoke {
             root.join("target").join("bench_smoke.json")
         } else {
-            root.join(format!("BENCH_{}.json", today_utc()))
+            root.join(bench::snapshot_name(&today_utc(), &snapshot_names(&root)))
         }
     });
     let mut driver = Command::new(root.join("target/release/bench_kernels"));
@@ -336,20 +343,72 @@ fn calibrate_cmd(mut args: impl Iterator<Item = String>) -> ExitCode {
     }
 }
 
-/// The lexicographically newest `BENCH_*.json` at the workspace root —
-/// the naming scheme (`BENCH_YYYY-MM-DD.json`) makes that the most
-/// recent. Returns its file name and contents.
-fn latest_snapshot(root: &Path) -> Option<(String, String)> {
-    let entries = std::fs::read_dir(root).ok()?;
-    let mut names: Vec<String> = entries
+/// Every `BENCH_*.json` file name at the workspace root.
+fn snapshot_names(root: &Path) -> Vec<String> {
+    let Ok(entries) = std::fs::read_dir(root) else { return Vec::new() };
+    entries
         .flatten()
         .filter_map(|e| e.file_name().into_string().ok())
         .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect()
+}
+
+/// The most recently written `BENCH_*.json` at the workspace root, by
+/// file modification time (not filename sort — collision-suffixed
+/// same-day snapshots sort before the name they collided with). Returns
+/// its file name and contents.
+fn latest_snapshot(root: &Path) -> Option<(String, String)> {
+    let entries: Vec<(String, u64)> = snapshot_names(root)
+        .into_iter()
+        .filter_map(|name| {
+            let mtime = std::fs::metadata(root.join(&name))
+                .and_then(|m| m.modified())
+                .ok()?
+                .duration_since(std::time::UNIX_EPOCH)
+                .ok()?
+                .as_secs();
+            Some((name, mtime))
+        })
         .collect();
-    names.sort();
-    let name = names.pop()?;
+    let name = bench::latest_by_mtime(&entries)?;
     let json = std::fs::read_to_string(root.join(&name)).ok()?;
     Some((name, json))
+}
+
+/// `cargo xtask trace-check <trace.ndjson>`.
+///
+/// Validates a trace captured with `adatm --trace <path>`: every line a
+/// flat JSON event with increasing `seq`, and every span (including
+/// every `cpals.iter` iteration span) properly opened and closed.
+fn trace_check_cmd(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let Some(path) = args.next() else {
+        eprintln!("xtask trace-check: expected a trace file path\n");
+        print_usage();
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(err) => {
+            eprintln!("xtask trace-check: cannot read {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match trace::validate(&text) {
+        Ok(summary) => {
+            println!(
+                "xtask trace-check: {path} ok ({} events, {} spans, {} iterations, {} planner decisions)",
+                summary.events, summary.spans, summary.iterations, summary.decisions
+            );
+            ExitCode::SUCCESS
+        }
+        Err(errors) => {
+            for e in &errors {
+                eprintln!("xtask trace-check: {e}");
+            }
+            eprintln!("xtask trace-check: {path} FAILED ({} violation(s))", errors.len());
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Today's UTC date as `YYYY-MM-DD`, via Howard Hinnant's

@@ -1,0 +1,179 @@
+//! NDJSON trace validation for `cargo xtask trace-check`.
+//!
+//! Validates a trace file captured with `adatm --trace <path>` against
+//! the schema `adatm-trace` emits: every line is a flat JSON object with
+//! an `ev` kind and a `seq` number, sequence numbers strictly increase,
+//! and `span_open`/`span_close` events pair up and nest properly (every
+//! opened span — including every `cpals.iter` iteration span — is closed
+//! before its parent). Pure functions over strings, unit-tested without
+//! the filesystem — same philosophy as [`crate::bench`] and
+//! [`crate::lints`].
+
+/// Extracts a `"name": "value"` string field from an NDJSON line.
+fn field_str<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let tag = format!("\"{name}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(&line[start..end])
+}
+
+/// Extracts a `"name": 123` numeric field from an NDJSON line.
+fn field_u64(line: &str, name: &str) -> Option<u64> {
+    let tag = format!("\"{name}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let digits: String = line[start..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// What a valid trace contained.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total event lines.
+    pub events: usize,
+    /// Completed span pairs.
+    pub spans: usize,
+    /// `cpals.iter` spans (outer CP-ALS iterations traced).
+    pub iterations: usize,
+    /// `planner.decision` events.
+    pub decisions: usize,
+}
+
+/// Validates `ndjson` and returns a summary, or every violation found.
+pub fn validate(ndjson: &str) -> Result<TraceSummary, Vec<String>> {
+    let mut errors = Vec::new();
+    let mut summary = TraceSummary::default();
+    let mut last_seq: Option<u64> = None;
+    let mut stack: Vec<(String, usize)> = Vec::new();
+    for (i, line) in ndjson.lines().enumerate() {
+        let lineno = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if !(line.starts_with('{') && line.ends_with('}')) {
+            errors.push(format!("line {lineno}: not a JSON object: {line}"));
+            continue;
+        }
+        let Some(ev) = field_str(line, "ev") else {
+            errors.push(format!("line {lineno}: missing \"ev\" field"));
+            continue;
+        };
+        let Some(seq) = field_u64(line, "seq") else {
+            errors.push(format!("line {lineno}: missing \"seq\" field"));
+            continue;
+        };
+        if let Some(prev) = last_seq {
+            if seq <= prev {
+                errors
+                    .push(format!("line {lineno}: seq {seq} does not increase (previous {prev})"));
+            }
+        }
+        last_seq = Some(seq);
+        summary.events += 1;
+        match ev {
+            "span_open" => {
+                let Some(name) = field_str(line, "span") else {
+                    errors.push(format!("line {lineno}: span_open without \"span\" name"));
+                    continue;
+                };
+                stack.push((name.to_string(), lineno));
+            }
+            "span_close" => {
+                let Some(name) = field_str(line, "span") else {
+                    errors.push(format!("line {lineno}: span_close without \"span\" name"));
+                    continue;
+                };
+                if field_u64(line, "elapsed_ns").is_none() {
+                    errors.push(format!("line {lineno}: span_close without \"elapsed_ns\""));
+                }
+                match stack.pop() {
+                    Some((open, _)) if open == name => {
+                        summary.spans += 1;
+                        if name == "cpals.iter" {
+                            summary.iterations += 1;
+                        }
+                    }
+                    Some((open, open_line)) => errors.push(format!(
+                        "line {lineno}: span_close '{name}' does not match open \
+                         '{open}' from line {open_line}"
+                    )),
+                    None => {
+                        errors.push(format!("line {lineno}: span_close '{name}' with no open span"))
+                    }
+                }
+            }
+            "planner.decision" => summary.decisions += 1,
+            _ => {}
+        }
+    }
+    for (name, open_line) in &stack {
+        errors.push(format!("span '{name}' opened at line {open_line} is never closed"));
+    }
+    if summary.events == 0 {
+        errors.push("trace contains no events".to_string());
+    }
+    if errors.is_empty() {
+        Ok(summary)
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(seq: u64, body: &str) -> String {
+        format!("{{\"ev\": {body}, \"seq\": {seq}}}")
+    }
+
+    #[test]
+    fn valid_trace_summarizes() {
+        let trace = [
+            line(0, "\"span_open\", \"span\": \"cpals.run\""),
+            line(1, "\"span_open\", \"span\": \"cpals.iter\", \"iter\": 0"),
+            line(2, "\"planner.decision\", \"label\": \"bdt\""),
+            line(3, "\"span_close\", \"span\": \"cpals.iter\", \"elapsed_ns\": 42"),
+            line(4, "\"span_close\", \"span\": \"cpals.run\", \"elapsed_ns\": 99"),
+        ]
+        .join("\n");
+        let s = validate(&trace).expect("valid trace");
+        assert_eq!(s, TraceSummary { events: 5, spans: 2, iterations: 1, decisions: 1 });
+    }
+
+    #[test]
+    fn rejects_non_monotone_seq() {
+        let trace = [line(5, "\"a\""), line(5, "\"b\"")].join("\n");
+        let errs = validate(&trace).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("does not increase")), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_mismatched_and_unclosed_spans() {
+        let trace = [
+            line(0, "\"span_open\", \"span\": \"outer\""),
+            line(1, "\"span_open\", \"span\": \"inner\""),
+            line(2, "\"span_close\", \"span\": \"outer\", \"elapsed_ns\": 1"),
+        ]
+        .join("\n");
+        let errs = validate(&trace).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("does not match open 'inner'")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("never closed")), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_malformed_lines_and_empty_traces() {
+        let errs = validate("not json\n").unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("not a JSON object")), "{errs:?}");
+        let errs = validate("").unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("no events")), "{errs:?}");
+        let errs = validate("{\"noev\": 1}").unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("missing \"ev\"")), "{errs:?}");
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let trace = format!("{}\n\n{}\n", line(0, "\"a\""), line(1, "\"b\""));
+        let s = validate(&trace).expect("valid");
+        assert_eq!(s.events, 2);
+    }
+}
