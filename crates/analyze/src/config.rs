@@ -1,0 +1,375 @@
+//! Per-crate analyzer configuration: `analyze.toml` next to a crate's
+//! `Cargo.toml`.
+//!
+//! ```toml
+//! # Kernel crates get the panic-freedom lint.
+//! kernel = true
+//!
+//! [hot]
+//! # Extra hot-path roots beyond `#[adatm::hot]`-tagged functions,
+//! # named by qualified (`Type::method`) or bare function name.
+//! fns = ["mttkrp_serial"]
+//!
+//! # Allowances: `"file.rs::fn" = { sites = N, reason = "..." }`.
+//! # Up to N findings of that class in that function are suppressed;
+//! # fewer than N triggers a stale-allowance warning so burn-down
+//! # progress shrinks the file instead of rotting in it.
+//! [allow.index]
+//! "mttkrp.rs::mttkrp_coo" = { sites = 4, reason = "rows validated on construction" }
+//!
+//! [allow.alloc]
+//! [allow.panic]
+//! ```
+//!
+//! The parser covers exactly this subset of TOML (comments, booleans,
+//! string arrays, inline tables with `sites`/`reason`), hand-rolled
+//! because the build environment is offline.
+
+use std::collections::BTreeMap;
+
+/// One allowance entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Allowance {
+    /// Maximum findings of the class suppressed at this key.
+    pub sites: usize,
+    /// Why the findings are acceptable.
+    pub reason: String,
+}
+
+/// Parsed per-crate configuration.
+#[derive(Clone, Debug, Default)]
+pub struct CrateConfig {
+    /// Whether the crate is a kernel crate (panic-freedom lint applies).
+    pub kernel: bool,
+    /// Extra hot-path root functions (qualified or bare names).
+    pub hot_fns: Vec<String>,
+    /// Indexing allowances, keyed `"file.rs::fn"`.
+    pub allow_index: BTreeMap<String, Allowance>,
+    /// Hot-path allocation allowances.
+    pub allow_alloc: BTreeMap<String, Allowance>,
+    /// Panic-freedom allowances.
+    pub allow_panic: BTreeMap<String, Allowance>,
+}
+
+/// A configuration parse problem.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line in `analyze.toml`.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl CrateConfig {
+    /// Parses an `analyze.toml` source text.
+    pub fn parse(src: &str) -> Result<CrateConfig, ConfigError> {
+        let mut cfg = CrateConfig::default();
+        let mut section = String::new();
+        let mut lines = src.lines().enumerate().peekable();
+        while let Some((i, raw)) = lines.next() {
+            let lineno = i + 1;
+            let line = strip_toml_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                match section.as_str() {
+                    "hot" | "allow.index" | "allow.alloc" | "allow.panic" => {}
+                    other => {
+                        return Err(ConfigError {
+                            line: lineno,
+                            message: format!("unknown section `[{other}]`"),
+                        });
+                    }
+                }
+                continue;
+            }
+            // `key = value`, where a multi-line array may continue until
+            // the closing `]`.
+            let mut stmt = line;
+            while needs_continuation(&stmt) {
+                match lines.next() {
+                    Some((_, cont)) => {
+                        stmt.push(' ');
+                        stmt.push_str(strip_toml_comment(cont).trim());
+                    }
+                    None => {
+                        return Err(ConfigError {
+                            line: lineno,
+                            message: "unterminated array".into(),
+                        });
+                    }
+                }
+            }
+            let Some((key, value)) = stmt.split_once('=') else {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("expected `key = value`, got `{stmt}`"),
+                });
+            };
+            let key = parse_key(key.trim()).ok_or_else(|| ConfigError {
+                line: lineno,
+                message: format!("malformed key `{}`", key.trim()),
+            })?;
+            let value = value.trim();
+            match section.as_str() {
+                "" => match key.as_str() {
+                    "kernel" => {
+                        cfg.kernel = parse_bool(value).ok_or_else(|| ConfigError {
+                            line: lineno,
+                            message: format!("`kernel` must be true/false, got `{value}`"),
+                        })?;
+                    }
+                    other => {
+                        return Err(ConfigError {
+                            line: lineno,
+                            message: format!("unknown top-level key `{other}`"),
+                        });
+                    }
+                },
+                "hot" => match key.as_str() {
+                    "fns" => {
+                        cfg.hot_fns = parse_string_array(value).ok_or_else(|| ConfigError {
+                            line: lineno,
+                            message: format!("`fns` must be an array of strings, got `{value}`"),
+                        })?;
+                    }
+                    other => {
+                        return Err(ConfigError {
+                            line: lineno,
+                            message: format!("unknown `[hot]` key `{other}`"),
+                        });
+                    }
+                },
+                allow => {
+                    let entry = parse_allowance(value).ok_or_else(|| ConfigError {
+                        line: lineno,
+                        message: format!(
+                            "allowance must be `{{ sites = N, reason = \"...\" }}`, got `{value}`"
+                        ),
+                    })?;
+                    let map = match allow {
+                        "allow.index" => &mut cfg.allow_index,
+                        "allow.alloc" => &mut cfg.allow_alloc,
+                        _ => &mut cfg.allow_panic,
+                    };
+                    if map.insert(key.clone(), entry).is_some() {
+                        return Err(ConfigError {
+                            line: lineno,
+                            message: format!("duplicate allowance key `{key}`"),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Renders the configuration back to `analyze.toml` text (used by
+    /// `--bless` to regenerate allowlists).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "# Analyzer configuration for this crate (see crates/analyze).\n\
+             # Regenerate allowances with `cargo xtask analyze --bless`, then\n\
+             # replace generated reasons with real justifications.\n",
+        );
+        if self.kernel {
+            out.push_str("\nkernel = true\n");
+        }
+        if !self.hot_fns.is_empty() {
+            out.push_str("\n[hot]\nfns = [\n");
+            for f in &self.hot_fns {
+                out.push_str(&format!("    \"{f}\",\n"));
+            }
+            out.push_str("]\n");
+        }
+        for (name, map) in [
+            ("index", &self.allow_index),
+            ("alloc", &self.allow_alloc),
+            ("panic", &self.allow_panic),
+        ] {
+            if map.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("\n[allow.{name}]\n"));
+            for (key, a) in map {
+                out.push_str(&format!(
+                    "\"{key}\" = {{ sites = {}, reason = \"{}\" }}\n",
+                    a.sites, a.reason
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Strips a `#` comment unless it sits inside a quoted string.
+fn strip_toml_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Whether a statement's brackets are still open (multi-line array).
+fn needs_continuation(stmt: &str) -> bool {
+    let mut depth = 0isize;
+    let mut in_str = false;
+    for b in stmt.bytes() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'[' if !in_str => depth += 1,
+            b']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth > 0
+}
+
+/// Parses a bare or quoted key.
+fn parse_key(s: &str) -> Option<String> {
+    if let Some(inner) = s.strip_prefix('"').and_then(|s| s.strip_suffix('"')) {
+        (!inner.is_empty()).then(|| inner.to_string())
+    } else if !s.is_empty()
+        && s.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+    {
+        Some(s.to_string())
+    } else {
+        None
+    }
+}
+
+fn parse_bool(s: &str) -> Option<bool> {
+    match s {
+        "true" => Some(true),
+        "false" => Some(false),
+        _ => None,
+    }
+}
+
+/// Parses `"a"` out of a quoted string value.
+fn parse_string(s: &str) -> Option<String> {
+    s.strip_prefix('"').and_then(|s| s.strip_suffix('"')).map(|s| s.to_string())
+}
+
+/// Parses `["a", "b"]`.
+fn parse_string_array(s: &str) -> Option<Vec<String>> {
+    let inner = s.strip_prefix('[')?.strip_suffix(']')?;
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue; // trailing comma
+        }
+        out.push(parse_string(part)?);
+    }
+    Some(out)
+}
+
+/// Parses `{ sites = N, reason = "..." }`.
+fn parse_allowance(s: &str) -> Option<Allowance> {
+    let inner = s.strip_prefix('{')?.strip_suffix('}')?;
+    let mut sites = None;
+    let mut reason = None;
+    // `reason` strings may contain commas; split on commas outside quotes.
+    let mut parts = Vec::new();
+    let mut depth_str = false;
+    let mut start = 0usize;
+    for (i, b) in inner.bytes().enumerate() {
+        match b {
+            b'"' => depth_str = !depth_str,
+            b',' if !depth_str => {
+                parts.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&inner[start..]);
+    for part in parts {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (k, v) = part.split_once('=')?;
+        match k.trim() {
+            "sites" => sites = v.trim().parse::<usize>().ok(),
+            "reason" => reason = parse_string(v.trim()),
+            _ => return None,
+        }
+    }
+    Some(Allowance { sites: sites?, reason: reason? })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_config() {
+        let src = r#"
+            # kernel crate
+            kernel = true
+
+            [hot]
+            fns = [
+                "mttkrp_serial",  # explicit root
+                "Csf::walk",
+            ]
+
+            [allow.index]
+            "mttkrp.rs::mttkrp_coo" = { sites = 4, reason = "rows validated, see audit" }
+
+            [allow.panic]
+            "audit.rs::assert_disjoint" = { sites = 1, reason = "contract abort" }
+        "#;
+        let cfg = CrateConfig::parse(src).unwrap();
+        assert!(cfg.kernel);
+        assert_eq!(cfg.hot_fns, vec!["mttkrp_serial", "Csf::walk"]);
+        assert_eq!(cfg.allow_index["mttkrp.rs::mttkrp_coo"].sites, 4);
+        assert_eq!(cfg.allow_panic["audit.rs::assert_disjoint"].reason, "contract abort");
+        assert!(cfg.allow_alloc.is_empty());
+    }
+
+    #[test]
+    fn empty_config_is_default() {
+        let cfg = CrateConfig::parse("").unwrap();
+        assert!(!cfg.kernel);
+        assert!(cfg.hot_fns.is_empty());
+    }
+
+    #[test]
+    fn unknown_section_is_rejected() {
+        let err = CrateConfig::parse("[surprise]\n").unwrap_err();
+        assert!(err.message.contains("surprise"));
+    }
+
+    #[test]
+    fn malformed_allowance_is_rejected() {
+        let err =
+            CrateConfig::parse("[allow.index]\n\"f.rs::g\" = { sites = many }\n").unwrap_err();
+        assert!(err.message.contains("allowance"));
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let mut cfg = CrateConfig { kernel: true, ..Default::default() };
+        cfg.hot_fns.push("walk".into());
+        cfg.allow_alloc.insert(
+            "k.rs::f".into(),
+            Allowance { sites: 2, reason: "Range clone, allocation-free".into() },
+        );
+        let back = CrateConfig::parse(&cfg.render()).unwrap();
+        assert!(back.kernel);
+        assert_eq!(back.hot_fns, cfg.hot_fns);
+        assert_eq!(back.allow_alloc, cfg.allow_alloc);
+    }
+}

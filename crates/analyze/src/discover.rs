@@ -1,0 +1,203 @@
+//! Workspace discovery: which crates exist and which files they own.
+//!
+//! The old `xtask lint` walked a hard-coded directory list, which
+//! silently skipped crates added after the list was written. This asks
+//! `cargo metadata --no-deps` for the workspace members instead (the
+//! same source of truth cargo builds from) and falls back to a manifest
+//! walk when cargo is unavailable (e.g. a stripped CI container running
+//! the analyzer binary directly).
+//!
+//! No JSON dependency exists offline, so the metadata is scanned for its
+//! `"manifest_path"` values; crate names come from each `Cargo.toml`
+//! rather than the JSON (dependency objects also carry `"name"` keys,
+//! making in-place extraction ambiguous).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// One workspace member.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkspaceCrate {
+    /// Package name from its manifest.
+    pub name: String,
+    /// The crate's `Cargo.toml`.
+    pub manifest: PathBuf,
+    /// The crate's `src/` directory (may not exist for manifest-only
+    /// packages; callers skip those).
+    pub src_dir: PathBuf,
+}
+
+impl WorkspaceCrate {
+    /// The crate's `analyze.toml`, next to its manifest (may not exist).
+    pub fn config_path(&self) -> PathBuf {
+        self.manifest.with_file_name("analyze.toml")
+    }
+}
+
+/// Lists workspace members via `cargo metadata`, falling back to a
+/// manifest walk of the member globs in the root `Cargo.toml`.
+pub fn workspace_crates(root: &Path) -> std::io::Result<Vec<WorkspaceCrate>> {
+    match metadata_manifests(root) {
+        Ok(manifests) if !manifests.is_empty() => collect(manifests),
+        _ => collect(walk_manifests(root)),
+    }
+}
+
+/// Runs `cargo metadata --no-deps` and extracts every manifest path.
+fn metadata_manifests(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let out = Command::new("cargo")
+        .args(["metadata", "--no-deps", "--format-version", "1"])
+        .current_dir(root)
+        .output()?;
+    if !out.status.success() {
+        return Err(std::io::Error::other(format!(
+            "cargo metadata failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        )));
+    }
+    let text = String::from_utf8_lossy(&out.stdout);
+    let mut manifests = Vec::new();
+    let needle = "\"manifest_path\":\"";
+    let mut rest: &str = &text;
+    while let Some(at) = rest.find(needle) {
+        rest = &rest[at + needle.len()..];
+        if let Some(end) = rest.find('"') {
+            // JSON string escapes do not occur in this workspace's paths;
+            // a path that somehow contains them is skipped by the
+            // manifest-exists check below.
+            let path = PathBuf::from(&rest[..end]);
+            if path.is_file() && !manifests.contains(&path) {
+                manifests.push(path);
+            }
+            rest = &rest[end..];
+        } else {
+            break;
+        }
+    }
+    Ok(manifests)
+}
+
+/// Fallback: the root manifest plus every `Cargo.toml` one or two levels
+/// below it (covers `crates/*`, `shims/*`, `xtask`).
+fn walk_manifests(root: &Path) -> Vec<PathBuf> {
+    let mut manifests = Vec::new();
+    let root_manifest = root.join("Cargo.toml");
+    if root_manifest.is_file() {
+        manifests.push(root_manifest);
+    }
+    let mut dirs = vec![root.to_path_buf()];
+    for depth in 0..2 {
+        let mut next = Vec::new();
+        for dir in &dirs {
+            let Ok(entries) = std::fs::read_dir(dir) else { continue };
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if !path.is_dir() {
+                    continue;
+                }
+                let name = entry.file_name();
+                if name == "target" || name == ".git" {
+                    continue;
+                }
+                if depth > 0 || matches!(name.to_str(), Some("crates" | "shims" | "xtask")) {
+                    let m = path.join("Cargo.toml");
+                    if m.is_file() && !manifests.contains(&m) {
+                        manifests.push(m);
+                    }
+                    next.push(path);
+                }
+            }
+        }
+        dirs = next;
+    }
+    manifests
+}
+
+/// Builds [`WorkspaceCrate`] entries from manifest paths.
+fn collect(manifests: Vec<PathBuf>) -> std::io::Result<Vec<WorkspaceCrate>> {
+    let mut out = Vec::new();
+    for manifest in manifests {
+        let text = std::fs::read_to_string(&manifest)?;
+        let Some(name) = package_name(&text) else {
+            continue; // virtual manifest (workspace-only)
+        };
+        let dir = manifest.parent().unwrap_or(Path::new("."));
+        out.push(WorkspaceCrate { name, src_dir: dir.join("src"), manifest });
+    }
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(out)
+}
+
+/// Extracts `name = "..."` from a manifest's `[package]` section.
+fn package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if let Some(section) = line.strip_prefix('[') {
+            in_package = section.trim_end_matches(']') == "package";
+            continue;
+        }
+        if in_package {
+            if let Some(value) = line.strip_prefix("name") {
+                let value = value.trim_start();
+                if let Some(value) = value.strip_prefix('=') {
+                    let v = value.trim();
+                    return v
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .map(|v| v.to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Recursively lists `.rs` files under a directory (sorted for
+/// deterministic reports), skipping `target/`.
+pub fn rust_sources(dir: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                if entry.file_name() != "target" {
+                    stack.push(path);
+                }
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn package_name_extraction() {
+        let m = "[workspace]\nmembers = [\"a\"]\n\n[package]\nname = \"adatm-analyze\"\n";
+        assert_eq!(package_name(m), Some("adatm-analyze".to_string()));
+        assert_eq!(package_name("[workspace]\nmembers = []\n"), None);
+    }
+
+    #[test]
+    fn discovers_this_workspace() {
+        // CARGO_MANIFEST_DIR = crates/analyze; the workspace root is two
+        // levels up.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let crates = workspace_crates(&root).expect("discovery");
+        let names: Vec<&str> = crates.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"adatm-analyze"), "{names:?}");
+        assert!(names.contains(&"adatm-tensor"), "{names:?}");
+        assert!(names.contains(&"adatm"), "{names:?}");
+        let me = crates.iter().find(|c| c.name == "adatm-analyze").expect("self");
+        let sources = rust_sources(&me.src_dir);
+        assert!(sources.iter().any(|p| p.ends_with("discover.rs")));
+    }
+}

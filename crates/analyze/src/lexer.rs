@@ -1,0 +1,396 @@
+//! A small Rust lexer: source text → a flat token stream with line
+//! numbers.
+//!
+//! The build environment is offline, so `syn` is unavailable; this
+//! lexer plus the token-tree/item layer in [`crate::tree`] cover the
+//! AST-lite subset the lints need — reliable token *boundaries* (so a
+//! `.unwrap()` inside a string literal or comment can never fire a
+//! lint) and delimiter structure, not full expression grammar.
+//!
+//! Deliberately loose where looseness is safe: number literals keep
+//! their suffix glued on (`1i64` is one token — exactly what the
+//! schema-type inference wants), multi-char operators stay as adjacent
+//! single-char puncts (adjacency is recoverable from byte positions),
+//! and exotic literals (`c"..."`) lex as their prefix ident plus a
+//! string.
+
+/// What a token is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (including literal prefixes that ended
+    /// up standalone).
+    Ident(String),
+    /// A lifetime (`'a`), label, or `'_`.
+    Lifetime(String),
+    /// A string literal (regular, raw, or byte). The inner text is kept
+    /// verbatim (escape sequences unprocessed) — the schema lint matches
+    /// event-kind literals, which never contain escapes.
+    StrLit(String),
+    /// A char or byte literal, contents dropped.
+    CharLit,
+    /// A numeric literal, text kept (suffix detection).
+    NumLit(String),
+    /// A single punctuation character (delimiters included).
+    Punct(char),
+}
+
+/// One token with its position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tok {
+    /// The token.
+    pub kind: TokKind,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+    /// Byte offset of the token's first character (adjacency checks).
+    pub pos: u32,
+}
+
+impl Tok {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+
+    /// The string literal's inner text, if this is a string literal.
+    pub fn str_lit(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::StrLit(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A lexing problem (unterminated literal or comment). The lexer keeps
+/// whatever it produced before the error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line of the problem.
+    pub line: u32,
+    /// Description.
+    pub message: String,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: u32,
+}
+
+impl Cursor<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.i).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.i + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        self.i += 1;
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into tokens. Comments and whitespace are dropped;
+/// literal contents are dropped (only their kind and position matter to
+/// the lints).
+pub fn lex(src: &str) -> (Vec<Tok>, Vec<LexError>) {
+    let mut c = Cursor { src: src.as_bytes(), i: 0, line: 1 };
+    let mut toks = Vec::new();
+    let mut errors = Vec::new();
+    while let Some(b) = c.peek() {
+        let line = c.line;
+        let pos = c.i as u32;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek_at(1) == Some(b'/') => {
+                while let Some(b) = c.peek() {
+                    if b == b'\n' {
+                        break;
+                    }
+                    c.bump();
+                }
+            }
+            b'/' if c.peek_at(1) == Some(b'*') => {
+                c.bump();
+                c.bump();
+                let mut depth = 1usize;
+                loop {
+                    match (c.peek(), c.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            c.bump();
+                            c.bump();
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        (Some(_), _) => {
+                            c.bump();
+                        }
+                        (None, _) => {
+                            errors.push(LexError {
+                                line,
+                                message: "unterminated block comment".into(),
+                            });
+                            break;
+                        }
+                    }
+                }
+            }
+            b'"' => {
+                let text = lex_string(&mut c, &mut errors);
+                toks.push(Tok { kind: TokKind::StrLit(text), line, pos });
+            }
+            b'\'' => {
+                // Lifetime vs char literal. After the quote: a backslash
+                // means char; a codepoint followed by a closing quote
+                // means char (`'a'`, `'_'`); otherwise lifetime (`'a`,
+                // `'static`, `'_`).
+                let rest = &src[c.i + 1..];
+                let mut chars = rest.chars();
+                match chars.next() {
+                    Some('\\') => {
+                        lex_char(&mut c, &mut errors);
+                        toks.push(Tok { kind: TokKind::CharLit, line, pos });
+                    }
+                    Some(c1) if chars.next() == Some('\'') && c1 != '\'' => {
+                        lex_char(&mut c, &mut errors);
+                        toks.push(Tok { kind: TokKind::CharLit, line, pos });
+                    }
+                    Some(_) => {
+                        c.bump(); // the quote
+                        let start = c.i;
+                        while c.peek().is_some_and(is_ident_cont) {
+                            c.bump();
+                        }
+                        let name = src[start..c.i].to_string();
+                        toks.push(Tok { kind: TokKind::Lifetime(name), line, pos });
+                    }
+                    None => {
+                        errors.push(LexError { line, message: "dangling quote".into() });
+                        c.bump();
+                    }
+                }
+            }
+            _ if b.is_ascii_digit() => {
+                let start = c.i;
+                // Digits, `_`, suffix/radix letters; a `.` joins only
+                // when followed by a digit (so `0..n` and `1.max()`
+                // keep their dots as separate puncts).
+                while let Some(b) = c.peek() {
+                    let dot_digit = b == b'.' && c.peek_at(1).is_some_and(|d| d.is_ascii_digit());
+                    if is_ident_cont(b) || dot_digit {
+                        c.bump();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok { kind: TokKind::NumLit(src[start..c.i].to_string()), line, pos });
+            }
+            _ if is_ident_start(b) => {
+                let start = c.i;
+                while c.peek().is_some_and(is_ident_cont) {
+                    c.bump();
+                }
+                let text = &src[start..c.i];
+                // Literal prefixes: `r"`, `r#"`, `b"`, `br#"`, `b'`, ...
+                let raw_next = matches!(c.peek(), Some(b'"') | Some(b'#'));
+                match text {
+                    "r" | "br" | "cr" if raw_next => {
+                        let text = lex_raw_string(&mut c, &mut errors);
+                        toks.push(Tok { kind: TokKind::StrLit(text), line, pos });
+                    }
+                    "b" | "c" if c.peek() == Some(b'"') => {
+                        let text = lex_string(&mut c, &mut errors);
+                        toks.push(Tok { kind: TokKind::StrLit(text), line, pos });
+                    }
+                    "b" if c.peek() == Some(b'\'') => {
+                        lex_char(&mut c, &mut errors);
+                        toks.push(Tok { kind: TokKind::CharLit, line, pos });
+                    }
+                    _ => {
+                        toks.push(Tok { kind: TokKind::Ident(text.to_string()), line, pos });
+                    }
+                }
+            }
+            _ => {
+                c.bump();
+                toks.push(Tok { kind: TokKind::Punct(b as char), line, pos });
+            }
+        }
+    }
+    (toks, errors)
+}
+
+/// Consumes a `"..."` string (cursor on the opening quote), returning the
+/// inner text (escapes kept verbatim).
+fn lex_string(c: &mut Cursor<'_>, errors: &mut Vec<LexError>) -> String {
+    let line = c.line;
+    c.bump();
+    let start = c.i;
+    loop {
+        match c.bump() {
+            Some(b'\\') => {
+                c.bump();
+            }
+            Some(b'"') => {
+                return String::from_utf8_lossy(&c.src[start..c.i - 1]).into_owned();
+            }
+            Some(_) => {}
+            None => {
+                errors.push(LexError { line, message: "unterminated string literal".into() });
+                return String::from_utf8_lossy(&c.src[start..c.i]).into_owned();
+            }
+        }
+    }
+}
+
+/// Consumes a `r#"..."#` raw string (cursor on `#` or `"` after the
+/// prefix ident was consumed), returning the inner text.
+fn lex_raw_string(c: &mut Cursor<'_>, errors: &mut Vec<LexError>) -> String {
+    let line = c.line;
+    let mut hashes = 0usize;
+    while c.peek() == Some(b'#') {
+        hashes += 1;
+        c.bump();
+    }
+    if c.peek() != Some(b'"') {
+        errors.push(LexError { line, message: "malformed raw string prefix".into() });
+        return String::new();
+    }
+    c.bump();
+    let start = c.i;
+    'outer: loop {
+        match c.bump() {
+            Some(b'"') => {
+                let end = c.i - 1;
+                for _ in 0..hashes {
+                    if c.peek() == Some(b'#') {
+                        c.bump();
+                    } else {
+                        continue 'outer;
+                    }
+                }
+                return String::from_utf8_lossy(&c.src[start..end]).into_owned();
+            }
+            Some(_) => {}
+            None => {
+                errors.push(LexError { line, message: "unterminated raw string".into() });
+                return String::from_utf8_lossy(&c.src[start..c.i]).into_owned();
+            }
+        }
+    }
+}
+
+/// Consumes a `'x'` char literal (cursor on the opening quote).
+fn lex_char(c: &mut Cursor<'_>, errors: &mut Vec<LexError>) {
+    let line = c.line;
+    c.bump();
+    loop {
+        match c.bump() {
+            Some(b'\\') => {
+                c.bump();
+            }
+            Some(b'\'') => return,
+            Some(_) => {}
+            None => {
+                errors.push(LexError { line, message: "unterminated char literal".into() });
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        let (toks, errs) = lex(src);
+        assert!(errs.is_empty(), "{errs:?}");
+        toks.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let (toks, _) = lex("fn f() {\n  x.y\n}\n");
+        assert_eq!(toks[0].ident(), Some("fn"));
+        assert_eq!(toks[0].line, 1);
+        let dot = toks.iter().find(|t| t.is_punct('.')).unwrap();
+        assert_eq!(dot.line, 2);
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let ks = kinds("a // .unwrap()\n\"no .expect( here\" /* b /* nested */ c */ d");
+        assert_eq!(
+            ks,
+            vec![
+                TokKind::Ident("a".into()),
+                TokKind::StrLit("no .expect( here".into()),
+                TokKind::Ident("d".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let ks = kinds("&'a str; 'x'; '\\n'; 'static; b'z'; '_'");
+        assert!(ks.contains(&TokKind::Lifetime("a".into())));
+        assert!(ks.contains(&TokKind::Lifetime("static".into())));
+        assert_eq!(ks.iter().filter(|k| **k == TokKind::CharLit).count(), 4);
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let ks = kinds(r###"r"a" r#"b"# b"c" br#"d"#"###);
+        let expect: Vec<TokKind> =
+            ["a", "b", "c", "d"].iter().map(|s| TokKind::StrLit((*s).into())).collect();
+        assert_eq!(ks, expect);
+    }
+
+    #[test]
+    fn numbers_keep_suffixes_and_release_range_dots() {
+        let ks = kinds("1i64 2.5f64 0..n 1.0e3 0x_ff");
+        assert!(ks.contains(&TokKind::NumLit("1i64".into())));
+        assert!(ks.contains(&TokKind::NumLit("2.5f64".into())));
+        assert!(ks.contains(&TokKind::NumLit("0x_ff".into())));
+        // `0..n`: the dots stay puncts.
+        assert_eq!(ks.iter().filter(|k| **k == TokKind::Punct('.')).count(), 2);
+    }
+
+    #[test]
+    fn unterminated_string_reports_but_keeps_tokens() {
+        let (toks, errs) = lex("let x = \"oops");
+        assert_eq!(errs.len(), 1);
+        assert!(toks.iter().any(|t| t.ident() == Some("let")));
+    }
+}

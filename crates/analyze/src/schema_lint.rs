@@ -1,0 +1,398 @@
+//! Trace-schema conformance: every `event!` / `span_guard!` call site
+//! must match the registry declared in `adatm_trace::schema`.
+//!
+//! One schema, two enforcement points: this static lint rejects a
+//! drifting call site at `cargo xtask analyze` time, and the runtime
+//! `xtask trace-check` validator rejects a captured NDJSON file whose
+//! lines disagree with the same tables — so the README's trace table
+//! (generated from the registry) can never silently diverge from either.
+//!
+//! Checked per site: the event/span kind exists, every field name is
+//! declared, no required field is missing, no reserved infrastructure
+//! name (`ev`, `seq`, `span`, `elapsed_ns`) is used, and — where the
+//! field expression's type is inferable from its tokens (an `as u64`
+//! cast, a suffixed literal, a string literal, a bool) — the type
+//! matches the declaration. Dynamic kinds (`event!(kind_var, ...)`) are
+//! reported as warnings, not failures, since the registry cannot name
+//! them; the workspace currently has none.
+
+use crate::tree::{MacroSite, Tree};
+use crate::{CrateModel, Finding, LintOutcome};
+use adatm_trace::schema::{
+    find_event, find_span, FieldSpec, FieldType, RESERVED_EVENT_FIELDS, RESERVED_SPAN_FIELDS,
+};
+
+/// Whether a macro site is one of ours (`event!`, `adatm_trace::event!`,
+/// `$crate`-expanded spellings).
+fn is_trace_macro(m: &MacroSite) -> Option<&'static str> {
+    let name = match m.name() {
+        "event" => "event",
+        "span_guard" => "span_guard",
+        _ => return None,
+    };
+    let qualified_ok = match m.path.len() {
+        1 => true,
+        n => matches!(m.path[n - 2].as_str(), "adatm_trace" | "trace" | "crate"),
+    };
+    qualified_ok.then_some(name)
+}
+
+/// Splits macro argument trees on top-level commas.
+fn split_args(args: &[Tree]) -> Vec<&[Tree]> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    for (i, t) in args.iter().enumerate() {
+        if t.is_punct(',') {
+            out.push(&args[start..i]);
+            start = i + 1;
+        }
+    }
+    if start < args.len() {
+        out.push(&args[start..]);
+    }
+    out
+}
+
+/// Maps a cast-target / suffix type name to a schema field type.
+fn type_name_to_field(ty: &str) -> Option<FieldType> {
+    match ty {
+        "u8" | "u16" | "u32" | "u64" | "usize" => Some(FieldType::U64),
+        "i8" | "i16" | "i32" | "i64" | "isize" => Some(FieldType::I64),
+        "f32" | "f64" => Some(FieldType::F64),
+        "bool" => Some(FieldType::Bool),
+        _ => None,
+    }
+}
+
+/// Infers the schema type of a field expression from its tokens, where
+/// the tokens pin it down; `None` means "cannot tell, skip the check".
+fn infer_type(expr: &[Tree]) -> Option<FieldType> {
+    if expr.is_empty() {
+        return None;
+    }
+    // A trailing cast wins: `x as u64`, `(a / b) as f64`.
+    for (i, t) in expr.iter().enumerate().rev() {
+        if t.ident() == Some("as") {
+            return expr.get(i + 1).and_then(Tree::ident).and_then(type_name_to_field);
+        }
+    }
+    match expr {
+        // A lone literal or ident.
+        [one] => {
+            if one.str_lit().is_some() {
+                return Some(FieldType::Str);
+            }
+            if let Tree::Leaf(t) = one {
+                if let crate::lexer::TokKind::NumLit(text) = &t.kind {
+                    return num_suffix_type(text);
+                }
+                if matches!(t.ident(), Some("true") | Some("false")) {
+                    return Some(FieldType::Bool);
+                }
+            }
+            None
+        }
+        // `-1i64` and friends.
+        [neg, num] if neg.is_punct('-') => {
+            if let Tree::Leaf(t) = num {
+                if let crate::lexer::TokKind::NumLit(text) = &t.kind {
+                    return num_suffix_type(text);
+                }
+            }
+            None
+        }
+        _ => {
+            // `format!(...)` and a trailing `.to_string()` / `.as_str()`
+            // are strings; a trailing `.is_*()` is a bool.
+            if expr[0].ident() == Some("format") && expr.get(1).is_some_and(|t| t.is_punct('!')) {
+                return Some(FieldType::Str);
+            }
+            if let [.., name, Tree::Group { delim: '(', .. }] = expr {
+                match name.ident() {
+                    Some("to_string") | Some("as_str") => return Some(FieldType::Str),
+                    Some(n) if n.starts_with("is_") => return Some(FieldType::Bool),
+                    _ => {}
+                }
+            }
+            None
+        }
+    }
+}
+
+/// The schema type implied by a numeric literal's suffix, if any.
+fn num_suffix_type(text: &str) -> Option<FieldType> {
+    for (suffix, ty) in [
+        ("usize", FieldType::U64),
+        ("isize", FieldType::I64),
+        ("u64", FieldType::U64),
+        ("u32", FieldType::U64),
+        ("u16", FieldType::U64),
+        ("u8", FieldType::U64),
+        ("i64", FieldType::I64),
+        ("i32", FieldType::I64),
+        ("i16", FieldType::I64),
+        ("i8", FieldType::I64),
+        ("f64", FieldType::F64),
+        ("f32", FieldType::F64),
+    ] {
+        if text.ends_with(suffix) {
+            return Some(ty);
+        }
+    }
+    None
+}
+
+/// Checks one macro site against a declared field list. `what` is
+/// "event" or "span" for messages; `kind` the declared name.
+#[allow(clippy::too_many_arguments)]
+fn check_fields(
+    site: &MacroSite,
+    file: &str,
+    what: &str,
+    kind: &str,
+    specs: &[FieldSpec],
+    reserved: &[&str],
+    chunks: &[&[Tree]],
+    out: &mut LintOutcome,
+) {
+    let mut present: Vec<&str> = Vec::new();
+    for chunk in chunks {
+        // `name : expr` — the name ident, a single `:`, then the value.
+        let Some(name) = chunk.first().and_then(Tree::ident) else {
+            out.findings.push(Finding {
+                lint: "schema",
+                file: file.to_string(),
+                line: site.line,
+                message: format!("malformed field in `{what}!(\"{kind}\", ...)`"),
+            });
+            continue;
+        };
+        if reserved.contains(&name) {
+            out.findings.push(Finding {
+                lint: "schema",
+                file: file.to_string(),
+                line: site.line,
+                message: format!(
+                    "field `{name}` on {what} `{kind}` collides with a reserved \
+                     infrastructure field ({})",
+                    reserved.join(", ")
+                ),
+            });
+            continue;
+        }
+        let Some(spec) = specs.iter().find(|s| s.name == name) else {
+            out.findings.push(Finding {
+                lint: "schema",
+                file: file.to_string(),
+                line: site.line,
+                message: format!(
+                    "{what} `{kind}` has no declared field `{name}` — add it to \
+                     crates/trace/src/schema.rs or fix the call site"
+                ),
+            });
+            continue;
+        };
+        present.push(spec.name);
+        let expr = &chunk[2..]; // past `name` and `:`
+        if let Some(ty) = infer_type(expr) {
+            if ty != spec.ty {
+                out.findings.push(Finding {
+                    lint: "schema",
+                    file: file.to_string(),
+                    line: site.line,
+                    message: format!(
+                        "field `{name}` of {what} `{kind}` is declared {} but the call \
+                         site passes {}",
+                        spec.ty.name(),
+                        ty.name()
+                    ),
+                });
+            }
+        }
+    }
+    for spec in specs {
+        if spec.required && !present.contains(&spec.name) {
+            out.findings.push(Finding {
+                lint: "schema",
+                file: file.to_string(),
+                line: site.line,
+                message: format!("{what} `{kind}` is missing its required field `{}`", spec.name),
+            });
+        }
+    }
+}
+
+/// The trace-schema conformance lint.
+pub fn schema_lint(model: &CrateModel) -> LintOutcome {
+    let mut out = LintOutcome::default();
+    for f in &model.fns {
+        if f.item.is_test {
+            continue;
+        }
+        for m in &f.facts.macros {
+            let Some(what) = is_trace_macro(m) else { continue };
+            let chunks = split_args(&m.args);
+            let Some(kind_chunk) = chunks.first() else {
+                out.findings.push(Finding {
+                    lint: "schema",
+                    file: f.file.clone(),
+                    line: m.line,
+                    message: format!("`{what}!` with no kind argument"),
+                });
+                continue;
+            };
+            let kind = match kind_chunk {
+                [one] if one.str_lit().is_some() => one.str_lit().unwrap_or(""),
+                _ => {
+                    out.warnings.push(format!(
+                        "[schema] {}:{}: dynamic {what} kind — not statically checkable",
+                        f.file, m.line
+                    ));
+                    continue;
+                }
+            };
+            let fields = &chunks[1..];
+            match what {
+                "event" => match find_event(kind) {
+                    Some(schema) => {
+                        check_fields(
+                            m,
+                            &f.file,
+                            "event",
+                            kind,
+                            schema.fields,
+                            RESERVED_EVENT_FIELDS,
+                            fields,
+                            &mut out,
+                        );
+                    }
+                    None => out.findings.push(Finding {
+                        lint: "schema",
+                        file: f.file.clone(),
+                        line: m.line,
+                        message: format!(
+                            "unknown event kind `{kind}` — declare it in \
+                             crates/trace/src/schema.rs"
+                        ),
+                    }),
+                },
+                _ => match find_span(kind) {
+                    Some(schema) => {
+                        check_fields(
+                            m,
+                            &f.file,
+                            "span",
+                            kind,
+                            schema.fields,
+                            RESERVED_SPAN_FIELDS,
+                            fields,
+                            &mut out,
+                        );
+                    }
+                    None => out.findings.push(Finding {
+                        lint: "schema",
+                        file: f.file.clone(),
+                        line: m.line,
+                        message: format!(
+                            "unknown span name `{kind}` — declare it in \
+                             crates/trace/src/schema.rs"
+                        ),
+                    }),
+                },
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_model;
+    use crate::config::CrateConfig;
+
+    fn lint(src: &str) -> LintOutcome {
+        let m = build_model("t", CrateConfig::default(), &[("x.rs".to_string(), src.to_string())]);
+        schema_lint(&m)
+    }
+
+    const STAGE_OK: &str = r#"iter: 0u64, mode: 1u64, stage: "mttkrp", elapsed_ns: 5u64"#;
+
+    #[test]
+    fn known_event_with_declared_fields_passes() {
+        let src = format!(r#"fn f() {{ adatm_trace::event!("stage", {STAGE_OK}); }}"#);
+        let out = lint(&src);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn unknown_kind_fails() {
+        let src = r#"fn f() { adatm_trace::event!("not.a.kind", x: 1u64); }"#;
+        let out = lint(src);
+        assert_eq!(out.findings.len(), 1);
+        assert!(out.findings[0].message.contains("unknown event kind"));
+    }
+
+    #[test]
+    fn undeclared_field_fails() {
+        let src = format!(r#"fn f() {{ adatm_trace::event!("stage", {STAGE_OK}, bogus: 1u64); }}"#);
+        let out = lint(&src);
+        assert_eq!(out.findings.len(), 1, "{:?}", out.findings);
+        assert!(out.findings[0].message.contains("bogus"));
+    }
+
+    #[test]
+    fn missing_required_field_fails() {
+        let src = r#"fn f() { adatm_trace::event!("stage", iter: 0u64, elapsed_ns: 5u64); }"#;
+        let out = lint(src);
+        assert_eq!(out.findings.len(), 1, "{:?}", out.findings);
+        assert!(out.findings[0].message.contains("required field `stage`"));
+    }
+
+    #[test]
+    fn type_mismatch_from_cast_fails() {
+        let src = r#"fn f(m: usize) {
+            adatm_trace::event!("stage", iter: 0u64, mode: m as f64, stage: "x",
+                elapsed_ns: 5u64);
+        }"#;
+        let out = lint(src);
+        assert_eq!(out.findings.len(), 1, "{:?}", out.findings);
+        assert!(out.findings[0].message.contains("declared u64"));
+    }
+
+    #[test]
+    fn reserved_field_name_fails() {
+        let src = format!(r#"fn f() {{ adatm_trace::event!("stage", {STAGE_OK}, seq: 1u64); }}"#);
+        let out = lint(&src);
+        assert_eq!(out.findings.len(), 1, "{:?}", out.findings);
+        assert!(out.findings[0].message.contains("reserved"));
+    }
+
+    #[test]
+    fn span_sites_are_checked_too() {
+        let good = r#"fn f() { let _s = adatm_trace::span_guard!("cpals.iter", iter: 3u64); }"#;
+        assert!(lint(good).findings.is_empty(), "{:?}", lint(good).findings);
+        let bad = r#"fn f() { let _s = adatm_trace::span_guard!("no.such.span"); }"#;
+        assert_eq!(lint(bad).findings.len(), 1);
+    }
+
+    #[test]
+    fn dynamic_kind_warns_instead_of_failing() {
+        let src = r#"fn f(k: &str) { adatm_trace::event!(k, stage: "x"); }"#;
+        let out = lint(src);
+        assert!(out.findings.is_empty());
+        assert_eq!(out.warnings.len(), 1);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = r##"
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { adatm_trace::event!("made.up", x: 1u64); }
+            }
+        "##;
+        assert!(lint(src).findings.is_empty());
+    }
+}

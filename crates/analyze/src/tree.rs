@@ -1,0 +1,742 @@
+//! Token trees and AST-lite item extraction.
+//!
+//! Builds on [`crate::lexer`]: groups the flat token stream by
+//! delimiter, then walks the trees extracting the structure the lints
+//! need — functions with their attributes, module/`impl` context, and
+//! `#[cfg(test)]` scoping, plus per-body facts (calls, method calls,
+//! macro invocations with argument trees, unchecked-indexing sites).
+//!
+//! Known limits, acceptable for this workspace's style and documented in
+//! DESIGN.md: const-generic brace expressions in return types would be
+//! mistaken for a function body, and nested named `fn` items inside a
+//! body are attributed to the enclosing function.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// One node of a token tree.
+#[derive(Clone, Debug)]
+pub enum Tree {
+    /// A single token.
+    Leaf(Tok),
+    /// A delimited group: `(...)`, `[...]`, or `{...}`.
+    Group {
+        /// The opening delimiter: `(`, `[`, or `{`.
+        delim: char,
+        /// Children.
+        trees: Vec<Tree>,
+        /// 1-based line of the opening delimiter.
+        line: u32,
+    },
+}
+
+impl Tree {
+    /// The leaf identifier, if any.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tree::Leaf(t) => t.ident(),
+            Tree::Group { .. } => None,
+        }
+    }
+
+    /// Whether this is the given punctuation leaf.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, Tree::Leaf(t) if t.is_punct(c))
+    }
+
+    /// The leaf string literal's inner text, if any.
+    pub fn str_lit(&self) -> Option<&str> {
+        match self {
+            Tree::Leaf(t) => t.str_lit(),
+            Tree::Group { .. } => None,
+        }
+    }
+
+    /// The source line this node starts on.
+    pub fn line(&self) -> u32 {
+        match self {
+            Tree::Leaf(t) => t.line,
+            Tree::Group { line, .. } => *line,
+        }
+    }
+}
+
+/// A problem found while parsing (unbalanced delimiters, lex errors).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: u32,
+    /// Description.
+    pub message: String,
+}
+
+fn close_of(open: char) -> char {
+    match open {
+        '(' => ')',
+        '[' => ']',
+        _ => '}',
+    }
+}
+
+/// Groups a token stream into trees.
+pub fn build_trees(toks: &[Tok]) -> (Vec<Tree>, Vec<ParseError>) {
+    let mut errors = Vec::new();
+    let mut stack: Vec<(char, u32, Vec<Tree>)> = Vec::new();
+    let mut top = Vec::new();
+    for t in toks {
+        match t.kind {
+            TokKind::Punct(c @ ('(' | '[' | '{')) => {
+                stack.push((c, t.line, Vec::new()));
+            }
+            TokKind::Punct(c @ (')' | ']' | '}')) => match stack.pop() {
+                Some((open, line, trees)) if close_of(open) == c => {
+                    let group = Tree::Group { delim: open, trees, line };
+                    match stack.last_mut() {
+                        Some((_, _, parent)) => parent.push(group),
+                        None => top.push(group),
+                    }
+                }
+                Some((open, line, trees)) => {
+                    errors.push(ParseError {
+                        line: t.line,
+                        message: format!("`{c}` does not close `{open}` from line {line}"),
+                    });
+                    let group = Tree::Group { delim: open, trees, line };
+                    match stack.last_mut() {
+                        Some((_, _, parent)) => parent.push(group),
+                        None => top.push(group),
+                    }
+                }
+                None => errors
+                    .push(ParseError { line: t.line, message: format!("unmatched closing `{c}`") }),
+            },
+            _ => {
+                let leaf = Tree::Leaf(t.clone());
+                match stack.last_mut() {
+                    Some((_, _, parent)) => parent.push(leaf),
+                    None => top.push(leaf),
+                }
+            }
+        }
+    }
+    while let Some((open, line, trees)) = stack.pop() {
+        errors.push(ParseError { line, message: format!("unclosed `{open}`") });
+        let group = Tree::Group { delim: open, trees, line };
+        match stack.last_mut() {
+            Some((_, _, parent)) => parent.push(group),
+            None => top.push(group),
+        }
+    }
+    (top, errors)
+}
+
+/// One attribute (`#[...]`), flattened.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Attr {
+    /// The attribute path, `::`-joined (`adatm::hot`, `cfg`, `test`).
+    pub path: String,
+    /// Every identifier inside the attribute group, space-joined
+    /// (`cfg test`, `cfg feature audit`). Coarse but sufficient for
+    /// `cfg(test)` detection.
+    pub idents: String,
+}
+
+impl Attr {
+    fn from_group(trees: &[Tree]) -> Attr {
+        let mut path = String::new();
+        for t in trees {
+            match t {
+                Tree::Leaf(tok) => match &tok.kind {
+                    TokKind::Ident(s) => {
+                        if !path.is_empty() {
+                            path.push_str("::");
+                        }
+                        path.push_str(s);
+                    }
+                    TokKind::Punct(':') => continue,
+                    _ => break,
+                },
+                Tree::Group { .. } => break,
+            }
+        }
+        let mut idents = String::new();
+        collect_idents(trees, &mut idents);
+        Attr { path, idents }
+    }
+
+    /// Whether this is `#[cfg(test)]` (or any cfg mentioning `test`,
+    /// e.g. `cfg(any(test, feature = "x"))` — conservative toward
+    /// treating code as test code).
+    pub fn is_cfg_test(&self) -> bool {
+        self.path == "cfg" && self.idents.split_whitespace().any(|w| w == "test")
+    }
+}
+
+fn collect_idents(trees: &[Tree], out: &mut String) {
+    for t in trees {
+        match t {
+            Tree::Leaf(tok) => {
+                if let TokKind::Ident(s) = &tok.kind {
+                    if !out.is_empty() {
+                        out.push(' ');
+                    }
+                    out.push_str(s);
+                }
+            }
+            Tree::Group { trees, .. } => collect_idents(trees, out),
+        }
+    }
+}
+
+/// A function item found in a file.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Qualified name: `module::fn`, or `Type::method` inside an
+    /// `impl`/`trait` block (module path omitted — names are matched by
+    /// final segment).
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Outer attributes.
+    pub attrs: Vec<Attr>,
+    /// Whether this item is test-only (`#[test]`, `#[cfg(test)]` on it
+    /// or any enclosing module).
+    pub is_test: bool,
+    /// Body token trees (`None` for trait-method declarations).
+    pub body: Option<Vec<Tree>>,
+}
+
+impl FnItem {
+    /// The unqualified name (final path segment).
+    pub fn short_name(&self) -> &str {
+        self.name.rsplit("::").next().unwrap_or(&self.name)
+    }
+
+    /// Whether the function is tagged `#[adatm::hot]` (accepting the
+    /// unrenamed `adatm_macros::hot` spelling too).
+    pub fn is_hot_tagged(&self) -> bool {
+        self.attrs.iter().any(|a| a.path == "adatm::hot" || a.path == "adatm_macros::hot")
+    }
+}
+
+/// Everything extracted from one file.
+#[derive(Clone, Debug, Default)]
+pub struct FileItems {
+    /// All functions, in source order.
+    pub fns: Vec<FnItem>,
+    /// Parse/lex problems.
+    pub errors: Vec<ParseError>,
+}
+
+/// Lexes and parses one file into its function items.
+pub fn parse_file(src: &str) -> FileItems {
+    let (toks, lex_errors) = lex(src);
+    let (trees, mut errors) = build_trees(&toks);
+    errors.extend(lex_errors.into_iter().map(|e| ParseError { line: e.line, message: e.message }));
+    let mut items = FileItems { fns: Vec::new(), errors };
+    walk_items(&trees, &mut Ctx { scope: None, in_test: false }, &mut items);
+    items
+}
+
+struct Ctx {
+    /// Enclosing `impl`/`trait` type name (methods become `Type::name`).
+    scope: Option<String>,
+    in_test: bool,
+}
+
+/// Skips a matched `<...>` generics run starting at `i` (which points at
+/// the `<`). Returns the index just past the closing `>`. `->`'s `>` is
+/// ignored via byte-adjacency with the preceding `-`.
+fn skip_generics(trees: &[Tree], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut prev_minus_pos: Option<u32> = None;
+    while i < trees.len() {
+        if let Tree::Leaf(t) = &trees[i] {
+            match t.kind {
+                TokKind::Punct('<') => depth += 1,
+                TokKind::Punct('>') => {
+                    let arrow = prev_minus_pos == Some(t.pos.wrapping_sub(1));
+                    if !arrow {
+                        depth -= 1;
+                        if depth == 0 {
+                            return i + 1;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            prev_minus_pos = if t.is_punct('-') { Some(t.pos) } else { None };
+        } else {
+            prev_minus_pos = None;
+        }
+        i += 1;
+    }
+    i
+}
+
+fn walk_items(trees: &[Tree], ctx: &mut Ctx, out: &mut FileItems) {
+    let mut i = 0usize;
+    while i < trees.len() {
+        // Collect outer attributes; skip inner (`#![...]`) ones.
+        let mut attrs: Vec<Attr> = Vec::new();
+        while trees[i].is_punct('#') {
+            let inner = trees.get(i + 1).is_some_and(|t| t.is_punct('!'));
+            let group_at = if inner { i + 2 } else { i + 1 };
+            match trees.get(group_at) {
+                Some(Tree::Group { delim: '[', trees: g, .. }) => {
+                    if !inner {
+                        attrs.push(Attr::from_group(g));
+                    }
+                    i = group_at + 1;
+                }
+                _ => {
+                    i += 1;
+                    break;
+                }
+            }
+            if i >= trees.len() {
+                return;
+            }
+        }
+        if i >= trees.len() {
+            return;
+        }
+        let attr_test = attrs.iter().any(|a| a.is_cfg_test() || a.path == "test");
+        let Some(kw) = trees[i].ident() else {
+            i += 1;
+            continue;
+        };
+        match kw {
+            "pub" => {
+                // Visibility: skip `pub` and an optional `(crate)` group,
+                // then re-enter the item match with the attrs intact.
+                i += 1;
+                if matches!(trees.get(i), Some(Tree::Group { delim: '(', .. })) {
+                    i += 1;
+                }
+                i = item_after_vis(trees, i, attrs, attr_test, ctx, out);
+            }
+            _ => {
+                i = item_after_vis(trees, i, attrs, attr_test, ctx, out);
+            }
+        }
+    }
+}
+
+/// Parses one item starting at `i` (visibility already consumed).
+/// Returns the index just past the item.
+fn item_after_vis(
+    trees: &[Tree],
+    mut i: usize,
+    attrs: Vec<Attr>,
+    attr_test: bool,
+    ctx: &mut Ctx,
+    out: &mut FileItems,
+) -> usize {
+    // Function qualifiers.
+    while let Some(q) = trees.get(i).and_then(Tree::ident) {
+        match q {
+            "default" | "async" | "unsafe" => i += 1,
+            "const" if trees.get(i + 1).and_then(Tree::ident) == Some("fn") => i += 1,
+            "extern" if trees.get(i + 1).and_then(Tree::ident).is_none() => {
+                // `extern "C" fn` / `extern "C" { ... }`.
+                i += 1;
+                if matches!(trees.get(i), Some(Tree::Leaf(t)) if matches!(t.kind, TokKind::StrLit(_)))
+                {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    let Some(kw) = trees.get(i).and_then(Tree::ident) else {
+        return i + 1;
+    };
+    match kw {
+        "fn" => {
+            let name_i = i + 1;
+            let short = trees.get(name_i).and_then(Tree::ident).unwrap_or("<anon>").to_string();
+            let name = match &ctx.scope {
+                Some(t) => format!("{t}::{short}"),
+                None => short,
+            };
+            let line = trees[i].line();
+            let mut j = name_i + 1;
+            if trees.get(j).is_some_and(|t| t.is_punct('<')) {
+                j = skip_generics(trees, j);
+            }
+            // Scan to the body brace group or a terminating `;`.
+            let mut body = None;
+            while j < trees.len() {
+                match &trees[j] {
+                    Tree::Group { delim: '{', trees: b, .. } => {
+                        body = Some(b.clone());
+                        j += 1;
+                        break;
+                    }
+                    t if t.is_punct(';') => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            out.fns.push(FnItem { name, line, attrs, is_test: ctx.in_test || attr_test, body });
+            j
+        }
+        "mod" => {
+            let name = trees.get(i + 1).and_then(Tree::ident).unwrap_or("").to_string();
+            match trees.get(i + 2) {
+                Some(Tree::Group { delim: '{', trees: b, .. }) => {
+                    let saved_test = ctx.in_test;
+                    let saved_scope = ctx.scope.take();
+                    ctx.in_test = saved_test || attr_test || name == "tests";
+                    walk_items(b, ctx, out);
+                    ctx.in_test = saved_test;
+                    ctx.scope = saved_scope;
+                    i + 3
+                }
+                _ => i + 3, // `mod name;`
+            }
+        }
+        "impl" | "trait" => {
+            let mut j = i + 1;
+            if trees.get(j).is_some_and(|t| t.is_punct('<')) {
+                j = skip_generics(trees, j);
+            }
+            // Scope name: the first ident after `for` if present in the
+            // header, else the first ident after the generics.
+            let mut scope_name = None;
+            let mut after_for = false;
+            let mut body = None;
+            let mut end = trees.len();
+            for (k, t) in trees.iter().enumerate().skip(j) {
+                match t {
+                    Tree::Group { delim: '{', trees: b, .. } => {
+                        body = Some(b);
+                        end = k + 1;
+                        break;
+                    }
+                    t if t.is_punct(';') => {
+                        end = k + 1;
+                        break;
+                    }
+                    t => {
+                        if let Some(id) = t.ident() {
+                            if id == "for" {
+                                after_for = true;
+                                scope_name = None;
+                            } else if scope_name.is_none() || after_for {
+                                scope_name = Some(id.to_string());
+                                after_for = false;
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some(b) = body {
+                let saved_test = ctx.in_test;
+                let saved_scope = ctx.scope.take();
+                ctx.in_test = saved_test || attr_test;
+                ctx.scope = scope_name;
+                walk_items(b, ctx, out);
+                ctx.in_test = saved_test;
+                ctx.scope = saved_scope;
+            }
+            end
+        }
+        "macro_rules" => {
+            // `macro_rules ! name { ... }` — skip entirely; a macro body
+            // is not code the lints should read.
+            let mut j = i + 1;
+            while j < trees.len() {
+                if matches!(&trees[j], Tree::Group { delim: '{', .. }) {
+                    return j + 1;
+                }
+                j += 1;
+            }
+            j
+        }
+        "struct" | "enum" | "union" => {
+            // Skip to `;` or the first brace group.
+            let mut j = i + 1;
+            while j < trees.len() {
+                match &trees[j] {
+                    Tree::Group { delim: '{', .. } => return j + 1,
+                    t if t.is_punct(';') => return j + 1,
+                    _ => j += 1,
+                }
+            }
+            j
+        }
+        "use" | "static" | "type" | "const" => {
+            let mut j = i + 1;
+            while j < trees.len() {
+                if trees[j].is_punct(';') {
+                    return j + 1;
+                }
+                j += 1;
+            }
+            j
+        }
+        "extern" => {
+            // `extern crate x;` or `extern { ... }`.
+            let mut j = i + 1;
+            while j < trees.len() {
+                match &trees[j] {
+                    Tree::Group { delim: '{', .. } => return j + 1,
+                    t if t.is_punct(';') => return j + 1,
+                    _ => j += 1,
+                }
+            }
+            j
+        }
+        _ => i + 1,
+    }
+}
+
+/// A call site inside a function body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CallSite {
+    /// Path segments (`["Vec", "new"]`; method calls have one segment).
+    pub path: Vec<String>,
+    /// Whether this was a `.method(...)` call.
+    pub method: bool,
+    /// 1-based line.
+    pub line: u32,
+}
+
+impl CallSite {
+    /// The final path segment.
+    pub fn last(&self) -> &str {
+        self.path.last().map(String::as_str).unwrap_or("")
+    }
+
+    /// The last two segments joined (`Vec::new`), or just the last.
+    pub fn tail2(&self) -> String {
+        match self.path.len() {
+            0 | 1 => self.last().to_string(),
+            n => format!("{}::{}", self.path[n - 2], self.path[n - 1]),
+        }
+    }
+}
+
+/// A macro invocation inside a function body.
+#[derive(Clone, Debug)]
+pub struct MacroSite {
+    /// Path segments (`["adatm_trace", "event"]`).
+    pub path: Vec<String>,
+    /// 1-based line.
+    pub line: u32,
+    /// The argument group's children.
+    pub args: Vec<Tree>,
+}
+
+impl MacroSite {
+    /// The final path segment (the macro's own name).
+    pub fn name(&self) -> &str {
+        self.path.last().map(String::as_str).unwrap_or("")
+    }
+}
+
+/// Facts extracted from one function body.
+#[derive(Clone, Debug, Default)]
+pub struct BodyFacts {
+    /// Free/path and method calls.
+    pub calls: Vec<CallSite>,
+    /// Macro invocations.
+    pub macros: Vec<MacroSite>,
+    /// Lines of direct slice/array indexing expressions (`expr[...]`,
+    /// excluding `&[...]` literals, attributes, and type positions).
+    pub index_lines: Vec<u32>,
+}
+
+/// Walks a function body collecting [`BodyFacts`].
+pub fn body_facts(body: &[Tree]) -> BodyFacts {
+    let mut facts = BodyFacts::default();
+    walk_body(body, &mut facts);
+    facts
+}
+
+fn walk_body(trees: &[Tree], facts: &mut BodyFacts) {
+    let mut i = 0usize;
+    while i < trees.len() {
+        // Nested `fn` items: skip the keyword and name so the parameter
+        // group is not mistaken for a call of the function's own name.
+        if trees[i].ident() == Some("fn") {
+            i += 2;
+            continue;
+        }
+        // Path: ident (:: ident)* with optional turbofish.
+        if let Some(first) = trees[i].ident() {
+            let mut path = vec![first.to_string()];
+            let mut j = i + 1;
+            loop {
+                // `:: ident` continuation.
+                if trees.get(j).is_some_and(|t| t.is_punct(':'))
+                    && trees.get(j + 1).is_some_and(|t| t.is_punct(':'))
+                {
+                    if let Some(seg) = trees.get(j + 2).and_then(Tree::ident) {
+                        path.push(seg.to_string());
+                        j += 3;
+                        continue;
+                    }
+                    // `::<...>` turbofish.
+                    if trees.get(j + 2).is_some_and(|t| t.is_punct('<')) {
+                        j = skip_generics(trees, j + 2);
+                        continue;
+                    }
+                }
+                break;
+            }
+            match trees.get(j) {
+                Some(Tree::Group { delim: '(', trees: args, line }) => {
+                    let method = i > 0 && trees[i - 1].is_punct('.');
+                    facts.calls.push(CallSite {
+                        path: if method {
+                            vec![path.last().cloned().unwrap_or_default()]
+                        } else {
+                            path
+                        },
+                        method,
+                        line: *line,
+                    });
+                    walk_body(args, facts);
+                    i = j + 1;
+                    continue;
+                }
+                Some(t) if t.is_punct('!') => {
+                    if let Some(Tree::Group { trees: args, line, .. }) = trees.get(j + 1) {
+                        facts.macros.push(MacroSite { path, line: *line, args: args.clone() });
+                        walk_body(args, facts);
+                        i = j + 2;
+                        continue;
+                    }
+                    i = j + 1;
+                    continue;
+                }
+                _ => {
+                    i = j.max(i + 1);
+                    continue;
+                }
+            }
+        }
+        match &trees[i] {
+            Tree::Group { delim: '[', trees: inner, line } => {
+                // Indexing: previous sibling is an ident or a closed
+                // `(...)`/`[...]` group (`a[i]`, `f(x)[i]`, `a[i][j]`).
+                let indexing = i > 0
+                    && match &trees[i - 1] {
+                        Tree::Leaf(t) => matches!(t.kind, TokKind::Ident(_)),
+                        Tree::Group { delim, .. } => matches!(delim, '(' | '['),
+                    };
+                if indexing {
+                    facts.index_lines.push(*line);
+                }
+                walk_body(inner, facts);
+            }
+            Tree::Group { trees: inner, .. } => walk_body(inner, facts),
+            Tree::Leaf(_) => {}
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_fns_with_attrs_and_test_scope() {
+        let src = "
+            #[adatm::hot]
+            pub fn hot_one(x: &[f64]) -> f64 { x[0] }
+
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { helper(); }
+            }
+
+            fn helper() {}
+        ";
+        let items = parse_file(src);
+        assert!(items.errors.is_empty(), "{:?}", items.errors);
+        let names: Vec<_> = items.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["hot_one", "t", "helper"]);
+        assert!(items.fns[0].is_hot_tagged());
+        assert!(items.fns[1].is_test);
+        assert!(!items.fns[2].is_test);
+    }
+
+    #[test]
+    fn impl_methods_get_qualified_names() {
+        let src = "
+            impl<T: Clone> Foo<T> {
+                pub fn build(&self) -> usize { self.n }
+            }
+            impl Backend for Bar {
+                fn run(&mut self) {}
+            }
+        ";
+        let items = parse_file(src);
+        let names: Vec<_> = items.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["Foo::build", "Bar::run"]);
+    }
+
+    #[test]
+    fn generic_fn_with_arrow_in_bounds_finds_its_body() {
+        let src = "fn f<F: Fn(usize) -> usize>(g: F) -> usize { g(1) }";
+        let items = parse_file(src);
+        assert_eq!(items.fns.len(), 1);
+        assert!(items.fns[0].body.is_some());
+        let facts = body_facts(items.fns[0].body.as_ref().unwrap());
+        assert_eq!(facts.calls.len(), 1);
+        assert_eq!(facts.calls[0].last(), "g");
+    }
+
+    #[test]
+    fn body_facts_extracts_calls_macros_and_indexing() {
+        let src = r#"
+            fn f(a: &[u32], i: usize) -> u32 {
+                let v: Vec<u32> = a.iter().copied().collect();
+                let s: &[u32] = &[1, 2];
+                let x = Vec::<u8>::new();
+                adatm_trace::event!("stage", iter: i as u64);
+                format!("{}", a[i] + s[0] + v[1])
+            }
+        "#;
+        let items = parse_file(src);
+        assert!(items.errors.is_empty(), "{:?}", items.errors);
+        let facts = body_facts(items.fns[0].body.as_ref().unwrap());
+        let tails: Vec<_> = facts.calls.iter().map(CallSite::tail2).collect();
+        assert!(tails.contains(&"collect".to_string()));
+        assert!(tails.contains(&"Vec::new".to_string()));
+        let macros: Vec<_> = facts.macros.iter().map(MacroSite::name).collect();
+        assert!(macros.contains(&"event"));
+        assert!(macros.contains(&"format"));
+        // `a[i]`, `s[0]`, `v[1]` count; the `&[1, 2]` literal does not.
+        assert_eq!(facts.index_lines.len(), 3);
+    }
+
+    #[test]
+    fn macro_rules_definitions_are_skipped() {
+        let src = "
+            macro_rules! noisy {
+                ($x:expr) => { $x.unwrap()[0] };
+            }
+            fn clean() {}
+        ";
+        let items = parse_file(src);
+        assert_eq!(items.fns.len(), 1);
+        assert_eq!(items.fns[0].name, "clean");
+    }
+
+    #[test]
+    fn trait_method_declarations_have_no_body() {
+        let src = "trait T { fn decl(&self); fn given(&self) { self.decl() } }";
+        let items = parse_file(src);
+        assert_eq!(items.fns.len(), 2);
+        assert!(items.fns[0].body.is_none());
+        assert!(items.fns[1].body.is_some());
+    }
+}

@@ -1,0 +1,105 @@
+#![cfg(feature = "audit-agree")]
+//! Adversarial agreement tests between the static schedule-disjointness
+//! prover and the runtime write-overlap detector
+//! (`adatm_tensor::audit`, compiled in via the `audit-agree` feature).
+//!
+//! The two checkers were written independently against the same safety
+//! property — every output row claimed by exactly one parallel task —
+//! so they must agree in both directions: every schedule the builder
+//! produces satisfies both, and every corruption one rejects, the other
+//! rejects too (when handed the same claims). Disagreement in either
+//! direction means one of the checkers has a hole.
+//!
+//! Run with `cargo test -p adatm-analyze --features audit-agree`.
+
+use adatm_analyze::prover::{verify_built, verify_mode_schedule};
+use adatm_tensor::audit::{check_schedule_claims, ClaimOutcome};
+use adatm_tensor::schedule::{ModeSchedule, SplitGroup, Task};
+use proptest::prelude::*;
+
+/// Derives the row claims a scheduled kernel makes from its schedule —
+/// the same shape the kernels hand to `assert_schedule_claims` under
+/// `--features audit`: owned output rows, plus `(row, nslots)` for each
+/// split group merged from privatized slots.
+fn claims(s: &ModeSchedule) -> (Vec<usize>, Vec<(usize, usize)>) {
+    let mut owned = Vec::new();
+    for t in s.tasks() {
+        if let Task::Owned { groups } = t {
+            owned.extend(groups.clone());
+        }
+    }
+    let split = s.splits().iter().map(|d| (d.group, d.nslots)).collect();
+    (owned, split)
+}
+
+proptest! {
+    /// Soundness agreement: whatever the builder produces, both checkers
+    /// accept — across thread counts and the explicit low split targets
+    /// that force the privatization machinery at small sizes.
+    #[test]
+    fn built_schedules_satisfy_both_checkers(
+        weights in proptest::collection::vec(0usize..=9, 1..=6),
+        threads in 1usize..=8,
+        target in 0usize..=8,
+    ) {
+        // target 0 = the production default; 1..=8 force low split
+        // targets that MIN_TASK_WEIGHT would otherwise hide.
+        let s = match target {
+            0 => ModeSchedule::build(&weights, threads),
+            t => ModeSchedule::build_with_target(&weights, threads, t),
+        };
+        prop_assert!(verify_built(&s, &weights).is_ok());
+        let (owned, split) = claims(&s);
+        prop_assert_eq!(
+            check_schedule_claims(owned, split, weights.len()),
+            ClaimOutcome::Disjoint
+        );
+    }
+
+    /// Rejection agreement: claim one row twice and both checkers must
+    /// flag it.
+    #[test]
+    fn duplicated_row_claim_is_rejected_by_both(
+        weights in proptest::collection::vec(1usize..=9, 2..=6),
+        threads in 1usize..=8,
+        pick in 0usize..64,
+    ) {
+        let s = ModeSchedule::build(&weights, threads);
+        let dup = pick % weights.len();
+        let mut tasks = s.tasks().to_vec();
+        tasks.push(Task::Owned { groups: dup..dup + 1 });
+        prop_assert!(
+            verify_mode_schedule(&tasks, s.splits(), s.num_slots(), &weights).is_err()
+        );
+        let (mut owned, split) = claims(&s);
+        owned.push(dup);
+        prop_assert!(matches!(
+            check_schedule_claims(owned, split, weights.len()),
+            ClaimOutcome::Overlap { .. }
+        ));
+    }
+}
+
+#[test]
+fn degenerate_split_is_rejected_by_both() {
+    // A one-slot split should have been demoted to ownership; both
+    // checkers treat it as a scheduler bug.
+    let tasks = vec![Task::Split { group: 0, elems: 0..4, slot: 0 }];
+    let splits = vec![SplitGroup { group: 0, slot0: 0, nslots: 1 }];
+    let err = verify_mode_schedule(&tasks, &splits, 1, &[4]).unwrap_err();
+    assert!(err.contains("single sub-task"), "{err}");
+    assert_eq!(
+        check_schedule_claims(std::iter::empty(), [(0usize, 1usize)], 1),
+        ClaimOutcome::DegenerateSplit { row: 0, nslots: 1 }
+    );
+}
+
+#[test]
+fn out_of_bounds_claim_is_rejected_by_both() {
+    let tasks = vec![Task::Owned { groups: 0..2 }];
+    assert!(verify_mode_schedule(&tasks, &[], 0, &[1]).is_err());
+    assert_eq!(
+        check_schedule_claims([0usize, 1], std::iter::empty::<(usize, usize)>(), 1),
+        ClaimOutcome::OutOfBounds { row: 1, nrows: 1 }
+    );
+}

@@ -1,0 +1,128 @@
+//! End-to-end fixture tests: seed one violation per lint class through
+//! the public API (`build_model` → `analyze_crate`) and assert the
+//! engine reports exactly it — these are the acceptance tests that the
+//! analyzer *fails* on bad code, complementing the clean run over the
+//! real workspace in CI.
+
+use adatm_analyze::config::CrateConfig;
+use adatm_analyze::{analyze_crate, build_model, check_forbid_unsafe, LintOutcome};
+
+fn run(kernel: bool, allow_toml: &str, files: &[(&str, &str)]) -> LintOutcome {
+    let mut cfg = if allow_toml.is_empty() {
+        CrateConfig::default()
+    } else {
+        CrateConfig::parse(allow_toml).expect("fixture config parses")
+    };
+    cfg.kernel = kernel;
+    let files: Vec<(String, String)> =
+        files.iter().map(|(n, s)| (n.to_string(), s.to_string())).collect();
+    analyze_crate(&build_model("fixture", cfg, &files))
+}
+
+fn lints_of(out: &LintOutcome) -> Vec<&'static str> {
+    out.findings.iter().map(|f| f.lint).collect()
+}
+
+#[test]
+fn hot_allocation_is_denied() {
+    let out = run(
+        false,
+        "",
+        &[("k.rs", "#[adatm::hot]\npub fn k(n: usize) -> Vec<f64> {\n    vec![0.0; n]\n}\n")],
+    );
+    assert_eq!(lints_of(&out), ["alloc"], "{:?}", out.findings);
+    assert_eq!(out.findings[0].line, 3);
+}
+
+#[test]
+fn allocation_in_private_callee_is_denied_transitively() {
+    let src = "#[adatm::hot]\npub fn k(xs: &[u32]) -> usize {\n    helper(xs)\n}\n\
+               fn helper(xs: &[u32]) -> usize {\n    xs.to_vec().len()\n}\n";
+    let out = run(false, "", &[("k.rs", src)]);
+    assert_eq!(lints_of(&out), ["alloc"], "{:?}", out.findings);
+    assert!(out.findings[0].message.contains("helper"), "{}", out.findings[0].message);
+}
+
+#[test]
+fn cold_code_may_allocate() {
+    let out = run(false, "", &[("k.rs", "pub fn cold(n: usize) -> Vec<f64> { vec![0.0; n] }\n")]);
+    assert!(out.findings.is_empty(), "{:?}", out.findings);
+}
+
+#[test]
+fn hot_indexing_is_denied_without_an_allowance() {
+    let src = "#[adatm::hot]\npub fn f(a: &[u32], i: usize) -> u32 {\n    a[i]\n}\n";
+    let out = run(false, "", &[("k.rs", src)]);
+    assert_eq!(lints_of(&out), ["index"], "{:?}", out.findings);
+}
+
+#[test]
+fn exact_allowance_suppresses_and_counts_are_enforced() {
+    let src = "#[adatm::hot]\npub fn f(a: &[u32], i: usize) -> u32 {\n    a[i] + a[0]\n}\n";
+    let exact = "[allow.index]\n\"k.rs::f\" = { sites = 2, reason = \"bounds checked\" }\n";
+    let out = run(false, exact, &[("k.rs", src)]);
+    assert!(out.findings.is_empty(), "{:?}", out.findings);
+    assert!(out.warnings.is_empty(), "{:?}", out.warnings);
+
+    // An allowance wider than reality is stale config, not silence.
+    let stale = "[allow.index]\n\"k.rs::f\" = { sites = 5, reason = \"bounds checked\" }\n";
+    let out = run(false, stale, &[("k.rs", src)]);
+    assert!(out.findings.is_empty(), "{:?}", out.findings);
+    assert!(out.warnings.iter().any(|w| w.contains("stale")), "{:?}", out.warnings);
+
+    // New sites beyond the allowance fail, citing the recorded reason.
+    let tight = "[allow.index]\n\"k.rs::f\" = { sites = 1, reason = \"bounds checked\" }\n";
+    let out = run(false, tight, &[("k.rs", src)]);
+    assert_eq!(lints_of(&out), ["index"], "{:?}", out.findings);
+    assert!(out.findings[0].message.contains("bounds checked"), "{}", out.findings[0].message);
+
+    // An allowance matching nothing is dead config.
+    let unused = "[allow.index]\n\"k.rs::gone\" = { sites = 1, reason = \"old\" }\n";
+    let out = run(false, unused, &[("k.rs", "pub fn f() {}\n")]);
+    assert!(out.warnings.iter().any(|w| w.contains("unused")), "{:?}", out.warnings);
+}
+
+#[test]
+fn panic_lint_applies_only_to_kernel_crates() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    let out = run(true, "", &[("k.rs", src)]);
+    assert_eq!(lints_of(&out), ["panic"], "{:?}", out.findings);
+    let out = run(false, "", &[("k.rs", src)]);
+    assert!(out.findings.is_empty(), "{:?}", out.findings);
+}
+
+#[test]
+fn undeclared_trace_event_is_denied() {
+    let src = "pub fn f() {\n    adatm_trace::event!(\"made.up.kind\", x: 1u64);\n}\n";
+    let out = run(false, "", &[("k.rs", src)]);
+    assert_eq!(lints_of(&out), ["schema"], "{:?}", out.findings);
+}
+
+#[test]
+fn config_listed_hot_fn_needs_no_attribute() {
+    let src = "pub fn listed(n: usize) -> Vec<u8> {\n    Vec::with_capacity(n)\n}\n";
+    let out = run(false, "[hot]\nfns = [\"listed\"]\n", &[("k.rs", src)]);
+    assert_eq!(lints_of(&out), ["alloc"], "{:?}", out.findings);
+}
+
+#[test]
+fn crate_root_must_forbid_unsafe() {
+    assert!(check_forbid_unsafe("lib.rs", "//! A crate.\npub fn f() {}\n").is_some());
+    assert!(check_forbid_unsafe(
+        "lib.rs",
+        "//! A crate.\n#![forbid(unsafe_code)]\npub fn f() {}\n"
+    )
+    .is_none());
+}
+
+#[test]
+fn one_violation_per_class_in_one_crate_all_surface() {
+    let src = "#[adatm::hot]\npub fn hot_fn(a: &[u32], n: usize) -> u32 {\n    \
+               let v = vec![0u32; n];\n    a[0] + v.len() as u32\n}\n\
+               pub fn p(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n\
+               pub fn t() {\n    adatm_trace::event!(\"nope\", x: 1u64);\n}\n";
+    let out = run(true, "", &[("k.rs", src)]);
+    let mut lints = lints_of(&out);
+    lints.sort_unstable();
+    assert_eq!(lints, ["alloc", "index", "panic", "schema"], "{:?}", out.findings);
+}

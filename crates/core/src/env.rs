@@ -1,0 +1,98 @@
+//! Environment-knob parsing shared across the workspace.
+//!
+//! One home for the `ADATM_*` knob readers that used to be duplicated
+//! between the bench harness and workspace automation. The contract,
+//! established by the bench harness: a set-but-malformed value falls
+//! back to the default *loudly* — silently running at the wrong scale
+//! because of a typo'd knob poisons every downstream table, and
+//! `ADATM_BENCH_SMOKE=true` silently meaning "full run" has burned
+//! enough CI minutes.
+//!
+//! `adatm-bench` re-exports these under its old paths, so existing
+//! harness code and scripts are unaffected.
+
+/// Reads a float knob from the environment. A set-but-malformed value
+/// falls back to the default loudly (stderr warning).
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    parse_env(name, std::env::var(name).ok().as_deref(), default)
+}
+
+/// Reads an integer knob from the environment (same loud-fallback
+/// contract as [`env_f64`]).
+pub fn env_usize(name: &str, default: usize) -> usize {
+    parse_env(name, std::env::var(name).ok().as_deref(), default)
+}
+
+/// Shared parse-with-warning core of [`env_f64`]/[`env_usize`], over an
+/// explicit value so tests need not mutate the process environment.
+pub fn parse_env<T: std::str::FromStr + Copy>(name: &str, value: Option<&str>, default: T) -> T {
+    match value {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!(
+                "adatm: warning: ignoring {name}='{v}' (not a valid \
+                 {}); using default",
+                std::any::type_name::<T>()
+            );
+            default
+        }),
+    }
+}
+
+/// Reads a boolean flag from the environment, accepting `1`/`true`/
+/// `yes`/`on` (case-insensitive) as set and `0`/`false`/`no`/`off`/empty
+/// as unset. Anything else warns and counts as unset.
+pub fn env_flag(name: &str) -> bool {
+    flag_value(name, std::env::var(name).ok().as_deref())
+}
+
+/// Shared interpretation core of [`env_flag`], over an explicit value.
+pub fn flag_value(name: &str, value: Option<&str>) -> bool {
+    let Some(v) = value else { return false };
+    match v.to_ascii_lowercase().as_str() {
+        "1" | "true" | "yes" | "on" => true,
+        "" | "0" | "false" | "no" | "off" => false,
+        _ => {
+            eprintln!(
+                "adatm: warning: ignoring {name}='{v}' (expected one of \
+                 1/true/yes/on or 0/false/no/off); treating as unset"
+            );
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_parsing_defaults() {
+        assert_eq!(env_f64("ADATM_NO_SUCH_VAR_XYZ", 0.25), 0.25);
+        assert_eq!(env_usize("ADATM_NO_SUCH_VAR_XYZ", 7), 7);
+    }
+
+    #[test]
+    fn parse_env_accepts_valid_and_rejects_malformed_loudly() {
+        assert_eq!(parse_env("K", Some("0.5"), 0.25), 0.5);
+        assert_eq!(parse_env("K", Some("12"), 7usize), 12);
+        // Malformed: falls back to the default (the warning goes to
+        // stderr; the contract under test is the value).
+        assert_eq!(parse_env("K", Some("fast"), 0.25), 0.25);
+        assert_eq!(parse_env("K", Some("3.5"), 7usize), 7);
+        assert_eq!(parse_env("K", None, 9usize), 9);
+    }
+
+    #[test]
+    fn flag_value_accepts_common_truthy_and_falsy_spellings() {
+        for v in ["1", "true", "TRUE", "yes", "Yes", "on"] {
+            assert!(flag_value("F", Some(v)), "{v} should enable");
+        }
+        for v in ["", "0", "false", "no", "OFF"] {
+            assert!(!flag_value("F", Some(v)), "{v} should disable");
+        }
+        assert!(!flag_value("F", None));
+        // Unrecognized: warns, treated as unset.
+        assert!(!flag_value("F", Some("maybe")));
+    }
+}

@@ -34,6 +34,7 @@ pub mod completion;
 pub mod cpals;
 pub mod cpopt;
 pub mod diagnostics;
+pub mod env;
 pub mod error;
 #[cfg(feature = "fault-inject")]
 pub mod fault;

@@ -328,6 +328,7 @@ impl DtreeEngine {
 
     /// [`DtreeEngine::mttkrp`] into a caller-provided buffer (zeroed
     /// first).
+    #[adatm::hot]
     pub fn mttkrp_into(
         &mut self,
         tensor: &SparseTensor,
@@ -681,6 +682,7 @@ fn reduce_element(
 /// reduction sets are the identity partition of the parent — the
 /// first-child layout). `scratch` is one caller-owned rank row:
 /// allocation-free.
+#[adatm::hot]
 #[allow(clippy::too_many_arguments)]
 fn kernel_thick_seq(
     out: &mut Mat,
@@ -703,6 +705,7 @@ fn kernel_thick_seq(
 /// sets are split across privatized slot rows and merged per-row after
 /// the parallel phase. All scratch comes from `ws`: steady-state
 /// allocations are O(tasks), independent of the node or parent size.
+#[adatm::hot]
 #[allow(clippy::too_many_arguments)]
 fn kernel_thick_par(
     out: &mut Mat,
@@ -788,6 +791,7 @@ fn kernel_thick_par(
 /// the parent, so the child accumulator stays cache-resident while the
 /// parent streams. `scratch` is one caller-owned rank row:
 /// allocation-free.
+#[adatm::hot]
 fn kernel_scatter_seq(
     out: &mut Mat,
     rank: usize,
@@ -810,6 +814,7 @@ fn kernel_scatter_seq(
 /// touch (per the persistent [`ScatterSchedule`]), merged per-row
 /// afterwards. Replaces the old dense `child_len x R`-per-chunk
 /// tree-reduction.
+#[adatm::hot]
 fn kernel_scatter_par(
     out: &mut Mat,
     rank: usize,
@@ -861,6 +866,7 @@ fn kernel_scatter_par(
 /// The column-at-a-time kernel: one full pass over the reduction sets per
 /// rank column (E12 ablation baseline; same arithmetic, `R`x the index
 /// traffic).
+#[adatm::hot]
 #[allow(clippy::too_many_arguments)]
 fn kernel_colwise(
     out: &mut Mat,

@@ -22,6 +22,7 @@
 //! runs one 16-lane block plus one scalar tail element.
 
 /// `acc[i] *= src[i]` — the Hadamard / own-factor update.
+#[adatm::hot]
 #[inline]
 pub fn mul_assign(acc: &mut [f64], src: &[f64]) {
     debug_assert_eq!(acc.len(), src.len());
@@ -33,6 +34,7 @@ pub fn mul_assign(acc: &mut [f64], src: &[f64]) {
 }
 
 /// `acc[i] += src[i]` — reduction-set / child-sum accumulation.
+#[adatm::hot]
 #[inline]
 pub fn add_assign(acc: &mut [f64], src: &[f64]) {
     debug_assert_eq!(acc.len(), src.len());
@@ -45,6 +47,7 @@ pub fn add_assign(acc: &mut [f64], src: &[f64]) {
 
 /// `acc[i] += alpha * src[i]` — the row-axpy of Gram/matmul and the fused
 /// order-2 MTTKRP update.
+#[adatm::hot]
 #[inline]
 pub fn axpy(acc: &mut [f64], alpha: f64, src: &[f64]) {
     debug_assert_eq!(acc.len(), src.len());
@@ -56,6 +59,7 @@ pub fn axpy(acc: &mut [f64], alpha: f64, src: &[f64]) {
 }
 
 /// `dst[i] = alpha * src[i]` — scratch seeding from a tensor value.
+#[adatm::hot]
 #[inline]
 pub fn scale(dst: &mut [f64], alpha: f64, src: &[f64]) {
     debug_assert_eq!(dst.len(), src.len());
@@ -67,6 +71,7 @@ pub fn scale(dst: &mut [f64], alpha: f64, src: &[f64]) {
 }
 
 /// `dst[i] = a[i] * b[i]` — assigning Hadamard product.
+#[adatm::hot]
 #[inline]
 pub fn mul_into(dst: &mut [f64], a: &[f64], b: &[f64]) {
     debug_assert_eq!(dst.len(), a.len());
@@ -79,6 +84,7 @@ pub fn mul_into(dst: &mut [f64], a: &[f64], b: &[f64]) {
 }
 
 /// `acc[i] += a[i] * b[i]` — the fused final MTTKRP accumulate.
+#[adatm::hot]
 #[inline]
 pub fn muladd_assign(acc: &mut [f64], a: &[f64], b: &[f64]) {
     debug_assert_eq!(acc.len(), a.len());
@@ -93,6 +99,7 @@ pub fn muladd_assign(acc: &mut [f64], a: &[f64], b: &[f64]) {
 /// `acc[i] += alpha * a[i] * b[i]` — the fused order-3 MTTKRP entry
 /// update (`val * u_a * u_b`), evaluated left-to-right like the unfused
 /// scale-then-multiply sequence, so results are bitwise identical.
+#[adatm::hot]
 #[inline]
 pub fn axpy2(acc: &mut [f64], alpha: f64, a: &[f64], b: &[f64]) {
     debug_assert_eq!(acc.len(), a.len());
@@ -106,6 +113,7 @@ pub fn axpy2(acc: &mut [f64], alpha: f64, a: &[f64], b: &[f64]) {
 
 /// `acc[i] += alpha * a[i] * b[i] * c[i]` — the fused order-4 MTTKRP
 /// entry update, left-to-right.
+#[adatm::hot]
 #[inline]
 pub fn axpy3(acc: &mut [f64], alpha: f64, a: &[f64], b: &[f64], c: &[f64]) {
     debug_assert_eq!(acc.len(), a.len());
@@ -119,6 +127,7 @@ pub fn axpy3(acc: &mut [f64], alpha: f64, a: &[f64], b: &[f64], c: &[f64]) {
 }
 
 /// `dst[i] = alpha * a[i] * b[i]` — assigning form of [`axpy2`].
+#[adatm::hot]
 #[inline]
 pub fn scale2(dst: &mut [f64], alpha: f64, a: &[f64], b: &[f64]) {
     debug_assert_eq!(dst.len(), a.len());
@@ -131,6 +140,7 @@ pub fn scale2(dst: &mut [f64], alpha: f64, a: &[f64], b: &[f64]) {
 }
 
 /// `dst[i] = alpha * a[i] * b[i] * c[i]` — assigning form of [`axpy3`].
+#[adatm::hot]
 #[inline]
 pub fn scale3(dst: &mut [f64], alpha: f64, a: &[f64], b: &[f64], c: &[f64]) {
     debug_assert_eq!(dst.len(), a.len());
@@ -145,6 +155,7 @@ pub fn scale3(dst: &mut [f64], alpha: f64, a: &[f64], b: &[f64], c: &[f64]) {
 
 /// `acc[i] += a[i] * b[i] * c[i]` — the fused two-delta dimension-tree
 /// contribution (`parent row ⊙ u_1 ⊙ u_2`), left-to-right.
+#[adatm::hot]
 #[inline]
 pub fn muladd3(acc: &mut [f64], a: &[f64], b: &[f64], c: &[f64]) {
     debug_assert_eq!(acc.len(), a.len());

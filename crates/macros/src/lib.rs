@@ -1,0 +1,30 @@
+//! Marker attributes for the `adatm-analyze` static-analysis engine.
+//!
+//! Kernel crates import this crate renamed to `adatm` (the workspace
+//! dependency table maps `adatm` to package `adatm-macros`; members
+//! write `adatm.workspace = true`), so hot functions read as:
+//!
+//! ```ignore
+//! #[adatm::hot]
+//! pub fn mttkrp_par_into(...) { ... }
+//! ```
+//!
+//! The attribute expands to the item unchanged — it exists so the tag
+//! is a real, compiler-checked attribute (a typo'd `#[adatm::hott]`
+//! fails to resolve) rather than a comment convention. The analysis
+//! engine (`cargo xtask analyze`) reads the tag from source and enforces
+//! the hot-path allocation lint on the function and, transitively, on
+//! every private same-crate callee.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::TokenStream;
+
+/// Tags a function as hot-path: the `adatm-analyze` allocation lint
+/// denies allocating constructs (`Vec::new`, `collect`, `clone`,
+/// `format!`, ...) in its body and in same-crate callees. Expands to
+/// the item unchanged.
+#[proc_macro_attribute]
+pub fn hot(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    item
+}

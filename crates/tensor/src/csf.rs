@@ -267,6 +267,7 @@ impl CsfTensor {
     /// mirrors the COO kernel: Owned tasks get disjoint `out` row spans
     /// via `split_at_mut`, split sub-tasks accumulate level-1 child
     /// subtrees into private slot rows merged per-row afterwards.
+    #[adatm::hot]
     pub fn mttkrp_root_into(
         &self,
         factors: &[Mat],

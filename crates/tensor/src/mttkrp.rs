@@ -66,6 +66,7 @@ pub fn mttkrp_seq(t: &SparseTensor, factors: &[Mat], mode: usize) -> Mat {
 }
 
 /// Sequential COO MTTKRP into a caller-provided output (zeroed first).
+#[adatm::hot]
 pub fn mttkrp_seq_into(t: &SparseTensor, factors: &[Mat], mode: usize, out: &mut Mat) {
     let rank = check_factors(t, factors);
     assert_eq!(out.nrows(), t.dims()[mode], "output rows mismatch");
@@ -201,6 +202,7 @@ struct TaskCtx<'a> {
 /// # Panics
 /// Panics if `view.mode() != mode`, on factor-shape mismatch, or if
 /// `out` has the wrong shape.
+#[adatm::hot]
 pub fn mttkrp_par_into(
     t: &SparseTensor,
     factors: &[Mat],

@@ -54,6 +54,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod schema;
+
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufWriter, Write};

@@ -1,0 +1,346 @@
+//! `cargo xtask analyze` — the workspace driver for the structural
+//! analysis engine in `crates/analyze` (`adatm-analyze`).
+//!
+//! The engine itself is pure (models in, findings out); this module owns
+//! everything that touches the real workspace:
+//!
+//! * **Discovery & loading** — workspace members via `cargo metadata`
+//!   (with a manifest-walk fallback), each crate's sources and its
+//!   `analyze.toml`.
+//! * **The static passes** — hot-path allocation, hot-path indexing,
+//!   kernel panic-freedom, and trace-schema conformance, plus the
+//!   `#![forbid(unsafe_code)]` crate-root check carried over from the
+//!   old scanner.
+//! * **Docs drift** — the README's trace-schema table must equal
+//!   [`adatm_trace::schema::markdown_table`]; `--fix-docs` rewrites it
+//!   in place instead of failing.
+//! * **`--bless`** — regenerates every crate's `analyze.toml` allowance
+//!   maps from the current raw finding counts, preserving the reasons of
+//!   keys that already exist (new keys get a TODO reason that review is
+//!   expected to replace).
+//! * **The prover** — the exhaustive schedule-disjointness model check
+//!   (`--quick` shrinks the universe for local iteration).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::time::Instant;
+
+use adatm_analyze::config::{Allowance, CrateConfig};
+use adatm_analyze::discover::{rust_sources, workspace_crates, WorkspaceCrate};
+use adatm_analyze::{
+    analyze_crate, build_model, check_forbid_unsafe, hot, panics, prover, CrateModel, Finding,
+    LintOutcome,
+};
+
+/// Flags of `cargo xtask analyze`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Options {
+    /// Regenerate `analyze.toml` allowances from current raw counts.
+    pub bless: bool,
+    /// Rewrite the README trace-schema table instead of checking it.
+    pub fix_docs: bool,
+    /// Use the small prover universe (fast local iteration; CI runs the
+    /// full one).
+    pub quick: bool,
+}
+
+/// One workspace crate, loaded and parsed.
+struct Loaded {
+    ws: WorkspaceCrate,
+    model: CrateModel,
+}
+
+fn display_rel(path: &Path, root: &Path) -> String {
+    path.strip_prefix(root).unwrap_or(path).display().to_string()
+}
+
+/// Loads every workspace crate's `analyze.toml` and sources into models.
+fn load_models(root: &Path) -> Result<Vec<Loaded>, String> {
+    let crates = workspace_crates(root).map_err(|e| format!("workspace discovery failed: {e}"))?;
+    let mut out = Vec::new();
+    for ws in crates {
+        let cfg_path = ws.config_path();
+        let config = match std::fs::read_to_string(&cfg_path) {
+            Ok(text) => CrateConfig::parse(&text).map_err(|e| {
+                format!("{}:{}: {}", display_rel(&cfg_path, root), e.line, e.message)
+            })?,
+            Err(_) => CrateConfig::default(),
+        };
+        let mut files = Vec::new();
+        for path in rust_sources(&ws.src_dir) {
+            let src = std::fs::read_to_string(&path)
+                .map_err(|e| format!("{}: {e}", display_rel(&path, root)))?;
+            files.push((display_rel(&path, root), src));
+        }
+        let model = build_model(&ws.name, config, &files);
+        out.push(Loaded { ws, model });
+    }
+    Ok(out)
+}
+
+/// Runs the per-crate lint passes plus the crate-root
+/// `#![forbid(unsafe_code)]` check.
+fn lint_outcome(root: &Path, loaded: &[Loaded]) -> LintOutcome {
+    let mut out = LintOutcome::default();
+    for l in loaded {
+        out.merge(analyze_crate(&l.model));
+        for entry in ["lib.rs", "main.rs"] {
+            let p = l.ws.src_dir.join(entry);
+            let Ok(src) = std::fs::read_to_string(&p) else { continue };
+            if let Some(f) = check_forbid_unsafe(&display_rel(&p, root), &src) {
+                out.findings.push(f);
+            }
+        }
+    }
+    out
+}
+
+const SCHEMA_BEGIN: &str = "<!-- trace-schema:begin -->";
+const SCHEMA_END: &str = "<!-- trace-schema:end -->";
+
+/// Splices `table` between the README's trace-schema markers, returning
+/// the updated text, or `None` if the markers are missing or misordered.
+pub fn splice_schema_table(readme: &str, table: &str) -> Option<String> {
+    let begin = readme.find(SCHEMA_BEGIN)? + SCHEMA_BEGIN.len();
+    let end = begin + readme[begin..].find(SCHEMA_END)?;
+    Some(format!("{}\n{}{}", &readme[..begin], table, &readme[end..]))
+}
+
+/// Checks (or, with `fix`, rewrites) the README's generated trace-schema
+/// table against the declared registry.
+fn check_docs(root: &Path, fix: bool, out: &mut LintOutcome) {
+    let path = root.join("README.md");
+    let readme = match std::fs::read_to_string(&path) {
+        Ok(r) => r,
+        Err(e) => {
+            out.findings.push(Finding {
+                lint: "docs",
+                file: "README.md".into(),
+                line: 1,
+                message: format!("cannot read README.md: {e}"),
+            });
+            return;
+        }
+    };
+    let table = adatm_trace::schema::markdown_table();
+    match splice_schema_table(&readme, &table) {
+        None => out.findings.push(Finding {
+            lint: "docs",
+            file: "README.md".into(),
+            line: 1,
+            message: format!(
+                "README.md is missing the `{SCHEMA_BEGIN}` / `{SCHEMA_END}` markers \
+                 around the trace-schema table"
+            ),
+        }),
+        Some(fresh) if fresh == readme => {}
+        Some(fresh) => {
+            if fix {
+                if let Err(e) = std::fs::write(&path, fresh) {
+                    out.findings.push(Finding {
+                        lint: "docs",
+                        file: "README.md".into(),
+                        line: 1,
+                        message: format!("cannot rewrite README.md: {e}"),
+                    });
+                } else {
+                    println!("xtask analyze: rewrote the README.md trace-schema table");
+                }
+            } else {
+                out.findings.push(Finding {
+                    lint: "docs",
+                    file: "README.md".into(),
+                    line: 1,
+                    message: "trace-schema table does not match the registry in \
+                              crates/trace/src/schema.rs — run `cargo xtask analyze --fix-docs`"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+/// Rebuilds an allowance map from raw counts, keeping the reasons of
+/// keys that already exist.
+fn regenerate(
+    old: &BTreeMap<String, Allowance>,
+    counts: Vec<(String, usize)>,
+) -> BTreeMap<String, Allowance> {
+    counts
+        .into_iter()
+        .map(|(key, sites)| {
+            let reason = old
+                .get(&key)
+                .map_or_else(|| "TODO: justify this allowance".to_string(), |a| a.reason.clone());
+            (key, Allowance { sites, reason })
+        })
+        .collect()
+}
+
+/// `--bless`: rewrites each crate's `analyze.toml` allowances from the
+/// current raw counts. Crates with no `analyze.toml` and no findings are
+/// left alone. Returns how many files were written.
+fn bless(root: &Path, loaded: &[Loaded]) -> Result<usize, String> {
+    let mut written = 0usize;
+    for l in loaded {
+        let (index, alloc) = hot::raw_counts(&l.model);
+        let panic = panics::raw_counts(&l.model);
+        let cfg_path = l.ws.config_path();
+        if !cfg_path.is_file() && index.is_empty() && alloc.is_empty() && panic.is_empty() {
+            continue;
+        }
+        let mut cfg = l.model.config.clone();
+        cfg.allow_index = regenerate(&l.model.config.allow_index, index);
+        cfg.allow_alloc = regenerate(&l.model.config.allow_alloc, alloc);
+        cfg.allow_panic = regenerate(&l.model.config.allow_panic, panic);
+        std::fs::write(&cfg_path, cfg.render())
+            .map_err(|e| format!("{}: {e}", display_rel(&cfg_path, root)))?;
+        println!("xtask analyze: blessed {}", display_rel(&cfg_path, root));
+        written += 1;
+    }
+    Ok(written)
+}
+
+/// Runs the schedule-disjointness prover and reports its coverage.
+fn run_prover(quick: bool, out: &mut LintOutcome) {
+    let universe = if quick { prover::QUICK } else { prover::FULL };
+    println!(
+        "xtask analyze: proving schedule disjointness (universe: groups <= {}, weight <= {}) ...",
+        universe.max_groups, universe.max_total
+    );
+    let t0 = Instant::now();
+    let rep = prover::prove(universe);
+    println!(
+        "xtask analyze: prover verified {} mode schedules ({} with splits) and {} scatter \
+         schedules in {:.2?}",
+        rep.mode_builds,
+        rep.mode_split_builds,
+        rep.scatter_builds,
+        t0.elapsed()
+    );
+    for f in &rep.failures {
+        out.findings.push(Finding {
+            lint: "prover",
+            file: "crates/tensor/src/schedule.rs".into(),
+            line: 1,
+            message: f.clone(),
+        });
+    }
+}
+
+/// Prints an outcome; `true` when there are no findings.
+fn report(out: &LintOutcome) -> bool {
+    for w in &out.warnings {
+        println!("xtask analyze: warning: {w}");
+    }
+    if out.findings.is_empty() {
+        true
+    } else {
+        for f in &out.findings {
+            eprintln!("xtask analyze: {f}");
+        }
+        eprintln!("xtask analyze: FAILED ({} finding(s))", out.findings.len());
+        false
+    }
+}
+
+/// The static passes only (no prover): the engine-backed successor of
+/// the old `xtask lint` source scans. Returns `true` when clean.
+pub fn run_static(root: &Path) -> bool {
+    let loaded = match load_models(root) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("xtask analyze: {e}");
+            return false;
+        }
+    };
+    let nfns: usize = loaded.iter().map(|l| l.model.fns.len()).sum();
+    println!(
+        "xtask analyze: {} crates, {} functions (alloc/index/panic/schema passes)",
+        loaded.len(),
+        nfns
+    );
+    let mut out = lint_outcome(root, &loaded);
+    check_docs(root, false, &mut out);
+    let ok = report(&out);
+    if ok {
+        println!("xtask analyze: static passes clean");
+    }
+    ok
+}
+
+/// The full `cargo xtask analyze` command.
+pub fn run(root: &Path, opts: Options) -> bool {
+    let mut loaded = match load_models(root) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("xtask analyze: {e}");
+            return false;
+        }
+    };
+    let nfns: usize = loaded.iter().map(|l| l.model.fns.len()).sum();
+    println!("xtask analyze: {} crates, {} functions", loaded.len(), nfns);
+    if opts.bless {
+        match bless(root, &loaded) {
+            Ok(0) => println!("xtask analyze: bless: nothing to write"),
+            Ok(_) => {
+                // Allowances changed on disk; re-load so the passes below
+                // verify the blessed state.
+                loaded = match load_models(root) {
+                    Ok(l) => l,
+                    Err(e) => {
+                        eprintln!("xtask analyze: {e}");
+                        return false;
+                    }
+                };
+            }
+            Err(e) => {
+                eprintln!("xtask analyze: bless failed: {e}");
+                return false;
+            }
+        }
+    }
+    let mut out = lint_outcome(root, &loaded);
+    check_docs(root, opts.fix_docs, &mut out);
+    run_prover(opts.quick, &mut out);
+    let ok = report(&out);
+    if ok {
+        println!("xtask analyze: all passes clean");
+    }
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splice_replaces_only_the_marked_region() {
+        let readme =
+            "intro\n<!-- trace-schema:begin -->\nold table\n<!-- trace-schema:end -->\noutro\n";
+        let got = splice_schema_table(readme, "new table\n").expect("markers present");
+        assert_eq!(
+            got,
+            "intro\n<!-- trace-schema:begin -->\nnew table\n<!-- trace-schema:end -->\noutro\n"
+        );
+        // Idempotent: splicing the same table again changes nothing.
+        assert_eq!(splice_schema_table(&got, "new table\n").as_deref(), Some(got.as_str()));
+        assert_eq!(splice_schema_table("no markers", "t"), None);
+    }
+
+    #[test]
+    fn regenerate_keeps_existing_reasons_and_updates_counts() {
+        let mut old = BTreeMap::new();
+        old.insert(
+            "f.rs::g".to_string(),
+            Allowance { sites: 9, reason: "bounds checked by caller".into() },
+        );
+        let fresh = regenerate(&old, vec![("f.rs::g".into(), 3), ("f.rs::h".into(), 1)]);
+        assert_eq!(fresh["f.rs::g"].sites, 3);
+        assert_eq!(fresh["f.rs::g"].reason, "bounds checked by caller");
+        assert_eq!(fresh["f.rs::h"].sites, 1);
+        assert!(fresh["f.rs::h"].reason.contains("TODO"));
+        // Keys with zero findings drop out entirely (burn-down complete).
+        assert!(!regenerate(&old, vec![]).contains_key("f.rs::g"));
+    }
+}

@@ -1,310 +1,71 @@
-//! Source-scan lints: pure functions over `(file name, source text)` so
-//! every rule is unit-testable on fixture strings without touching the
-//! filesystem or spawning `cargo`.
+//! Compatibility shim for the old regex/line source scans.
 //!
-//! Three rules:
+//! The rules that used to live here as hand-rolled line scans —
+//! panicky-call detection in kernel crates, crate-root
+//! `#![forbid(unsafe_code)]`, and the hot-path indexing advisory — are
+//! now structural passes over a token-tree model in `adatm-analyze`
+//! (see `crates/analyze`), driven by [`crate::analyze`]. The engine
+//! supersedes the scans on every axis: function-level allowances with
+//! recorded reasons instead of file-level tags, transitive hot-set
+//! propagation instead of a per-file marker comment, and string/comment
+//! handling done once in a real lexer instead of per rule.
 //!
-//! * [`scan_panicky_calls`] — no `.unwrap()` / `.expect(` in non-test
-//!   kernel code. The kernel crates surface failures as typed errors
-//!   (`TensorError`, `DtreeError`); a stray unwrap turns a reportable
-//!   condition into an anonymous panic deep inside a parallel region.
-//! * [`scan_forbid_unsafe`] — every crate root must carry
-//!   `#![forbid(unsafe_code)]`, so the workspace-level `unsafe_code =
-//!   "deny"` cannot be overridden locally.
-//! * [`scan_hot_path_indexing`] — advisory count of direct slice
-//!   indexing in files tagged `// lint: hot-path`, where a bounds panic
-//!   would abort a rayon worker.
-
-/// One finding of a source-scan rule.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Finding {
-    /// File the finding is in (as handed to the scan).
-    pub file: String,
-    /// 1-based line number.
-    pub line: usize,
-    /// Human-readable description.
-    pub message: String,
-}
-
-impl std::fmt::Display for Finding {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}:{}: {}", self.file, self.line, self.message)
-    }
-}
-
-/// Strips a line comment (`//` to end of line) unless the `//` sits
-/// inside a string literal. Char literals and raw strings are rare enough
-/// in this workspace that double-quote tracking suffices.
-fn strip_comment(line: &str) -> &str {
-    let bytes = line.as_bytes();
-    let mut in_string = false;
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'\\' if in_string => i += 1, // skip the escaped char
-            b'"' => in_string = !in_string,
-            b'/' if !in_string && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
-                return &line[..i];
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    line
-}
-
-/// Replaces the contents of string literals with spaces so substring
-/// matching cannot fire on text inside a `"..."`.
-fn blank_strings(code: &str) -> String {
-    let mut out = String::with_capacity(code.len());
-    let mut in_string = false;
-    let mut chars = code.chars();
-    while let Some(c) = chars.next() {
-        match c {
-            '\\' if in_string => {
-                out.push(' ');
-                if chars.next().is_some() {
-                    out.push(' ');
-                }
-            }
-            '"' => {
-                in_string = !in_string;
-                out.push('"');
-            }
-            _ if in_string => out.push(' '),
-            _ => out.push(c),
-        }
-    }
-    out
-}
-
-/// Net brace depth change of a (comment-stripped) line, ignoring braces
-/// inside string literals.
-fn brace_delta(code: &str) -> isize {
-    let mut delta = 0isize;
-    let mut in_string = false;
-    let bytes = code.as_bytes();
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'\\' if in_string => i += 1,
-            b'"' => in_string = !in_string,
-            b'{' if !in_string => delta += 1,
-            b'}' if !in_string => delta -= 1,
-            _ => {}
-        }
-        i += 1;
-    }
-    delta
-}
-
-/// Marks the lines of `src` that belong to `#[cfg(test)]` items: the
-/// attribute itself, any stacked attributes after it, and — for an item
-/// with a brace-delimited body (`mod tests { ... }`) — everything up to
-/// the matching closing brace.
-fn test_region_mask(src: &str) -> Vec<bool> {
-    let mut mask = Vec::new();
-    let mut depth = 0isize; // > 0 while inside a cfg(test) item body
-    let mut pending = false; // saw #[cfg(test)], item not yet opened
-    for line in src.lines() {
-        let code = strip_comment(line);
-        let trimmed = code.trim();
-        if depth > 0 {
-            mask.push(true);
-            depth += brace_delta(code);
-            continue;
-        }
-        if pending {
-            mask.push(true);
-            if trimmed.starts_with("#[") || trimmed.is_empty() {
-                continue; // stacked attribute; still pending
-            }
-            let delta = brace_delta(code);
-            if delta > 0 {
-                depth = delta;
-            }
-            // Single-line item (`mod t;`, `use ...;`, one-line fn): done.
-            pending = false;
-            continue;
-        }
-        if trimmed.starts_with("#[cfg(test)]") {
-            pending = true;
-            mask.push(true);
-            continue;
-        }
-        mask.push(false);
-    }
-    mask
-}
-
-/// Flags `.unwrap()` and `.expect(` in the non-test portion of `src`.
-pub fn scan_panicky_calls(file: &str, src: &str) -> Vec<Finding> {
-    let mask = test_region_mask(src);
-    let mut findings = Vec::new();
-    for (i, line) in src.lines().enumerate() {
-        if mask[i] {
-            continue;
-        }
-        let code = blank_strings(strip_comment(line));
-        for needle in [".unwrap()", ".expect("] {
-            if code.contains(needle) {
-                findings.push(Finding {
-                    file: file.to_string(),
-                    line: i + 1,
-                    message: format!(
-                        "`{needle}` in kernel code — return a typed error or use an \
-                         explicitly-justified panic (`unwrap_or_else` + `panic!`)"
-                    ),
-                });
-            }
-        }
-    }
-    findings
-}
-
-/// Checks that a crate root declares `#![forbid(unsafe_code)]`.
-pub fn scan_forbid_unsafe(file: &str, src: &str) -> Option<Finding> {
-    if src.lines().map(strip_comment).any(|l| l.trim() == "#![forbid(unsafe_code)]") {
-        None
-    } else {
-        Some(Finding {
-            file: file.to_string(),
-            line: 1,
-            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
-        })
-    }
-}
-
-/// Whether the file opts into the hot-path advisory scan (a
-/// `// lint: hot-path` tag within the first few lines).
-pub fn is_hot_path_tagged(src: &str) -> bool {
-    src.lines().take(10).any(|l| l.contains("lint: hot-path"))
-}
-
-/// Advisory: counts direct (unchecked) slice/array indexing expressions
-/// `expr[...]` in non-test code. Not a failure — indexing after an
-/// explicit validation pass is the kernels' deliberate style — but the
-/// count is reported so growth is visible in review.
-pub fn scan_hot_path_indexing(src: &str) -> usize {
-    let mask = test_region_mask(src);
-    let mut count = 0;
-    for (i, line) in src.lines().enumerate() {
-        if mask[i] {
-            continue;
-        }
-        let code = strip_comment(line);
-        if code.trim_start().starts_with("#[") {
-            continue; // attribute, e.g. #[cfg(feature = "x")]
-        }
-        let bytes = code.as_bytes();
-        let mut in_string = false;
-        let mut prev_sig = b' ';
-        let mut j = 0;
-        while j < bytes.len() {
-            match bytes[j] {
-                b'\\' if in_string => j += 1,
-                b'"' => in_string = !in_string,
-                // `a[`, `a()[`, `a][` index; `&[`, `(&[`, `: [` do not.
-                b'[' if !in_string
-                    && (prev_sig.is_ascii_alphanumeric()
-                        || prev_sig == b'_'
-                        || prev_sig == b')'
-                        || prev_sig == b']') =>
-                {
-                    count += 1;
-                }
-                _ => {}
-            }
-            if !in_string && !bytes[j].is_ascii_whitespace() {
-                prev_sig = bytes[j];
-            }
-            j += 1;
-        }
-    }
-    count
-}
+//! This module keeps regression tests pinning the old scanner's
+//! semantics onto the engine, so parity holds as both evolve.
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use adatm_analyze::config::CrateConfig;
+    use adatm_analyze::{analyze_crate, build_model, check_forbid_unsafe, hot};
 
-    #[test]
-    fn unwrap_in_kernel_code_is_flagged() {
-        let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
-        let f = scan_panicky_calls("kernel.rs", src);
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].line, 2);
-        assert!(f[0].message.contains(".unwrap()"));
+    fn kernel_model(src: &str) -> adatm_analyze::CrateModel {
+        let config = CrateConfig { kernel: true, ..CrateConfig::default() };
+        build_model("fixture", config, &[("kernel.rs".to_string(), src.to_string())])
     }
 
     #[test]
-    fn expect_in_kernel_code_is_flagged() {
-        let src = "fn g(x: Option<u32>) -> u32 {\n    x.expect(\"present\")\n}\n";
-        let f = scan_panicky_calls("kernel.rs", src);
-        assert_eq!(f.len(), 1);
-        assert!(f[0].message.contains(".expect("));
+    fn unwrap_in_kernel_code_is_still_flagged() {
+        let out =
+            analyze_crate(&kernel_model("pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n"));
+        let f = out.findings.iter().find(|f| f.lint == "panic").expect("panic finding");
+        assert_eq!(f.line, 2);
+        assert!(f.message.contains("unwrap"), "{}", f.message);
     }
 
     #[test]
-    fn unwrap_inside_cfg_test_mod_is_allowed() {
-        let src = "pub fn f() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \
-                   Some(1).unwrap();\n    }\n}\n";
-        assert!(scan_panicky_calls("kernel.rs", src).is_empty());
+    fn unwrap_inside_cfg_test_mod_is_still_allowed() {
+        let out = analyze_crate(&kernel_model(
+            "pub fn f() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \
+             Some(1).unwrap();\n    }\n}\n",
+        ));
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
     }
 
     #[test]
-    fn unwrap_after_test_mod_closes_is_flagged_again() {
-        let src = "#[cfg(test)]\nmod tests {\n    fn t() { Some(1).unwrap(); }\n}\n\npub fn f() \
-                   {\n    Some(1).unwrap();\n}\n";
-        let f = scan_panicky_calls("kernel.rs", src);
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].line, 7);
+    fn unwrap_in_comments_and_strings_is_still_ignored() {
+        let out = analyze_crate(&kernel_model(
+            "// calls .unwrap() internally\npub fn f() -> &'static str {\n    \
+             \"not .unwrap() either\"\n}\n",
+        ));
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
     }
 
     #[test]
-    fn unwrap_in_comments_and_strings_is_ignored() {
-        let src = "// calls .unwrap() internally\nfn f() -> &'static str {\n    \
-                   \"not .unwrap() either\"\n}\n";
-        assert!(scan_panicky_calls("kernel.rs", src).is_empty());
-    }
-
-    #[test]
-    fn unwrap_or_else_is_not_flagged() {
-        let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap_or_else(|| 0)\n}\n";
-        assert!(scan_panicky_calls("kernel.rs", src).is_empty());
-    }
-
-    #[test]
-    fn missing_forbid_unsafe_is_flagged() {
-        let src = "//! A crate.\npub fn f() {}\n";
-        let f = scan_forbid_unsafe("lib.rs", src).expect("must be flagged");
+    fn missing_forbid_unsafe_is_still_flagged() {
+        let f = check_forbid_unsafe("lib.rs", "//! A crate.\npub fn f() {}\n")
+            .expect("must be flagged");
         assert!(f.message.contains("forbid(unsafe_code)"));
+        let ok = "//! A crate.\n#![forbid(unsafe_code)]\npub fn f() {}\n";
+        assert!(check_forbid_unsafe("lib.rs", ok).is_none());
     }
 
     #[test]
-    fn present_forbid_unsafe_passes() {
-        let src = "//! A crate.\n#![forbid(unsafe_code)]\npub fn f() {}\n";
-        assert_eq!(scan_forbid_unsafe("lib.rs", src), None);
-    }
-
-    #[test]
-    fn hot_path_tag_is_detected_near_top_only() {
-        assert!(is_hot_path_tagged("//! Kernels.\n// lint: hot-path\n"));
-        let far = format!("{}// lint: hot-path\n", "//\n".repeat(20));
-        assert!(!is_hot_path_tagged(&far));
-    }
-
-    #[test]
-    fn indexing_advisory_counts_direct_indexing_only() {
-        let src = "fn f(a: &[u32], i: usize) -> u32 {\n    let s: &[u32] = &[1, 2];\n    \
-                   a[i] + s[0]\n}\n";
-        assert_eq!(scan_hot_path_indexing(src), 2);
-    }
-
-    #[test]
-    fn indexing_advisory_skips_tests_comments_attributes() {
-        let src = "#[cfg(feature = \"audit\")]\n// a[0] in a comment\nfn f() {}\n\n\
-                   #[cfg(test)]\nmod tests {\n    fn t(a: &[u32]) -> u32 { a[0] }\n}\n";
-        assert_eq!(scan_hot_path_indexing(src), 0);
+    fn indexing_counts_match_the_old_advisory_semantics() {
+        // `a[i]` and `s[0]` index; the `&[1, 2]` literal does not.
+        let src = "#[adatm::hot]\npub fn f(a: &[u32], i: usize) -> u32 {\n    \
+                   let s: &[u32] = &[1, 2];\n    a[i] + s[0]\n}\n";
+        let model = kernel_model(src);
+        let (index, _alloc) = hot::raw_counts(&model);
+        assert_eq!(index, vec![("kernel.rs::f".to_string(), 2)]);
     }
 }

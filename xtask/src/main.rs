@@ -1,15 +1,22 @@
 //! Workspace automation entry point (`cargo xtask <command>`).
 //!
-//! Four commands:
+//! Five commands:
 //!
 //! `lint` — the static-analysis driver run in CI and before every merge.
 //! It chains
 //!
 //! 1. `cargo fmt --all -- --check` against the committed `rustfmt.toml`,
 //! 2. `cargo clippy --workspace --all-targets` with a curated deny-list,
-//! 3. the source-scan rules in [`lints`] — no `.unwrap()`/`.expect(` in
-//!    the kernel crates, `#![forbid(unsafe_code)]` in every crate root,
-//!    and an advisory unchecked-indexing count for hot-path files.
+//! 3. the structural passes of the `adatm-analyze` engine (see
+//!    [`analyze`]) — hot-path allocation and indexing, kernel
+//!    panic-freedom, trace-schema conformance, crate-root
+//!    `#![forbid(unsafe_code)]`, and README schema-table drift.
+//!
+//! `analyze` — the full engine run: the structural passes above plus the
+//! exhaustive schedule-disjointness prover. `--bless` regenerates each
+//! crate's `analyze.toml` allowances from current counts, `--fix-docs`
+//! rewrites the README trace-schema table in place, and `--quick`
+//! shrinks the prover universe for local iteration.
 //!
 //! `bench` — builds and runs the kernel bench driver
 //! (`bench_kernels`), writes `BENCH_<date>.json` at the workspace root
@@ -34,17 +41,13 @@
 
 #![forbid(unsafe_code)]
 
+mod analyze;
 mod bench;
 mod lints;
 mod trace;
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
-
-/// Crates whose non-test sources must stay free of `.unwrap()`/`.expect(`:
-/// the kernels that run inside parallel regions and report failures as
-/// typed errors instead of panicking.
-const KERNEL_CRATES: &[&str] = &["crates/tensor", "crates/dtree", "crates/linalg"];
 
 /// Extra clippy lints denied on top of `-D warnings`.
 const CLIPPY_DENY: &[&str] =
@@ -54,6 +57,7 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => lint(),
+        Some("analyze") => analyze_cmd(args),
         Some("bench") => bench_cmd(args),
         Some("calibrate") => calibrate_cmd(args),
         Some("trace-check") => trace_check_cmd(args),
@@ -71,7 +75,7 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     eprintln!(
-        "usage: cargo xtask <command>\n\ncommands:\n  lint         run the static-analysis suite (rustfmt, clippy, source scans)\n  bench        run the kernel bench suite and diff against the previous BENCH_*.json\n  calibrate    measure per-kernel-class throughput and write PROFILE.txt\n  trace-check  validate an NDJSON trace file (schema, seq order, span pairing)\n\ntrace-check usage:\n  cargo xtask trace-check <trace.ndjson>\n\nbench flags:\n  --smoke               tiny workloads, scratch output (CI regression smoke)\n  --tolerance <pct>     allowed per-key slowdown vs previous snapshot (default 25)\n  --out <path>          override the output snapshot path\n  --fail-on-regression  exit non-zero on regressions (advisory otherwise)\n\ncalibrate flags:\n  --smoke       tiny probe workload (CI)\n  --check       verify the calibrated plan end-to-end (10% gate vs fixed trees)\n  --out <path>  override the profile path (default PROFILE.txt)"
+        "usage: cargo xtask <command>\n\ncommands:\n  lint         run the static-analysis suite (rustfmt, clippy, engine passes)\n  analyze      run the adatm-analyze engine: lint passes + disjointness prover\n  bench        run the kernel bench suite and diff against the previous BENCH_*.json\n  calibrate    measure per-kernel-class throughput and write PROFILE.txt\n  trace-check  validate an NDJSON trace file against the schema registry\n\ntrace-check usage:\n  cargo xtask trace-check <trace.ndjson>\n\nanalyze flags:\n  --bless     regenerate analyze.toml allowances from current counts\n  --fix-docs  rewrite the README trace-schema table in place\n  --quick     small prover universe (local iteration; CI runs the full one)\n\nbench flags:\n  --smoke               tiny workloads, scratch output (CI regression smoke)\n  --tolerance <pct>     allowed per-key slowdown vs previous snapshot (default 25)\n  --out <path>          override the output snapshot path\n  --fail-on-regression  exit non-zero on regressions (advisory otherwise)\n\ncalibrate flags:\n  --smoke       tiny probe workload (CI)\n  --check       verify the calibrated plan end-to-end (10% gate vs fixed trees)\n  --out <path>  override the profile path (default PROFILE.txt)"
     );
 }
 
@@ -105,52 +109,26 @@ fn run_step(name: &str, cmd: &mut Command) -> bool {
     }
 }
 
-/// Collects every `.rs` file under `dir`, recursively, sorted for
-/// deterministic output.
-fn rust_sources(dir: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    let mut stack = vec![dir.to_path_buf()];
-    while let Some(d) = stack.pop() {
-        let entries = match std::fs::read_dir(&d) {
-            Ok(e) => e,
-            Err(_) => continue,
-        };
-        for entry in entries.flatten() {
-            let path = entry.path();
-            if path.is_dir() {
-                stack.push(path);
-            } else if path.extension().is_some_and(|e| e == "rs") {
-                out.push(path);
+/// `cargo xtask analyze [--bless] [--fix-docs] [--quick]`.
+fn analyze_cmd(args: impl Iterator<Item = String>) -> ExitCode {
+    let mut opts = analyze::Options::default();
+    for arg in args {
+        match arg.as_str() {
+            "--bless" => opts.bless = true,
+            "--fix-docs" => opts.fix_docs = true,
+            "--quick" => opts.quick = true,
+            other => {
+                eprintln!("xtask analyze: unknown flag `{other}`\n");
+                print_usage();
+                return ExitCode::FAILURE;
             }
         }
     }
-    out.sort();
-    out
-}
-
-/// Crate roots that must declare `#![forbid(unsafe_code)]`: every member
-/// crate's `lib.rs` (or `main.rs` for this binary), including the shims.
-fn crate_roots(root: &Path) -> Vec<PathBuf> {
-    let mut roots = vec![root.join("src/lib.rs"), root.join("xtask/src/main.rs")];
-    for group in ["crates", "shims"] {
-        let dir = root.join(group);
-        let entries = match std::fs::read_dir(&dir) {
-            Ok(e) => e,
-            Err(_) => continue,
-        };
-        for entry in entries.flatten() {
-            let lib = entry.path().join("src/lib.rs");
-            if lib.is_file() {
-                roots.push(lib);
-            }
-        }
+    if analyze::run(&workspace_root(), opts) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
-    roots.sort();
-    roots
-}
-
-fn display_rel(path: &Path, root: &Path) -> String {
-    path.strip_prefix(root).unwrap_or(path).display().to_string()
 }
 
 /// `cargo xtask bench [--smoke] [--tolerance <pct>] [--out <path>]`.
@@ -457,7 +435,7 @@ fn lint() -> ExitCode {
     }
     ok &= run_step("clippy", &mut clippy);
 
-    ok &= run_source_scans(&root);
+    ok &= analyze::run_static(&root);
 
     if ok {
         println!("xtask lint: all checks passed");
@@ -465,64 +443,5 @@ fn lint() -> ExitCode {
     } else {
         eprintln!("xtask lint: FAILED");
         ExitCode::FAILURE
-    }
-}
-
-/// The in-process scans: panicky calls in kernel crates, missing
-/// `#![forbid(unsafe_code)]`, and the hot-path indexing advisory.
-fn run_source_scans(root: &Path) -> bool {
-    let mut findings = Vec::new();
-
-    println!("xtask lint: scanning kernel crates for `.unwrap()` / `.expect(` ...");
-    for krate in KERNEL_CRATES {
-        for path in rust_sources(&root.join(krate).join("src")) {
-            let rel = display_rel(&path, root);
-            match std::fs::read_to_string(&path) {
-                Ok(src) => findings.extend(lints::scan_panicky_calls(&rel, &src)),
-                Err(err) => findings.push(lints::Finding {
-                    file: rel,
-                    line: 0,
-                    message: format!("unreadable source file: {err}"),
-                }),
-            }
-        }
-    }
-
-    println!("xtask lint: checking crate roots for `#![forbid(unsafe_code)]` ...");
-    for path in crate_roots(root) {
-        let rel = display_rel(&path, root);
-        match std::fs::read_to_string(&path) {
-            Ok(src) => findings.extend(lints::scan_forbid_unsafe(&rel, &src)),
-            Err(err) => findings.push(lints::Finding {
-                file: rel,
-                line: 0,
-                message: format!("unreadable crate root: {err}"),
-            }),
-        }
-    }
-
-    println!("xtask lint: hot-path indexing advisory ...");
-    for krate in KERNEL_CRATES {
-        for path in rust_sources(&root.join(krate).join("src")) {
-            let Ok(src) = std::fs::read_to_string(&path) else { continue };
-            if lints::is_hot_path_tagged(&src) {
-                let n = lints::scan_hot_path_indexing(&src);
-                println!(
-                    "xtask lint:   {}: {n} direct slice-indexing site(s) (advisory)",
-                    display_rel(&path, root)
-                );
-            }
-        }
-    }
-
-    if findings.is_empty() {
-        println!("xtask lint: source scans ok");
-        true
-    } else {
-        for f in &findings {
-            eprintln!("xtask lint: {f}");
-        }
-        eprintln!("xtask lint: source scans FAILED ({} finding(s))", findings.len());
-        false
     }
 }
