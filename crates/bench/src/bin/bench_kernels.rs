@@ -22,7 +22,7 @@
 #![allow(unsafe_code)]
 
 use adatm_bench::{env_flag, env_usize, time_best, with_threads, Table};
-use adatm_core::{all_backends, CpAls, CpAlsOptions};
+use adatm_core::{all_backends, CheckpointConfig, CooBackend, CpAls, CpAlsOptions};
 use adatm_dtree::{DtreeEngine, EngineOptions, NodeKernelClass, TreeShape};
 use adatm_linalg::Mat;
 use adatm_tensor::csf::CsfTensor;
@@ -342,6 +342,51 @@ fn bench_cpals(
     records
 }
 
+/// Durability guard: checkpointing every 5 iterations must stay cheap
+/// relative to the iterations themselves. Returns the record plus the
+/// measured overhead in percent (checkpoint time over everything else,
+/// from the driver's own phase timings — the same accounting the
+/// `checkpointing_does_not_perturb_the_trajectory` test exercises).
+fn bench_ckpt_overhead(
+    t: &SparseTensor,
+    rank: usize,
+    threads: usize,
+    reps: usize,
+) -> (Record, f64) {
+    let dir = std::env::temp_dir().join(format!("adatm-bench-ckpt-{}", std::process::id()));
+    let iters = 10; // two writes at the every-5 cadence
+    let mut best_overhead = f64::INFINITY;
+    let mut best_ckpt_ns = u64::MAX;
+    with_threads(threads, || {
+        for _ in 0..reps.max(2) {
+            let _ = std::fs::remove_dir_all(&dir);
+            let cfg = CheckpointConfig::new(&dir).every_iters(5);
+            let opts = CpAlsOptions::new(rank).max_iters(iters).tol(0.0).seed(0).checkpoint(cfg);
+            let mut b = CooBackend::new(t);
+            let res = CpAls::new(opts)
+                .run(t, &mut b)
+                .unwrap_or_else(|e| panic!("bench CP-ALS rejected input: {e}"));
+            let ckpt = res.timings.checkpoint.as_nanos() as f64;
+            let rest = res.timings.total().as_nanos() as f64 - ckpt;
+            if rest > 0.0 {
+                best_overhead = best_overhead.min(100.0 * ckpt / rest);
+            }
+            best_ckpt_ns =
+                best_ckpt_ns.min((res.timings.checkpoint.as_nanos() / (iters as u128 / 5)) as u64);
+        }
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    let record = Record {
+        kernel: "ckpt-overhead",
+        backend: "coo".to_string(),
+        tensor: "deli4d",
+        threads,
+        ns_per_call: best_ckpt_ns,
+        allocs_per_call: u64::MAX,
+    };
+    (record, best_overhead)
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -404,6 +449,8 @@ fn main() {
     records.extend(bench_alloc_gate(&t, rank));
     let e2e_reps = if smoke { 2 } else { 9 };
     records.extend(bench_cpals(&t, rank, threads, e2e_iters, e2e_reps));
+    let (ckpt_record, ckpt_overhead_pct) = bench_ckpt_overhead(&t, rank, threads, e2e_reps);
+    records.push(ckpt_record);
 
     let speedup = if sched_ns > 0 { grouped_ns as f64 / sched_ns as f64 } else { 0.0 };
 
@@ -424,11 +471,32 @@ fn main() {
 
     // Hard gates mirrored from the test-suite so a bench run can't
     // silently record a broken configuration.
-    let gate_failures: Vec<String> = records
+    let mut gate_failures: Vec<String> = records
         .iter()
         .filter(|r| r.kernel == "alloc-gate" && r.allocs_per_call != 0)
         .map(|r| format!("{} allocated {} time(s) in steady state", r.backend, r.allocs_per_call))
         .collect();
+
+    // Checkpoint-overhead gate: every-5-iterations checkpointing must
+    // cost < 2% of the iteration work at full scale. Smoke iterations on
+    // the 100x-smaller tensor are microseconds while an fsync is not, so
+    // the smoke default is far looser — override either with
+    // `ADATM_CKPT_TOLERANCE_PCT`.
+    let default_tolerance = if smoke { 500.0 } else { 2.0 };
+    let tolerance = std::env::var("ADATM_CKPT_TOLERANCE_PCT")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(default_tolerance);
+    println!(
+        "   checkpoint overhead: {ckpt_overhead_pct:.3}% of iteration work (gate < {tolerance}%)"
+    );
+    if ckpt_overhead_pct > tolerance {
+        gate_failures.push(format!(
+            "checkpointing every 5 iters costs {ckpt_overhead_pct:.2}% (> {tolerance}%) of \
+             cpals-iter work"
+        ));
+        eprintln!("bench_kernels: CKPT OVERHEAD GATE FAILED: {}", gate_failures.last().unwrap());
+    }
     for f in &gate_failures {
         eprintln!("bench_kernels: ALLOC GATE FAILED: {f}");
     }

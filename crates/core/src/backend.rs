@@ -359,7 +359,15 @@ impl AdaptiveBackend {
 
     /// Runs an explicitly configured planner and builds the engine.
     pub fn from_planner(tensor: &SparseTensor, rank: usize, planner: Planner<'_>) -> Self {
-        let plan = planner.plan();
+        Self::from_plan(tensor, rank, planner.plan())
+    }
+
+    /// Builds the engine for an already-computed plan — the entry point
+    /// for admission-controlled callers, which obtain the plan via
+    /// [`Planner::plan_admitted`] (so a rejected budget surfaces as a
+    /// typed error *before* any engine structures are allocated) and
+    /// then dispatch here.
+    pub fn from_plan(tensor: &SparseTensor, rank: usize, plan: MemoPlan) -> Self {
         let inner = if plan.use_coo {
             AdaptiveInner::Coo(CooBackend::new(tensor))
         } else if plan.use_csf {

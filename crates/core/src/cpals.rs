@@ -42,6 +42,9 @@
 //! [`CpResult::diagnostics`].
 
 use crate::backend::MttkrpBackend;
+use crate::checkpoint::{
+    CheckpointConfig, CheckpointError, CheckpointStore, CheckpointView, CpCheckpoint,
+};
 use crate::diagnostics::{
     BreakdownEvent, BreakdownKind, RecoveryAction, RunDiagnostics, StopReason,
 };
@@ -113,6 +116,11 @@ pub struct CpAlsOptions {
     /// `drift.warning` trace event) is emitted. `0.0` disables the
     /// check.
     pub drift_factor: f64,
+    /// Optional durable-checkpoint config: when set, the driver writes a
+    /// rotated, checksummed checkpoint at iteration boundaries on the
+    /// configured cadence (and a final one on `TimeBudget` expiry), from
+    /// which [`CpAls::resume_from`] continues bitwise-identically.
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl CpAlsOptions {
@@ -131,6 +139,7 @@ impl CpAlsOptions {
             time_budget: None,
             recovery_budget: 8,
             drift_factor: 2.0,
+            checkpoint: None,
         }
     }
 
@@ -176,6 +185,12 @@ impl CpAlsOptions {
         self.drift_factor = factor;
         self
     }
+
+    /// Enables durable checkpointing with the given config.
+    pub fn checkpoint(mut self, cfg: CheckpointConfig) -> Self {
+        self.checkpoint = Some(cfg);
+        self
+    }
 }
 
 /// Wall-clock dissection of a run (experiment E10).
@@ -188,12 +203,16 @@ pub struct PhaseTimings {
     pub dense: Duration,
     /// Time computing the fit.
     pub fit: Duration,
+    /// Time serializing and persisting checkpoints (zero when
+    /// checkpointing is disabled). The bench suite gates this phase's
+    /// overhead relative to the rest of the iteration.
+    pub checkpoint: Duration,
 }
 
 impl PhaseTimings {
     /// Total measured time.
     pub fn total(&self) -> Duration {
-        self.mttkrp + self.dense + self.fit
+        self.mttkrp + self.dense + self.fit + self.checkpoint
     }
 }
 
@@ -294,6 +313,102 @@ struct Snapshot {
     lambda: Vec<f64>,
 }
 
+/// Loop state restored from a checkpoint by [`CpAls::resume_from`].
+/// Everything the iteration loop reads that is not recomputed from the
+/// factors (grams are) must pass through here, or a resumed trajectory
+/// diverges from the uninterrupted one.
+struct ResumeState {
+    start_iter: usize,
+    lambda: Vec<f64>,
+    fit_history: Vec<f64>,
+    best_fit: f64,
+    last_good: Option<Snapshot>,
+    rollbacks_left: usize,
+    recoveries: usize,
+    stall_recorded: bool,
+    elapsed_base_ns: u64,
+}
+
+/// Live checkpointing state for one run: the open store plus cadence
+/// tracking.
+struct CkptCtx {
+    store: CheckpointStore,
+    every_iters: usize, // 0: no iteration-count cadence
+    every: Option<Duration>,
+    last_write: Instant,
+}
+
+impl CkptCtx {
+    /// Opens the configured store. Failing to open it is a hard, typed
+    /// error at run start — a caller that asked for durability should
+    /// not silently run without it.
+    fn open(cfg: &CheckpointConfig) -> Result<Self, CpAlsError> {
+        let store = cfg.build_store().map_err(CpAlsError::Checkpoint)?;
+        let every_iters = match (cfg.every_iters, cfg.every) {
+            // No cadence configured at all: checkpoint every iteration.
+            (None, None) => 1,
+            (n, _) => n.unwrap_or(0),
+        };
+        Ok(CkptCtx { store, every_iters, every: cfg.every, last_write: Instant::now() })
+    }
+
+    /// Whether a checkpoint is due after completing `iter` (0-based).
+    /// The iteration count is absolute, so a resumed run writes at the
+    /// same boundaries the uninterrupted one would.
+    fn due(&self, iter: usize) -> bool {
+        (self.every_iters > 0 && (iter + 1).is_multiple_of(self.every_iters))
+            || self.every.is_some_and(|dt| self.last_write.elapsed() >= dt)
+    }
+}
+
+/// Writes one checkpoint generation from live solver state. Write
+/// failures are non-fatal: durability degrades (earlier generations
+/// stay intact), correctness does not, so the run records a
+/// [`BreakdownKind::CheckpointWriteFailed`] diagnostic and keeps
+/// iterating.
+#[allow(clippy::too_many_arguments)]
+fn write_checkpoint(
+    ck: &mut CkptCtx,
+    seed: u64,
+    next_iter: usize,
+    lambda: &[f64],
+    factors: &[Mat],
+    fit_history: &[f64],
+    best_fit: f64,
+    rollbacks_left: usize,
+    stall_recorded: bool,
+    last_good: &Option<Snapshot>,
+    elapsed_ns: u64,
+    diag: &mut RunDiagnostics,
+    timings: &mut PhaseTimings,
+) {
+    let t0 = Instant::now();
+    let view = CheckpointView {
+        seed,
+        next_iter,
+        lambda,
+        factors,
+        fit_history,
+        best_fit,
+        recoveries: diag.recoveries,
+        rollbacks_left,
+        stall_recorded,
+        elapsed_ns,
+        last_good: last_good.as_ref().map(|s| (s.lambda.as_slice(), s.factors.as_slice())),
+    };
+    if ck.store.write(&view).is_err() {
+        diag.record(BreakdownEvent {
+            iter: next_iter.saturating_sub(1),
+            mode: None,
+            kind: BreakdownKind::CheckpointWriteFailed,
+            recovery: RecoveryAction::None,
+            recovery_time: t0.elapsed(),
+        });
+    }
+    ck.last_write = Instant::now();
+    timings.checkpoint += t0.elapsed();
+}
+
 /// The CP-ALS solver.
 #[derive(Clone, Debug)]
 pub struct CpAls {
@@ -331,7 +446,7 @@ impl CpAls {
         &self,
         tensor: &SparseTensor,
         backend: &mut B,
-        mut factors: Vec<Mat>,
+        factors: Vec<Mat>,
     ) -> Result<CpResult, CpAlsError> {
         let n = tensor.ndim();
         let rank = self.opts.rank;
@@ -361,13 +476,184 @@ impl CpAls {
         }
         #[cfg(feature = "audit")]
         audit_stage("cp-als input tensor", tensor);
+        self.run_inner(tensor, backend, factors, None)
+    }
+
+    /// Resumes a run from a durable checkpoint (see
+    /// [`CheckpointStore::load_latest`]), continuing **bitwise-identically**
+    /// to an uninterrupted run with the same options: the restored fit
+    /// history keeps the stall/divergence detectors from mistriggering,
+    /// and the restored recovery counters keep every reseed RNG stream
+    /// aligned. Gram matrices are recomputed from the restored factors
+    /// (they are bitwise-pure functions of them).
+    ///
+    /// The checkpoint must match `tensor` (mode dimensions), the
+    /// configured rank, and the configured seed; disagreements return a
+    /// typed [`CpAlsError::Checkpoint`] with
+    /// [`CheckpointError::Mismatch`] inside.
+    pub fn resume_from<B: MttkrpBackend + ?Sized>(
+        &self,
+        tensor: &SparseTensor,
+        backend: &mut B,
+        ckpt: CpCheckpoint,
+    ) -> Result<CpResult, CpAlsError> {
+        let n = tensor.ndim();
+        let rank = self.opts.rank;
+        if rank == 0 {
+            return Err(CpAlsError::ZeroRank);
+        }
+        if n < 2 {
+            return Err(CpAlsError::TooFewModes { ndim: n });
+        }
+        let mismatch = |what: String| CpAlsError::Checkpoint(CheckpointError::Mismatch { what });
+        if ckpt.rank() != rank {
+            return Err(mismatch(format!(
+                "checkpoint rank {} vs requested rank {rank}",
+                ckpt.rank()
+            )));
+        }
+        if ckpt.factors.len() != n {
+            return Err(mismatch(format!(
+                "checkpoint has {} modes, tensor has {n}",
+                ckpt.factors.len()
+            )));
+        }
+        for (d, f) in ckpt.factors.iter().enumerate() {
+            if f.nrows() != tensor.dims()[d] || f.ncols() != rank {
+                return Err(mismatch(format!(
+                    "factor {d} is {} x {}, tensor/rank require {} x {rank}",
+                    f.nrows(),
+                    f.ncols(),
+                    tensor.dims()[d]
+                )));
+            }
+            if !f.is_finite() {
+                return Err(CpAlsError::NonFiniteInit { mode: d });
+            }
+        }
+        if ckpt.seed != self.opts.seed {
+            return Err(mismatch(format!(
+                "checkpoint seed {} vs options seed {} — resume with the original seed \
+                 for a bitwise-identical trajectory",
+                ckpt.seed, self.opts.seed
+            )));
+        }
+        // Rolled-back iterations consume an iteration index without
+        // recording a fit, so the history may be shorter than the
+        // counter — but never longer.
+        if ckpt.fit_history.len() > ckpt.next_iter {
+            return Err(mismatch(format!(
+                "fit history has {} entries but the iteration counter is only {}",
+                ckpt.fit_history.len(),
+                ckpt.next_iter
+            )));
+        }
+        if let Some((l, fs)) = &ckpt.last_good {
+            let shape_ok = l.len() == rank
+                && fs.len() == n
+                && fs.iter().zip(tensor.dims()).all(|(m, &d)| m.nrows() == d && m.ncols() == rank);
+            if !shape_ok {
+                return Err(mismatch("last-good snapshot shape mismatch".to_string()));
+            }
+            if !fs.iter().all(Mat::is_finite) || !l.iter().all(|v| v.is_finite()) {
+                return Err(mismatch("last-good snapshot is non-finite".to_string()));
+            }
+        }
+        if !tensor.vals().iter().all(|v| v.is_finite()) {
+            return Err(CpAlsError::NonFiniteTensor);
+        }
+        #[cfg(feature = "audit")]
+        audit_stage("cp-als input tensor", tensor);
+        let CpCheckpoint {
+            next_iter,
+            lambda,
+            factors,
+            fit_history,
+            best_fit,
+            recoveries,
+            rollbacks_left,
+            stall_recorded,
+            elapsed_ns,
+            last_good,
+            ..
+        } = ckpt;
+        let last_good = last_good.map(|(lambda, factors)| Snapshot {
+            grams: factors.iter().map(Mat::gram).collect(),
+            factors,
+            lambda,
+        });
+        self.run_inner(
+            tensor,
+            backend,
+            factors,
+            Some(ResumeState {
+                start_iter: next_iter,
+                lambda,
+                fit_history,
+                best_fit,
+                last_good,
+                rollbacks_left,
+                recoveries,
+                stall_recorded,
+                elapsed_base_ns: elapsed_ns,
+            }),
+        )
+    }
+
+    /// The shared iteration loop behind [`CpAls::run_from`] (fresh state)
+    /// and [`CpAls::resume_from`] (state restored from a checkpoint).
+    /// Input validation has already happened in the callers.
+    fn run_inner<B: MttkrpBackend + ?Sized>(
+        &self,
+        tensor: &SparseTensor,
+        backend: &mut B,
+        mut factors: Vec<Mat>,
+        resume: Option<ResumeState>,
+    ) -> Result<CpResult, CpAlsError> {
+        let n = tensor.ndim();
+        let rank = self.opts.rank;
         backend.reset();
         let start = Instant::now();
         let mut timings = PhaseTimings::default();
         let mut diag = RunDiagnostics::default();
-        let mut rollbacks_left = self.opts.recovery_budget;
         let xnorm2 = tensor.fro_norm_sq();
-        let mut lambda = vec![1.0; rank];
+        let (
+            start_iter,
+            mut lambda,
+            mut fit_history,
+            mut best_fit,
+            mut last_good,
+            mut rollbacks_left,
+            mut stall_recorded,
+            elapsed_base_ns,
+        ) = match resume {
+            Some(rs) => {
+                // Restoring the recovery count keeps the rollback
+                // `attempt` counters — and so every reseed stream —
+                // aligned with the uninterrupted trajectory.
+                diag.recoveries = rs.recoveries;
+                (
+                    rs.start_iter,
+                    rs.lambda,
+                    rs.fit_history,
+                    rs.best_fit,
+                    rs.last_good,
+                    rs.rollbacks_left,
+                    rs.stall_recorded,
+                    rs.elapsed_base_ns,
+                )
+            }
+            None => (
+                0,
+                vec![1.0; rank],
+                Vec::new(),
+                f64::NEG_INFINITY,
+                None,
+                self.opts.recovery_budget,
+                false,
+                0,
+            ),
+        };
         // Cached Gram matrices W^(d) = U^(d)^T U^(d).
         let mut grams: Vec<Mat> = factors.iter().map(Mat::gram).collect();
         let mut m_buf = Mat::zeros(0, 0);
@@ -376,12 +662,15 @@ impl CpAls {
         // no dense-phase allocations beyond the factor solve itself.
         let mut h_buf = Mat::zeros(rank, rank);
         let mut g_buf = Mat::zeros(rank, rank);
-        let mut fit_history = Vec::new();
         let mut converged = false;
-        let mut iters = 0;
-        let mut last_good: Option<Snapshot> = None;
-        let mut best_fit = f64::NEG_INFINITY;
-        let mut stall_recorded = false;
+        let mut iters = start_iter;
+        // Checkpointing is pure observation of the loop state: enabling
+        // it must not perturb the trajectory (the kill-and-resume tests
+        // assert bitwise identity against checkpoint-free runs).
+        let mut ckpt = match &self.opts.checkpoint {
+            Some(cfg) => Some(CkptCtx::open(cfg)?),
+            None => None,
+        };
         // Visit modes in the backend's preferred order (for memoizing
         // backends: the tree's leaf order, so every intermediate is
         // computed exactly once per iteration). Any per-iteration
@@ -402,7 +691,7 @@ impl CpAls {
             nnz: tensor.nnz() as u64
         );
 
-        'run: for iter in 0..self.opts.max_iters {
+        'run: for iter in start_iter..self.opts.max_iters {
             let _iter_span = adatm_trace::span_guard!("cpals.iter", iter: iter as u64);
             let mut iteration_aborted = false;
             for &mode in &order {
@@ -784,12 +1073,59 @@ impl CpAls {
                     lambda: lambda.clone(),
                 });
             }
+            // Iteration-boundary checkpoint. Cadence is keyed on the
+            // absolute iteration number, so a resumed run writes at the
+            // same boundaries as the uninterrupted one; aborted
+            // (rolled-back) iterations never reach this point in either.
+            if let Some(ck) = ckpt.as_mut() {
+                if ck.due(iter) {
+                    write_checkpoint(
+                        ck,
+                        self.opts.seed,
+                        iter + 1,
+                        &lambda,
+                        &factors,
+                        &fit_history,
+                        best_fit,
+                        rollbacks_left,
+                        stall_recorded,
+                        &last_good,
+                        elapsed_base_ns + start.elapsed().as_nanos() as u64,
+                        &mut diag,
+                        &mut timings,
+                    );
+                }
+            }
             if let Some(p) = prev {
                 if self.opts.tol > 0.0 && (fit - p).abs() < self.opts.tol {
                     converged = true;
                     diag.stop = StopReason::Converged;
                     break;
                 }
+            }
+        }
+
+        // Durability on watchdog expiry: the loop above only checkpoints
+        // at iteration boundaries it completed, so a time-budget stop
+        // mid-iteration would otherwise lose everything since the last
+        // cadence hit. Persist the best-so-far state before returning.
+        if diag.stop == StopReason::TimeBudget {
+            if let Some(ck) = ckpt.as_mut() {
+                write_checkpoint(
+                    ck,
+                    self.opts.seed,
+                    iters,
+                    &lambda,
+                    &factors,
+                    &fit_history,
+                    best_fit,
+                    rollbacks_left,
+                    stall_recorded,
+                    &last_good,
+                    elapsed_base_ns + start.elapsed().as_nanos() as u64,
+                    &mut diag,
+                    &mut timings,
+                );
             }
         }
 

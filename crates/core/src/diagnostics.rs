@@ -36,6 +36,10 @@ pub enum BreakdownKind {
     /// prediction by more than the configured drift factor: the cost
     /// model (or its profile) no longer describes this machine/tensor.
     PredictionDrift,
+    /// An iteration-boundary checkpoint write failed (I/O error). The
+    /// run keeps iterating — durability degrades, correctness does not —
+    /// and earlier generations remain intact for resume.
+    CheckpointWriteFailed,
 }
 
 impl std::fmt::Display for BreakdownKind {
@@ -51,6 +55,7 @@ impl std::fmt::Display for BreakdownKind {
             BreakdownKind::FitStall => "fit stall",
             BreakdownKind::TimeBudgetExpired => "time budget expired",
             BreakdownKind::PredictionDrift => "model-prediction drift",
+            BreakdownKind::CheckpointWriteFailed => "checkpoint write failure",
         };
         f.write_str(s)
     }

@@ -8,6 +8,7 @@
 //! recovers or degrades gracefully and reports what happened in
 //! [`RunDiagnostics`](crate::RunDiagnostics).
 
+use crate::checkpoint::CheckpointError;
 use adatm_linalg::LinalgError;
 
 /// Why a CP-ALS run could not start (or, in the unrecoverable case, could
@@ -46,6 +47,13 @@ pub enum CpAlsError {
     },
     /// A dense kernel failed in a way no recovery policy could absorb.
     Linalg(LinalgError),
+    /// The checkpoint store could not be opened, or a checkpoint being
+    /// resumed from is unreadable or inconsistent with this run.
+    /// Mid-run checkpoint *write* failures are not errors: the run keeps
+    /// iterating and records a
+    /// [`BreakdownKind::CheckpointWriteFailed`](crate::BreakdownKind::CheckpointWriteFailed)
+    /// diagnostic instead.
+    Checkpoint(CheckpointError),
 }
 
 impl std::fmt::Display for CpAlsError {
@@ -70,6 +78,7 @@ impl std::fmt::Display for CpAlsError {
                 write!(f, "initial factor for mode {mode} contains non-finite (NaN/Inf) values")
             }
             CpAlsError::Linalg(e) => write!(f, "unrecoverable dense-kernel failure: {e}"),
+            CpAlsError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
         }
     }
 }
@@ -78,6 +87,7 @@ impl std::error::Error for CpAlsError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CpAlsError::Linalg(e) => Some(e),
+            CpAlsError::Checkpoint(e) => Some(e),
             _ => None,
         }
     }
@@ -86,5 +96,11 @@ impl std::error::Error for CpAlsError {
 impl From<LinalgError> for CpAlsError {
     fn from(e: LinalgError) -> Self {
         CpAlsError::Linalg(e)
+    }
+}
+
+impl From<CheckpointError> for CpAlsError {
+    fn from(e: CheckpointError) -> Self {
+        CpAlsError::Checkpoint(e)
     }
 }

@@ -221,6 +221,144 @@ impl<B: MttkrpBackend> MttkrpBackend for FaultInjectingBackend<B> {
     }
 }
 
+// ---------------------------------------------------------------------
+// I/O fault injection for the checkpoint medium
+// ---------------------------------------------------------------------
+
+/// How one checkpoint write cycle (persist + rename) gets corrupted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoFaultKind {
+    /// The persist writes only the first half of the bytes and then
+    /// reports success — a torn/short write a crash or lying disk leaves
+    /// behind. Discovered at load time as
+    /// [`CheckpointError::Truncated`](crate::CheckpointError::Truncated).
+    TornWrite,
+    /// One bit in the middle of the payload is flipped before the write —
+    /// silent media corruption. Discovered at load time as
+    /// [`CheckpointError::ChecksumMismatch`](crate::CheckpointError::ChecksumMismatch).
+    BitFlip,
+    /// The persist fails up front with `ENOSPC`
+    /// ([`std::io::ErrorKind::StorageFull`]), writing nothing.
+    Enospc,
+    /// The persist succeeds but the atomic rename fails, stranding the
+    /// temp file and leaving the previous generation as newest.
+    RenameFail,
+}
+
+/// A deterministic schedule mapping checkpoint *write cycles* (0-based,
+/// one per [`CheckpointStore::write`](crate::CheckpointStore::write)) to
+/// I/O faults. Mirrors [`FaultSchedule`] for the storage axis.
+#[derive(Clone, Debug, Default)]
+pub struct IoFaultSchedule {
+    events: BTreeMap<usize, IoFaultKind>,
+    every: Option<IoFaultKind>,
+}
+
+impl IoFaultSchedule {
+    /// An empty schedule (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Injects `kind` on the `write`-th checkpoint write cycle (0-based).
+    pub fn at_write(mut self, write: usize, kind: IoFaultKind) -> Self {
+        self.events.insert(write, kind);
+        self
+    }
+
+    /// Injects `kind` on *every* write — a persistently failing disk.
+    pub fn always(mut self, kind: IoFaultKind) -> Self {
+        self.every = Some(kind);
+        self
+    }
+
+    fn fault_for(&self, write: usize) -> Option<IoFaultKind> {
+        self.events.get(&write).copied().or(self.every)
+    }
+}
+
+/// Shared record of the I/O faults a [`FaultyMedium`] actually injected,
+/// as `(write_cycle, kind)` — tests clone the handle before boxing the
+/// medium into the config and assert against it afterwards.
+pub type IoFaultLog = std::sync::Arc<std::sync::Mutex<Vec<(usize, IoFaultKind)>>>;
+
+/// A [`CheckpointMedium`](crate::CheckpointMedium) that injects storage
+/// faults on a deterministic schedule, delegating clean operations to
+/// the real filesystem.
+///
+/// The write-cycle counter advances on every `persist` and never resets,
+/// so a schedule replays identically for a given spec regardless of how
+/// the run interleaves writes with recoveries. The `rename` belonging to
+/// a cycle observes the same index as its `persist`.
+#[derive(Debug)]
+pub struct FaultyMedium {
+    inner: crate::checkpoint::FsMedium,
+    schedule: IoFaultSchedule,
+    writes: usize,
+    log: IoFaultLog,
+}
+
+impl FaultyMedium {
+    /// A medium injecting `schedule`, with a private log.
+    pub fn new(schedule: IoFaultSchedule) -> Self {
+        Self::with_log(schedule, IoFaultLog::default())
+    }
+
+    /// As [`FaultyMedium::new`], but recording injections into a shared
+    /// log the caller keeps a handle to.
+    pub fn with_log(schedule: IoFaultSchedule, log: IoFaultLog) -> Self {
+        FaultyMedium { inner: crate::checkpoint::FsMedium, schedule, writes: 0, log }
+    }
+
+    fn record(&self, write: usize, kind: IoFaultKind) {
+        if let Ok(mut log) = self.log.lock() {
+            log.push((write, kind));
+        }
+    }
+}
+
+impl crate::checkpoint::CheckpointMedium for FaultyMedium {
+    fn persist(&mut self, path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+        let write = self.writes;
+        self.writes += 1;
+        match self.schedule.fault_for(write) {
+            Some(IoFaultKind::TornWrite) => {
+                self.record(write, IoFaultKind::TornWrite);
+                self.inner.persist(path, &bytes[..bytes.len() / 2])
+            }
+            Some(IoFaultKind::BitFlip) => {
+                self.record(write, IoFaultKind::BitFlip);
+                let mut corrupt = bytes.to_vec();
+                let mid = corrupt.len() / 2;
+                if let Some(b) = corrupt.get_mut(mid) {
+                    *b ^= 0x40;
+                }
+                self.inner.persist(path, &corrupt)
+            }
+            Some(IoFaultKind::Enospc) => {
+                self.record(write, IoFaultKind::Enospc);
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::StorageFull,
+                    "injected ENOSPC: no space left on device",
+                ))
+            }
+            Some(IoFaultKind::RenameFail) | None => self.inner.persist(path, bytes),
+        }
+    }
+
+    fn rename(&mut self, from: &std::path::Path, to: &std::path::Path) -> std::io::Result<()> {
+        let write = self.writes.saturating_sub(1);
+        if self.schedule.fault_for(write) == Some(IoFaultKind::RenameFail) {
+            self.record(write, IoFaultKind::RenameFail);
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::PermissionDenied,
+                "injected rename failure",
+            ));
+        }
+        self.inner.rename(from, to)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

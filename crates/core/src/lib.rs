@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod checkpoint;
 pub mod completion;
 pub mod cpals;
 pub mod cpopt;
@@ -46,13 +47,20 @@ pub mod tucker;
 pub use backend::{
     all_backends, AdaptiveBackend, CooBackend, CsfBackend, DtreeBackend, MttkrpBackend,
 };
+pub use checkpoint::{
+    CheckpointConfig, CheckpointError, CheckpointMedium, CheckpointStore, CheckpointWarning,
+    CpCheckpoint, FsMedium, ResumeOutcome,
+};
 pub use completion::{complete, CompletionOptions, CompletionResult};
 pub use cpals::{CpAls, CpAlsOptions, CpResult, PhaseTimings};
 pub use cpopt::{cp_opt, CpOptOptions, CpOptResult};
 pub use diagnostics::{BreakdownEvent, BreakdownKind, RecoveryAction, RunDiagnostics, StopReason};
 pub use error::CpAlsError;
 #[cfg(feature = "fault-inject")]
-pub use fault::{FaultInjectingBackend, FaultKind, FaultSchedule};
+pub use fault::{
+    FaultInjectingBackend, FaultKind, FaultSchedule, FaultyMedium, IoFaultKind, IoFaultLog,
+    IoFaultSchedule,
+};
 pub use init::InitStrategy;
 pub use model::{factor_match_score, CpModel};
 pub use ncp::{ncp, NcpOptions, NcpResult};

@@ -114,6 +114,38 @@ pub struct MemoPlan {
     pub use_coo: bool,
 }
 
+/// Admission control rejected every strategy: not even the
+/// lowest-memory viable backend (fused scheduled COO, whose only
+/// resident structure is the tensor's own index/value storage) fits the
+/// configured memory budget.
+///
+/// Returned by [`Planner::plan_admitted`]. The error names the cheapest
+/// candidate evaluated and its requirement, so callers can report
+/// exactly how far off the budget is instead of guessing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdmissionError {
+    /// The configured budget, in bytes.
+    pub budget_bytes: usize,
+    /// Label of the cheapest candidate evaluated (`"coo(fused)"`, a tree
+    /// label, ...).
+    pub cheapest_label: String,
+    /// Predicted resident bytes of that cheapest candidate.
+    pub cheapest_resident_bytes: f64,
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "no strategy fits the {}-byte memory budget: the cheapest candidate ({}) \
+             needs {:.0} bytes",
+            self.budget_bytes, self.cheapest_label, self.cheapest_resident_bytes
+        )
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
 /// Model-driven memoization planner for one tensor.
 ///
 /// ```
@@ -401,6 +433,87 @@ impl<'a> Planner<'a> {
             use_coo,
         }
     }
+
+    /// Runs the search with **admission control**: the memory budget is a
+    /// hard gate, not just a ranking preference.
+    ///
+    /// Where [`Planner::plan`] silently falls back to the least-memory
+    /// tree when nothing fits, this entry point enforces the budget:
+    ///
+    /// * the selected strategy fits — the plan is **admitted** unchanged;
+    /// * no tree (or CSF baseline) fits, but fused scheduled COO does —
+    ///   the plan is **degraded** to the COO baseline, the lowest-memory
+    ///   viable backend (its only resident structure is the tensor's own
+    ///   storage);
+    /// * not even fused COO fits — a typed [`AdmissionError`] naming the
+    ///   cheapest candidate's requirement is returned.
+    ///
+    /// Every outcome emits an `admission.decision` trace event. Without a
+    /// configured budget this is exactly [`Planner::plan`].
+    pub fn plan_admitted(&self) -> Result<MemoPlan, AdmissionError> {
+        let mut plan = self.plan();
+        let Some(budget) = self.memory_budget else {
+            return Ok(plan);
+        };
+        let mut cache = EstimatorCache::new(self.tensor, self.estimator);
+        let dims = self.tensor.dims();
+        let coo_bytes = predict_coo_resident_bytes(dims, &mut cache);
+        let chosen_label = plan
+            .candidates
+            .iter()
+            .find(|c| c.shape == plan.shape)
+            .map(|c| c.label.clone())
+            .unwrap_or_else(|| "tree".to_string());
+        let (selected_label, selected_bytes) = if plan.use_coo {
+            ("coo(fused)".to_string(), coo_bytes)
+        } else if plan.use_csf {
+            ("csf".to_string(), predict_csf_resident_bytes(dims, &mut cache))
+        } else {
+            (chosen_label, plan.predicted.resident_bytes())
+        };
+        if selected_bytes <= budget as f64 {
+            adatm_trace::event!(
+                "admission.decision",
+                decision: "admit",
+                budget_bytes: budget as u64,
+                resident_bytes: selected_bytes,
+                label: selected_label.as_str()
+            );
+            return Ok(plan);
+        }
+        if coo_bytes <= budget as f64 {
+            adatm_trace::event!(
+                "admission.decision",
+                decision: "degrade",
+                budget_bytes: budget as u64,
+                resident_bytes: coo_bytes,
+                label: "coo(fused)"
+            );
+            plan.use_coo = true;
+            plan.use_csf = false;
+            plan.predicted_ns = plan.coo_predicted_ns;
+            return Ok(plan);
+        }
+        // Nothing fits, not even the baseline that carries no auxiliary
+        // structures: name the cheapest requirement so the caller can
+        // report how far off the budget is.
+        let (cheapest_label, cheapest_resident_bytes) = plan
+            .candidates
+            .iter()
+            .map(|c| (c.label.as_str(), c.cost.resident_bytes()))
+            .chain(std::iter::once(("coo(fused)", coo_bytes)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(l, b)| (l.to_string(), b))
+            .expect("at least one candidate always exists");
+        adatm_trace::event!(
+            "admission.decision",
+            decision: "reject",
+            budget_bytes: budget as u64,
+            resident_bytes: cheapest_resident_bytes,
+            label: cheapest_label.as_str()
+        );
+        Err(AdmissionError { budget_bytes: budget, cheapest_label, cheapest_resident_bytes })
+    }
 }
 
 #[cfg(test)]
@@ -462,6 +575,61 @@ mod tests {
             .memory_budget(flat as usize + 1)
             .plan();
         assert!(plan.predicted.resident_bytes() <= flat + 1.0);
+    }
+
+    #[test]
+    fn admission_admits_within_budget() {
+        let t = uniform_tensor(&[30; 4], 2_000, 10);
+        let plan = Planner::new(&t, 8)
+            .estimator(NnzEstimator::Exact)
+            .memory_budget(usize::MAX)
+            .plan_admitted()
+            .expect("a huge budget admits everything");
+        assert!(!plan.use_coo);
+        plan.shape.validate();
+        // No budget at all is also an unconditional admit.
+        Planner::new(&t, 8).estimator(NnzEstimator::Exact).plan_admitted().unwrap();
+    }
+
+    #[test]
+    fn admission_degrades_to_fused_coo_when_only_it_fits() {
+        // Huge sparse dims with uniform indices: nothing collapses, so
+        // every tree must materialize an ~nnz-row intermediate whose
+        // value matrix (nnz x R doubles) dwarfs the raw COO storage.
+        let t = uniform_tensor(&[100_000; 3], 5_000, 10);
+        let mut cache = EstimatorCache::new(&t, NnzEstimator::Exact);
+        let coo = predict_coo_resident_bytes(t.dims(), &mut cache);
+        let unbounded = Planner::new(&t, 32).estimator(NnzEstimator::Exact).plan();
+        let min_tree = unbounded
+            .candidates
+            .iter()
+            .map(|c| c.cost.resident_bytes())
+            .fold(f64::INFINITY, f64::min);
+        assert!(coo < min_tree, "premise: fused COO ({coo}) below every tree ({min_tree})");
+        // A budget barely above the raw COO storage fits no tree.
+        let plan = Planner::new(&t, 32)
+            .estimator(NnzEstimator::Exact)
+            .memory_budget(coo as usize + 1)
+            .plan_admitted()
+            .expect("fused COO fits, so admission must degrade, not reject");
+        assert!(plan.use_coo, "degraded plan must dispatch to fused COO");
+        assert!(!plan.use_csf);
+    }
+
+    #[test]
+    fn admission_rejects_with_cheapest_requirement_when_nothing_fits() {
+        let t = uniform_tensor(&[30; 4], 2_000, 10);
+        let err = Planner::new(&t, 8)
+            .estimator(NnzEstimator::Exact)
+            .memory_budget(1)
+            .plan_admitted()
+            .expect_err("a 1-byte budget fits nothing");
+        assert_eq!(err.budget_bytes, 1);
+        assert!(err.cheapest_resident_bytes > 1.0);
+        assert!(!err.cheapest_label.is_empty());
+        let msg = err.to_string();
+        assert!(msg.contains("1-byte"), "{msg}");
+        assert!(msg.contains(&err.cheapest_label), "{msg}");
     }
 
     #[test]

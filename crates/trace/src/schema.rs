@@ -96,6 +96,16 @@ use FieldType::{Bool, Str, F64, I64, U64};
 /// Every declared event kind. Sorted by kind for deterministic docs.
 pub const EVENTS: &[EventSchema] = &[
     EventSchema {
+        kind: "admission.decision",
+        emitted_by: "planner memory-budget admission",
+        fields: &[
+            req("decision", Str),
+            req("budget_bytes", U64),
+            req("resident_bytes", F64),
+            req("label", Str),
+        ],
+    },
+    EventSchema {
         kind: "backend.dispatch",
         emitted_by: "adaptive backend construction",
         fields: &[
@@ -115,6 +125,16 @@ pub const EVENTS: &[EventSchema] = &[
         kind: "backend.schedule_rebuild",
         emitted_by: "COO/CSF backends",
         fields: &[req("backend", Str), req("mode", U64), req("threads", U64)],
+    },
+    EventSchema {
+        kind: "checkpoint.resume",
+        emitted_by: "checkpoint store load/fallback scan",
+        fields: &[req("iter", U64), req("gen", U64), req("fallbacks", U64)],
+    },
+    EventSchema {
+        kind: "checkpoint.write",
+        emitted_by: "CP-ALS iteration-boundary checkpoint store",
+        fields: &[req("iter", U64), req("gen", U64), req("bytes", U64), req("elapsed_ns", U64)],
     },
     EventSchema {
         kind: "drift.check",

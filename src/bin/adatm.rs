@@ -17,9 +17,10 @@ use adatm::tensor::io::{
 };
 use adatm::tensor::stats::TensorStats;
 use adatm::{
-    complete, cp_opt, decompose_with, hooi, ncp, AdaptiveBackend, CompletionOptions, CooBackend,
-    CpAlsError, CpAlsOptions, CpOptOptions, CsfBackend, DtreeBackend, EnvProfile, KernelProfile,
-    MttkrpBackend, NcpOptions, Planner, SparseTensor, TreeShape, TuckerOptions,
+    complete, cp_opt, decompose_with, hooi, ncp, AdaptiveBackend, AdmissionError, CheckpointConfig,
+    CheckpointStore, CompletionOptions, CooBackend, CpAls, CpAlsError, CpAlsOptions, CpOptOptions,
+    CsfBackend, DtreeBackend, EnvProfile, KernelProfile, MttkrpBackend, NcpOptions, Planner,
+    SparseTensor, TreeShape, TuckerOptions,
 };
 use std::collections::HashMap;
 use std::path::Path;
@@ -44,6 +45,11 @@ const EXIT_NONFINITE: u8 = 5;
 const EXIT_SOLVER_INPUT: u8 = 6;
 /// The solver hit an unrecoverable numerical failure.
 const EXIT_NUMERICAL: u8 = 7;
+/// The checkpoint store could not be opened, or `--resume` found no
+/// usable checkpoint (or one inconsistent with the requested run).
+const EXIT_CHECKPOINT: u8 = 8;
+/// Admission control rejected the run: no strategy fits `--mem-budget`.
+const EXIT_ADMISSION: u8 = 9;
 
 impl From<String> for CliError {
     fn from(msg: String) -> Self {
@@ -72,9 +78,16 @@ impl From<CpAlsError> for CliError {
     fn from(e: CpAlsError) -> Self {
         let code = match &e {
             CpAlsError::Linalg(_) => EXIT_NUMERICAL,
+            CpAlsError::Checkpoint(_) => EXIT_CHECKPOINT,
             _ => EXIT_SOLVER_INPUT,
         };
         CliError { code, msg: e.to_string() }
+    }
+}
+
+impl From<AdmissionError> for CliError {
+    fn from(e: AdmissionError) -> Self {
+        CliError { code: EXIT_ADMISSION, msg: e.to_string() }
     }
 }
 
@@ -151,10 +164,18 @@ fn print_usage() {
          adatm decompose <tensor> [--rank R] [--iters N] [--tol T] [--seed S]\n      \
          [--backend adaptive|coo|csf|tree2|tree3|bdt] [--shape '(0 (1 2))']\n      \
          [--algo als|ncp|cpopt|complete|tucker] [--reg R (complete)]\n      \
-         [--ranks AxBxC (tucker)] [--out DIR] [--trace FILE] [--drift-factor F]\n\n\
+         [--ranks AxBxC (tucker)] [--out DIR] [--trace FILE] [--drift-factor F]\n      \
+         [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] [--mem-budget MIB]\n\n\
          Tensor files: FROSTT text (.tns) or adatm binary (.adtm), chosen by extension.\n\n\
          --trace FILE writes a structured NDJSON event log (planner decisions,\n\
          per-stage timings, recoveries); validate it with `cargo xtask trace-check`.\n\n\
+         DURABILITY (--algo als only):\n  \
+         --checkpoint-dir DIR    write rotated, checksummed checkpoints under DIR\n  \
+         --checkpoint-every N    write every N completed iterations (default 1)\n  \
+         --resume                restart from the newest readable checkpoint in DIR,\n                          \
+         continuing bitwise-identically to the uninterrupted run\n  \
+         --mem-budget MIB        admission control: reject or degrade any plan whose\n                          \
+         predicted resident memory exceeds the budget\n\n\
          EXIT CODES:\n  \
          0  success\n  \
          2  usage error (bad flag, missing argument, unknown subcommand)\n  \
@@ -162,7 +183,9 @@ fn print_usage() {
          4  malformed tensor file\n  \
          5  tensor file contains non-finite values\n  \
          6  solver rejected its input (rank/shape/finiteness validation)\n  \
-         7  unrecoverable numerical failure during the solve"
+         7  unrecoverable numerical failure during the solve\n  \
+         8  checkpoint failure (store unusable, or --resume found nothing readable)\n  \
+         9  admission control rejected the run (nothing fits --mem-budget)"
     );
 }
 
@@ -359,7 +382,27 @@ fn cmd_plan(args: &[String]) -> Result<(), CliError> {
             plan.coo_predicted_ns.unwrap_or(f64::NAN)
         );
     }
+    if opts.contains_key("budget-mib") {
+        // The table above is informational; admission is the hard gate a
+        // decompose run with the same budget would face.
+        let admitted = planner.plan_admitted()?;
+        if admitted.use_coo && !plan.use_coo {
+            println!("admission: degraded to the fused COO baseline");
+        } else {
+            println!("admission: admitted within budget");
+        }
+    }
     Ok(())
+}
+
+/// Parses `--mem-budget MIB` into bytes (`None` when absent).
+fn parse_mem_budget(opts: &HashMap<String, String>) -> Result<Option<usize>, CliError> {
+    let Some(m) = opts.get("mem-budget") else { return Ok(None) };
+    let mib: f64 = m.parse().map_err(|_| format!("bad --mem-budget '{m}'"))?;
+    if !mib.is_finite() || mib <= 0.0 {
+        return Err(format!("--mem-budget must be a positive MiB count, got '{m}'").into());
+    }
+    Ok(Some((mib * 1024.0 * 1024.0) as usize))
 }
 
 fn make_backend(
@@ -367,27 +410,33 @@ fn make_backend(
     rank: usize,
     opts: &HashMap<String, String>,
     profile: Option<KernelProfile>,
-) -> Result<Box<dyn MttkrpBackend>, String> {
+    mem_budget: Option<usize>,
+) -> Result<Box<dyn MttkrpBackend>, CliError> {
     if let Some(s) = opts.get("shape") {
         let shape: TreeShape = s.parse().map_err(|e| format!("{e}"))?;
         shape.validate();
         return Ok(Box::new(DtreeBackend::new(t, &shape, rank)));
     }
     Ok(match opts.get("backend").map(String::as_str) {
-        None | Some("adaptive") => match profile {
-            Some(p) => Box::new(AdaptiveBackend::from_planner(
-                t,
-                rank,
-                Planner::new(t, rank).calibration(p),
-            )),
-            None => Box::new(AdaptiveBackend::plan(t, rank)),
-        },
+        None | Some("adaptive") => {
+            let mut planner = Planner::new(t, rank);
+            if let Some(p) = profile {
+                planner = planner.calibration(p);
+            }
+            if let Some(b) = mem_budget {
+                planner = planner.memory_budget(b);
+            }
+            // Admission control is a hard gate: a rejected budget exits
+            // with EXIT_ADMISSION before any engine structures exist.
+            let plan = planner.plan_admitted()?;
+            Box::new(AdaptiveBackend::from_plan(t, rank, plan))
+        }
         Some("coo") => Box::new(CooBackend::new(t)),
         Some("csf") => Box::new(CsfBackend::new(t)),
         Some("tree2") => Box::new(DtreeBackend::two_level(t, rank)),
         Some("tree3") => Box::new(DtreeBackend::three_level(t, rank)),
         Some("bdt") => Box::new(DtreeBackend::balanced_binary(t, rank)),
-        Some(other) => return Err(format!("unknown backend '{other}'")),
+        Some(other) => return Err(format!("unknown backend '{other}'").into()),
     })
 }
 
@@ -448,14 +497,54 @@ fn cmd_decompose(args: &[String]) -> Result<(), CliError> {
     let uses_planner = !opts.contains_key("shape")
         && matches!(opts.get("backend").map(String::as_str), None | Some("adaptive"));
     let profile = if uses_planner { checked_profile()? } else { None };
-    let mut backend = make_backend(&t, rank, &opts, profile)?;
+    let mem_budget = parse_mem_budget(&opts)?;
+    if mem_budget.is_some() && !uses_planner {
+        return Err("--mem-budget only applies to the adaptive (planner) backend".into());
+    }
+    let mut backend = make_backend(&t, rank, &opts, profile, mem_budget)?;
     println!("backend: {}", backend.name());
     match opts.get("algo").map(String::as_str) {
         None | Some("als") => {
             let drift = opt_parse(&opts, "drift-factor", 2.0f64)?;
-            let o =
+            let mut o =
                 CpAlsOptions::new(rank).max_iters(iters).tol(tol).seed(seed).drift_factor(drift);
-            let res = decompose_with(&t, &o, &mut backend)?;
+            let ckpt_dir = opts.get("checkpoint-dir");
+            let resume = opts.contains_key("resume");
+            if (resume || opts.contains_key("checkpoint-every")) && ckpt_dir.is_none() {
+                return Err("--resume/--checkpoint-every need --checkpoint-dir".into());
+            }
+            if let Some(dir) = ckpt_dir {
+                if dir.is_empty() {
+                    return Err("--checkpoint-dir requires a path".into());
+                }
+                let every = opt_parse(&opts, "checkpoint-every", 1usize)?;
+                o = o.checkpoint(CheckpointConfig::new(dir).every_iters(every));
+            }
+            let res = if resume {
+                let dir = ckpt_dir.expect("checked above");
+                let outcome = CheckpointStore::load_latest(Path::new(dir))
+                    .map_err(|e| CliError { code: EXIT_CHECKPOINT, msg: e.to_string() })?;
+                // The run continues the checkpoint's trajectory, so its
+                // seed wins over --seed (a mismatch would be a typed
+                // resume error, not a silently different model).
+                if outcome.checkpoint.seed != seed && opts.contains_key("seed") {
+                    println!(
+                        "note: --seed {seed} ignored; resuming with checkpoint seed {}",
+                        outcome.checkpoint.seed
+                    );
+                }
+                println!(
+                    "resume: {} (generation {}, iteration {}, {} corrupt generation(s) skipped)",
+                    outcome.path.display(),
+                    outcome.generation,
+                    outcome.checkpoint.next_iter,
+                    outcome.fallbacks.len()
+                );
+                o = o.seed(outcome.checkpoint.seed);
+                CpAls::new(o).resume_from(&t, backend.as_mut(), outcome.checkpoint)?
+            } else {
+                decompose_with(&t, &o, &mut backend)?
+            };
             println!(
                 "als: {} iters, fit {:.5}, converged {}, mttkrp {:.3}s dense {:.3}s fit {:.3}s",
                 res.iters,

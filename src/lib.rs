@@ -17,17 +17,22 @@
 pub use adatm_core::backend::all_backends;
 pub use adatm_core::{
     complete, cp_opt, decompose, decompose_with, factor_match_score, hooi, ncp, AdaptiveBackend,
-    BreakdownEvent, BreakdownKind, CompletionOptions, CompletionResult, CooBackend, CpAls,
-    CpAlsError, CpAlsOptions, CpModel, CpOptOptions, CpOptResult, CpResult, CsfBackend,
+    BreakdownEvent, BreakdownKind, CheckpointConfig, CheckpointError, CheckpointMedium,
+    CheckpointStore, CompletionOptions, CompletionResult, CooBackend, CpAls, CpAlsError,
+    CpAlsOptions, CpCheckpoint, CpModel, CpOptOptions, CpOptResult, CpResult, CsfBackend,
     DtreeBackend, InitStrategy, MttkrpBackend, NcpOptions, NcpResult, PhaseTimings, RecoveryAction,
-    RunDiagnostics, StopReason, TuckerModel, TuckerOptions, TuckerResult,
+    ResumeOutcome, RunDiagnostics, StopReason, TuckerModel, TuckerOptions, TuckerResult,
 };
 #[cfg(feature = "fault-inject")]
-pub use adatm_core::{FaultInjectingBackend, FaultKind, FaultSchedule};
+pub use adatm_core::{
+    FaultInjectingBackend, FaultKind, FaultSchedule, FaultyMedium, IoFaultKind, IoFaultLog,
+    IoFaultSchedule,
+};
 pub use adatm_dtree::TreeShape;
 pub use adatm_linalg::Mat;
 pub use adatm_model::{
-    EnvProfile, KernelProfile, MemoPlan, NnzEstimator, Objective, Planner, SearchStrategy,
+    AdmissionError, EnvProfile, KernelProfile, MemoPlan, NnzEstimator, Objective, Planner,
+    SearchStrategy,
 };
 pub use adatm_tensor::SparseTensor;
 

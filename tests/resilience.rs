@@ -7,10 +7,13 @@
 
 use adatm::tensor::gen::{dense_low_rank, zipf_tensor};
 use adatm::{
-    BreakdownKind, CooBackend, CpAls, CpAlsOptions, DtreeBackend, FaultInjectingBackend, FaultKind,
-    FaultSchedule, RecoveryAction, StopReason,
+    BreakdownKind, CheckpointConfig, CheckpointError, CheckpointStore, CooBackend, CpAls,
+    CpAlsOptions, DtreeBackend, FaultInjectingBackend, FaultKind, FaultSchedule, FaultyMedium,
+    IoFaultKind, IoFaultLog, IoFaultSchedule, RecoveryAction, StopReason,
 };
 use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A small noiseless low-rank tensor every test can re-converge on.
@@ -195,6 +198,238 @@ fn same_seed_same_schedule_same_diagnostics() {
         (res.fit_history.clone(), res.diagnostics.events.len(), res.diagnostics.recoveries)
     };
     assert_eq!(run(1234), run(1234), "identical schedules must replay identically");
+}
+
+/// A fresh per-test temp directory (removed at the end of each test).
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("adatm-resilience-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn assert_models_bitwise_equal(a: &adatm::CpResult, b: &adatm::CpResult) {
+    for (x, y) in a.model.lambda.iter().zip(&b.model.lambda) {
+        assert_eq!(x.to_bits(), y.to_bits(), "lambda diverged: {x} vs {y}");
+    }
+    for (d, (fa, fb)) in a.model.factors.iter().zip(&b.model.factors).enumerate() {
+        for (x, y) in fa.as_slice().iter().zip(fb.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "factor {d} diverged: {x} vs {y}");
+        }
+    }
+    assert_eq!(a.fit_history.len(), b.fit_history.len());
+    for (x, y) in a.fit_history.iter().zip(&b.fit_history) {
+        assert_eq!(x.to_bits(), y.to_bits(), "fit history diverged: {x} vs {y}");
+    }
+}
+
+#[test]
+fn rollback_across_a_checkpoint_boundary_resumes_bitwise_identically() {
+    // Combined fault: a NaN poison forces a rollback (reseeding from the
+    // recovery RNG stream), THEN the run is killed and resumed from a
+    // checkpoint written after the recovery. The resumed trajectory must
+    // match the uninterrupted one bitwise — which requires the checkpoint
+    // to have persisted the recovery counters (the rollback `attempt`
+    // feeds the reseed stream) and the restored fit history to keep the
+    // divergence/stall detectors aligned. Any divergence between the
+    // in-memory recovery state and the checkpointed state shows up here
+    // as a bit mismatch.
+    let t = ground_truth();
+    let sched = || FaultSchedule::new().at_call(4, FaultKind::PoisonNan);
+    let mk_opts = |iters: usize| CpAlsOptions::new(3).max_iters(iters).tol(0.0).seed(42);
+
+    // Reference: uninterrupted faulted run, no checkpointing.
+    let mut ref_b = FaultInjectingBackend::new(CooBackend::with_parallel(&t, false), sched());
+    let reference = CpAls::new(mk_opts(20)).run(&t, &mut ref_b).unwrap();
+    assert!(reference.diagnostics.recoveries >= 1, "the fault must have forced a recovery");
+
+    // Same fault, checkpoint every iteration, killed after iteration 7
+    // (well past the rollback).
+    let dir = tmp_dir("combined");
+    let cfg = CheckpointConfig::new(&dir).every_iters(1);
+    let mut kill_b = FaultInjectingBackend::new(CooBackend::with_parallel(&t, false), sched());
+    let killed = CpAls::new(mk_opts(7).checkpoint(cfg)).run(&t, &mut kill_b).unwrap();
+    assert!(killed.diagnostics.recoveries >= 1, "kill point is after the recovery");
+
+    // Resume to 20. The fault at absolute call 4 is long past, so the
+    // resumed backend needs no schedule — exactly like the reference,
+    // which also sees no faults after that call.
+    let outcome = CheckpointStore::load_latest(&dir).unwrap();
+    assert_eq!(outcome.checkpoint.recoveries, killed.diagnostics.recoveries);
+    let resumed = CpAls::new(mk_opts(20))
+        .resume_from(&t, &mut CooBackend::with_parallel(&t, false), outcome.checkpoint)
+        .unwrap();
+
+    assert_models_bitwise_equal(&reference, &resumed);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Runs checkpointed CP-ALS with an injected I/O fault schedule,
+/// returning the result and the injection log.
+fn run_with_io_faults(
+    name: &str,
+    sched: IoFaultSchedule,
+    iters: usize,
+) -> (adatm::CpResult, IoFaultLog, PathBuf) {
+    let t = ground_truth();
+    let dir = tmp_dir(name);
+    let log = IoFaultLog::default();
+    let log_for_factory = Arc::clone(&log);
+    let cfg =
+        CheckpointConfig::new(&dir).every_iters(1).keep(10).medium_factory(Arc::new(move || {
+            Box::new(FaultyMedium::with_log(sched.clone(), Arc::clone(&log_for_factory)))
+                as Box<dyn adatm::CheckpointMedium>
+        }));
+    let res = CpAls::new(CpAlsOptions::new(3).max_iters(iters).tol(0.0).seed(42).checkpoint(cfg))
+        .run(&t, &mut CooBackend::with_parallel(&t, false))
+        .expect("mid-run I/O faults degrade durability, never the run itself");
+    (res, log, dir)
+}
+
+#[test]
+fn enospc_surfaces_as_diagnostic_and_run_completes() {
+    let (res, log, dir) =
+        run_with_io_faults("enospc", IoFaultSchedule::new().at_write(1, IoFaultKind::Enospc), 6);
+    assert_eq!(log.lock().unwrap().as_slice(), &[(1, IoFaultKind::Enospc)]);
+    assert_eq!(res.diagnostics.count_of(BreakdownKind::CheckpointWriteFailed), 1);
+    assert_eq!(res.iters, 6, "the run keeps iterating through the write failure");
+    assert_model_finite(&res);
+    // The failed generation is simply missing; its neighbours are intact.
+    let outcome = CheckpointStore::load_latest(&dir).unwrap();
+    assert!(outcome.fallbacks.is_empty());
+    assert_eq!(outcome.checkpoint.next_iter, 6);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rename_failure_surfaces_as_diagnostic_and_strands_no_generation() {
+    let (res, log, dir) = run_with_io_faults(
+        "rename",
+        IoFaultSchedule::new().at_write(2, IoFaultKind::RenameFail),
+        6,
+    );
+    assert_eq!(log.lock().unwrap().as_slice(), &[(2, IoFaultKind::RenameFail)]);
+    assert_eq!(res.diagnostics.count_of(BreakdownKind::CheckpointWriteFailed), 1);
+    // The torn temp file must not be visible as a generation.
+    let outcome = CheckpointStore::load_latest(&dir).unwrap();
+    assert!(outcome.fallbacks.is_empty(), "no half-promoted generation: {:?}", outcome.fallbacks);
+    assert_eq!(outcome.checkpoint.next_iter, 6);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_write_is_detected_at_load_and_falls_back() {
+    // The medium LIES: it writes half the bytes and reports success, so
+    // the run records no diagnostic. The framing check catches it at
+    // load time and the loader falls back to the previous generation.
+    let (res, log, dir) =
+        run_with_io_faults("torn", IoFaultSchedule::new().at_write(5, IoFaultKind::TornWrite), 6);
+    assert_eq!(log.lock().unwrap().as_slice(), &[(5, IoFaultKind::TornWrite)]);
+    assert_eq!(res.diagnostics.count_of(BreakdownKind::CheckpointWriteFailed), 0);
+    let outcome = CheckpointStore::load_latest(&dir).unwrap();
+    assert_eq!(outcome.fallbacks.len(), 1);
+    assert!(
+        matches!(outcome.fallbacks[0].error, CheckpointError::Truncated { .. }),
+        "torn write surfaces as a typed truncation error, got {:?}",
+        outcome.fallbacks[0].error
+    );
+    assert_eq!(outcome.checkpoint.next_iter, 5, "fell back to the generation before the tear");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flip_is_detected_by_checksum_and_falls_back() {
+    let (res, log, dir) =
+        run_with_io_faults("bitflip", IoFaultSchedule::new().at_write(5, IoFaultKind::BitFlip), 6);
+    assert_eq!(log.lock().unwrap().as_slice(), &[(5, IoFaultKind::BitFlip)]);
+    assert_eq!(res.diagnostics.count_of(BreakdownKind::CheckpointWriteFailed), 0);
+    let outcome = CheckpointStore::load_latest(&dir).unwrap();
+    assert_eq!(outcome.fallbacks.len(), 1);
+    assert!(
+        matches!(outcome.fallbacks[0].error, CheckpointError::ChecksumMismatch { .. }),
+        "bit flip surfaces as a typed checksum error, got {:?}",
+        outcome.fallbacks[0].error
+    );
+    assert_eq!(outcome.checkpoint.next_iter, 5);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_level_io_faults_are_typed_checkpoint_errors() {
+    // Below the driver: a direct `CheckpointStore::write` against a
+    // failing medium must return `CheckpointError::Io` carrying the
+    // underlying `io::ErrorKind`, never panic.
+    let t = ground_truth();
+    let src = tmp_dir("store-src");
+    CpAls::new(
+        CpAlsOptions::new(3)
+            .max_iters(3)
+            .tol(0.0)
+            .seed(42)
+            .checkpoint(CheckpointConfig::new(&src).every_iters(1)),
+    )
+    .run(&t, &mut CooBackend::with_parallel(&t, false))
+    .unwrap();
+    let ck = CheckpointStore::load_latest(&src).unwrap().checkpoint;
+
+    let dir = tmp_dir("store-enospc");
+    let medium = FaultyMedium::new(IoFaultSchedule::new().always(IoFaultKind::Enospc));
+    let mut store = CheckpointStore::with_medium(&dir, Box::new(medium)).unwrap();
+    let err = store.write(&ck.as_view()).unwrap_err();
+    match &err {
+        CheckpointError::Io { kind, op, .. } => {
+            assert_eq!(*kind, std::io::ErrorKind::StorageFull, "op {op}: {err}");
+        }
+        other => panic!("expected a typed Io error, got {other:?}"),
+    }
+
+    let dir2 = tmp_dir("store-rename");
+    let medium = FaultyMedium::new(IoFaultSchedule::new().always(IoFaultKind::RenameFail));
+    let mut store = CheckpointStore::with_medium(&dir2, Box::new(medium)).unwrap();
+    let err = store.write(&ck.as_view()).unwrap_err();
+    assert!(
+        matches!(&err, CheckpointError::Io { kind, .. } if *kind == std::io::ErrorKind::PermissionDenied),
+        "expected a typed rename error, got {err:?}"
+    );
+
+    for d in [src, dir, dir2] {
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}
+
+#[test]
+fn persistent_disk_failure_never_panics_and_leaves_typed_errors() {
+    // Every write fails with ENOSPC: the run completes (durability fully
+    // degraded), every failure is a diagnostic, and the empty store is a
+    // typed NoCheckpoints at load time.
+    let (res, log, dir) =
+        run_with_io_faults("always-enospc", IoFaultSchedule::new().always(IoFaultKind::Enospc), 5);
+    assert_eq!(log.lock().unwrap().len(), 5);
+    assert_eq!(res.diagnostics.count_of(BreakdownKind::CheckpointWriteFailed), 5);
+    assert_eq!(res.iters, 5);
+    assert_model_finite(&res);
+    let err = CheckpointStore::load_latest(&dir).unwrap_err();
+    assert!(matches!(err, CheckpointError::NoCheckpoints { .. }), "got {err:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn io_faults_do_not_perturb_the_model() {
+    // Durability faults are observation-only: the faulted-checkpoint run
+    // must produce the same bits as a run with no checkpointing at all.
+    let t = ground_truth();
+    let plain = CpAls::new(CpAlsOptions::new(3).max_iters(6).tol(0.0).seed(42))
+        .run(&t, &mut CooBackend::with_parallel(&t, false))
+        .unwrap();
+    let (faulted, _, dir) = run_with_io_faults(
+        "no-perturb",
+        IoFaultSchedule::new()
+            .at_write(1, IoFaultKind::Enospc)
+            .at_write(3, IoFaultKind::BitFlip)
+            .at_write(4, IoFaultKind::RenameFail),
+        6,
+    );
+    assert_models_bitwise_equal(&plain, &faulted);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 proptest! {
